@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Apps Array Bechamel Benchmark Dilos Hashtbl Instance List Measure Printf Sim Staged Test Time Toolkit Vmem

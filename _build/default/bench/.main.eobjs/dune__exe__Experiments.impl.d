@@ -1,0 +1,1 @@
+bench/experiments.ml: Apps Bytes Dilos Hashtbl Int64 List Memnode Option Printf Rdma Report Sim Stdlib

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Experiments List Printf Sys

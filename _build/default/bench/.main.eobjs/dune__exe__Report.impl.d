@@ -1,0 +1,1 @@
+bench/report.ml: List Printf Sim Stdlib String

@@ -1,0 +1,686 @@
+(* One function per paper table/figure. Workloads are scaled down
+   (every page movement is simulated); each section header states the
+   paper's qualitative expectation so shape can be compared at a
+   glance. EXPERIMENTS.md records the paper-vs-measured summary. *)
+
+module H = Apps.Harness
+
+let mb n = n * 1024 * 1024
+let kb n = n * 1024
+let fractions_all = [ 0.125; 0.25; 0.5; 1.0 ]
+let pct f = Printf.sprintf "%.1f%%" (f *. 100.)
+
+let local_of ws frac =
+  Stdlib.max (kb 256) (int_of_float (float_of_int ws *. frac))
+
+let dilos_ra = H.Dilos Dilos.Kernel.Readahead
+let dilos_none = H.Dilos Dilos.Kernel.No_prefetch
+let dilos_trend = H.Dilos Dilos.Kernel.Trend_based
+let dilos_tcp = H.Dilos_tcp Dilos.Kernel.Readahead
+
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  Report.section ~id:"Figure 2" ~title:"RDMA latency vs object size (us)"
+    ~paper:
+      [
+        "one-sided ops on CX-5/100GbE: ~2.2us small reads;";
+        "a 4KB read costs only ~0.6us more than 128B.";
+      ];
+  let sizes = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 65536 ] in
+  let eng = Sim.Engine.create () in
+  let server = Memnode.Server.create ~eng ~size:(Int64.of_int (mb 1)) () in
+  let fabric = Memnode.Server.connect server () in
+  let qp = Rdma.Fabric.qp fabric ~name:"bench" in
+  let rows = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      List.iter
+        (fun size ->
+          let buf = Bytes.create size in
+          let t0 = Sim.Engine.now eng in
+          Rdma.Qp.read qp ~raddr:0L ~buf ~off:0 ~len:size;
+          let rd = Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t0) in
+          let t1 = Sim.Engine.now eng in
+          Rdma.Qp.write qp ~raddr:0L ~buf ~off:0 ~len:size;
+          let wr = Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t1) in
+          rows := [ string_of_int size; Report.f2 rd; Report.f2 wr ] :: !rows)
+        sizes);
+  Sim.Engine.run eng;
+  Report.table ~header:[ "size(B)"; "read(us)"; "write(us)" ] (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let seq_ws = mb 128
+
+let run_seq system ~frac ~mode =
+  H.run system ~local_mem:(local_of seq_ws frac) (fun ctx ->
+      Apps.Seq.run ctx ~size_bytes:seq_ws ~mode)
+
+let breakdown_row name (st : Sim.Stats.t) =
+  let majors = Stdlib.max 1 (Sim.Stats.get st "major_faults") in
+  let ph key = float_of_int (Sim.Stats.get st key) /. float_of_int majors /. 1000. in
+  let exc = ph "ph_exception_ns" in
+  let cache = ph "ph_swapcache_ns" +. ph "ph_pte_ns" in
+  let alloc = ph "ph_alloc_ns" in
+  let fetch = ph "ph_fetch_ns" in
+  let reclaim = ph "ph_reclaim_ns" in
+  let other = ph "ph_other_ns" in
+  let total = exc +. cache +. alloc +. fetch +. reclaim +. other in
+  ( [
+      name;
+      Report.f2 exc;
+      Report.f2 cache;
+      Report.f2 alloc;
+      Report.f2 fetch;
+      Report.f2 reclaim;
+      Report.f2 other;
+      Report.f2 total;
+    ],
+    total )
+
+let breakdown_header =
+  [ "system"; "exc"; "pte/cache"; "alloc"; "fetch"; "reclaim"; "other"; "total(us)" ]
+
+let fig1 () =
+  Report.section ~id:"Figure 1"
+    ~title:"Fastswap page-fault latency breakdown (per major fault, us)"
+    ~paper:
+      [
+        "fetch ~46%, reclamation ~29%, exception 0.57us (~9%),";
+        "remainder = swap cache + page alloc + other kernel code.";
+      ];
+  let r = run_seq H.Fastswap ~frac:0.125 ~mode:Apps.Seq.Read in
+  let avg, total = breakdown_row "Fastswap (average)" r.H.run_stats in
+  (* The paper's "no reclamation" bar: the same fault path when no
+     eviction work lands in fault context. *)
+  let majors = Stdlib.max 1 (Sim.Stats.get r.H.run_stats "major_faults") in
+  let reclaim =
+    float_of_int (Sim.Stats.get r.H.run_stats "ph_reclaim_ns")
+    /. float_of_int majors /. 1000.
+  in
+  let no_reclaim =
+    match avg with
+    | name :: rest ->
+        ignore name;
+        "Fastswap (no reclamation)"
+        :: (List.mapi
+              (fun i v ->
+                if i = 4 then "0.00"
+                else if i = 6 then Report.f2 (total -. reclaim)
+                else v)
+              rest)
+    | [] -> []
+  in
+  Report.table ~header:breakdown_header [ avg; no_reclaim ];
+  Printf.printf "\n fetch share: %.0f%%  reclaim share: %.0f%%  exception share: %.0f%%\n"
+    (float_of_int (Sim.Stats.get r.H.run_stats "ph_fetch_ns")
+    /. float_of_int majors /. 10. /. total)
+    (reclaim /. total *. 100.)
+    (0.57 /. total *. 100.)
+
+let fig6 () =
+  Report.section ~id:"Figure 6"
+    ~title:"DiLOS vs Fastswap fault latency breakdown, prefetch off (us)"
+    ~paper:
+      [
+        "DiLOS reduces fault latency by ~49%: no swap-cache management,";
+        "cheap allocation, and zero reclamation in the critical path.";
+      ];
+  let fs = run_seq H.Fastswap_no_ra ~frac:0.125 ~mode:Apps.Seq.Read in
+  let dl = run_seq dilos_none ~frac:0.125 ~mode:Apps.Seq.Read in
+  let fs_row, fs_total = breakdown_row "Fastswap" fs.H.run_stats in
+  let dl_row, dl_total = breakdown_row "DiLOS" dl.H.run_stats in
+  Report.table ~header:breakdown_header [ fs_row; dl_row ];
+  Printf.printf "\n DiLOS reduction: %.0f%% (paper: ~49%%)\n"
+    ((fs_total -. dl_total) /. fs_total *. 100.)
+
+let table2 () =
+  Report.section ~id:"Table 2" ~title:"Sequential read/write throughput (GB/s)"
+    ~paper:
+      [
+        "Fastswap 0.98/0.49; DiLOS no-prefetch 1.24/1.14;";
+        "DiLOS readahead 3.74/3.49; trend-based 3.73/3.49.";
+      ];
+  let systems =
+    [
+      ("Fastswap", H.Fastswap);
+      ("DiLOS no-prefetch", dilos_none);
+      ("DiLOS readahead", dilos_ra);
+      ("DiLOS trend-based", dilos_trend);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, sys) ->
+        let rd = (run_seq sys ~frac:0.125 ~mode:Apps.Seq.Read).H.value in
+        let wr = (run_seq sys ~frac:0.125 ~mode:Apps.Seq.Write).H.value in
+        [ name; Report.f2 rd.Apps.Seq.gbps; Report.f2 wr.Apps.Seq.gbps ])
+      systems
+  in
+  Report.table ~header:[ "system"; "read GB/s"; "write GB/s" ] rows
+
+let fault_counts_of (st : Sim.Stats.t) ~minor_key =
+  let major = Sim.Stats.get st "major_faults" in
+  let minor = Sim.Stats.get st minor_key in
+  (major, minor)
+
+let table1 () =
+  Report.section ~id:"Table 1"
+    ~title:"Fastswap fault counts, sequential read (scaled from 20GB)"
+    ~paper:[ "major 12.5%, minor 87.5% of 5,242,901 faults on 20GB." ];
+  let r = run_seq H.Fastswap ~frac:0.125 ~mode:Apps.Seq.Read in
+  let major, minor = fault_counts_of r.H.run_stats ~minor_key:"minor_faults" in
+  let total = major + minor in
+  Report.table
+    ~header:[ "kind"; "count"; "%" ]
+    [
+      [ "Major page fault"; Report.i major; Report.f1 (100. *. float_of_int major /. float_of_int total) ];
+      [ "Minor page fault"; Report.i minor; Report.f1 (100. *. float_of_int minor /. float_of_int total) ];
+      [ "Total"; Report.i total; "100.0" ];
+    ]
+
+let table3 () =
+  Report.section ~id:"Table 3" ~title:"Fault counts during sequential read"
+    ~paper:
+      [
+        "DiLOS no-prefetch: all faults major; with prefetchers, majors drop";
+        "to ~12.5% and DiLOS takes ~25% fewer minor faults than Fastswap";
+        "(fetch-in-flight waits replace swap-cache minor faults).";
+      ];
+  let pages = seq_ws / 4096 in
+  let row name sys minor_key =
+    let r = run_seq sys ~frac:0.125 ~mode:Apps.Seq.Read in
+    let major, minor = fault_counts_of r.H.run_stats ~minor_key in
+    [ name; Report.i major; Report.i minor; Report.i (major + minor) ]
+  in
+  Report.table
+    ~header:[ "system"; "major"; "minor"; "total" ]
+    [
+      row "Fastswap" H.Fastswap "minor_faults";
+      row "DiLOS no-prefetch" dilos_none "fetch_waits";
+      row "DiLOS readahead" dilos_ra "fetch_waits";
+      row "DiLOS trend-based" dilos_trend "fetch_waits";
+    ];
+  Printf.printf "\n (pages in timed pass: %d)\n" pages
+
+(* ------------------------------------------------------------------ *)
+
+let completion_figure ~id ~title ~paper ~ws ~systems ~fractions run =
+  Report.section ~id ~title ~paper;
+  let rows =
+    List.map
+      (fun frac ->
+        let cells =
+          List.map
+            (fun (_, sys) ->
+              let t = run sys (local_of ws frac) in
+              Report.ms t)
+            systems
+        in
+        pct frac :: cells)
+      fractions
+  in
+  Report.table ~header:("local mem" :: List.map fst systems)
+    rows
+
+let fig7a () =
+  let n = 2_000_000 in
+  completion_figure ~id:"Figure 7(a)" ~title:"Quicksort completion time (ms)"
+    ~paper:
+      [
+        "12.5% local: DiLOS up to 1.39x faster than Fastswap;";
+        "100->12.5% degradation: DiLOS +12%, Fastswap +39%.";
+      ]
+    ~ws:(n * 4)
+    ~systems:[ ("DiLOS(ra)", dilos_ra); ("Fastswap", H.Fastswap) ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local (fun ctx -> Apps.Quicksort.run ctx ~n ~seed:42))
+        .H.value
+        .Apps.Quicksort.sort_time)
+
+let fig7b () =
+  let n = 1_000_000 in
+  (* Working set: the points plus the ring of chunked distance-matrix
+     temporaries scikit keeps alive. *)
+  let ws = (n * 4) + (8 * 2048 * 10 * 8) in
+  completion_figure ~id:"Figure 7(b)" ~title:"K-means completion time (ms)"
+    ~paper:[ "12.5% local: DiLOS up to 2.71x faster than Fastswap." ]
+    ~ws
+    ~systems:[ ("DiLOS(ra)", dilos_ra); ("Fastswap", H.Fastswap) ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local (fun ctx ->
+           Apps.Kmeans.run ctx ~n ~k:10 ~iters:3 ~seed:42))
+        .H.value
+        .Apps.Kmeans.cluster_time)
+
+let snappy_files = 8
+let snappy_file_bytes = mb 4
+let snappy_ws = snappy_files * snappy_file_bytes * 2 (* input + output *)
+
+let fig7c () =
+  completion_figure ~id:"Figure 7(c)" ~title:"Snappy compression time (ms)"
+    ~paper:
+      [
+        "sequential pattern; at 12.5%: AIFM best, DiLOS within 7-9%,";
+        "DiLOS-TCP within 17-23%, Fastswap 35-40% slower; at 100%,";
+        "AIFM similar or slower (per-deref checks).";
+      ]
+    ~ws:snappy_ws
+    ~systems:
+      [
+        ("DiLOS(ra)", dilos_ra);
+        ("DiLOS-TCP", dilos_tcp);
+        ("Fastswap", H.Fastswap);
+        ("AIFM", H.Aifm);
+      ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local (fun ctx ->
+           Apps.Snappy.run_compress ctx ~files:snappy_files
+             ~file_bytes:snappy_file_bytes ~seed:7))
+        .H.value
+        .Apps.Snappy.time)
+
+let fig7d () =
+  completion_figure ~id:"Figure 7(d)" ~title:"Snappy decompression time (ms)"
+    ~paper:[ "same shape as compression." ] ~ws:snappy_ws
+    ~systems:
+      [
+        ("DiLOS(ra)", dilos_ra);
+        ("DiLOS-TCP", dilos_tcp);
+        ("Fastswap", H.Fastswap);
+        ("AIFM", H.Aifm);
+      ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local (fun ctx ->
+           Apps.Snappy.run_decompress ctx ~files:snappy_files
+             ~file_bytes:snappy_file_bytes ~seed:7))
+        .H.value
+        .Apps.Snappy.time)
+
+let fig8 () =
+  let rows_n = 1_000_000 in
+  let ws = rows_n * 40 in
+  completion_figure ~id:"Figure 8"
+    ~title:"DataFrame NYC-taxi workload completion time (ms)"
+    ~paper:
+      [
+        "at 100%: AIFM 50-83% slower than the others; DiLOS-TCP still 14%";
+        "faster than AIFM, DiLOS-RDMA up to 54%; Fastswap's time more than";
+        "doubles as memory shrinks while DiLOS/AIFM grow slightly.";
+      ]
+    ~ws
+    ~systems:
+      [
+        ("DiLOS(ra)", dilos_ra);
+        ("DiLOS-TCP", dilos_tcp);
+        ("Fastswap", H.Fastswap);
+        ("AIFM", H.Aifm);
+      ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local (fun ctx ->
+           let df = Apps.Dataframe.create ctx ~rows:rows_n ~seed:17 in
+           Apps.Dataframe.run_workload df))
+        .H.value
+        .Apps.Dataframe.total_time)
+
+(* Degree chosen so the PageRank score arrays are a smaller fraction
+   of the working set than the 12.5% local budget, as with the
+   Twitter graph (488MB of scores in a 17GB working set): the random
+   gathers then mostly hit local memory and paging is dominated by
+   the edge stream. *)
+let gapbs_n = 30_000
+let gapbs_deg = 32
+let gapbs_ws = (gapbs_n * gapbs_deg * 4) + (gapbs_n * 24)
+
+let fig9a () =
+  completion_figure ~id:"Figure 9(a)" ~title:"GAPBS PageRank time, 4 threads (ms)"
+    ~paper:
+      [
+        "at 50-100% local Fastswap can edge out DiLOS (OSv synchronization";
+        "overhead); under memory pressure DiLOS wins.";
+      ]
+    ~ws:gapbs_ws
+    ~systems:[ ("DiLOS(ra)", dilos_ra); ("Fastswap", H.Fastswap) ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local ~cores:4 (fun ctx ->
+           let g = Apps.Graph.generate ctx ~n:gapbs_n ~avg_deg:gapbs_deg ~seed:23 in
+           Apps.Graph.pagerank ctx g ~iters:3 ~threads:4))
+        .H.value
+        .Apps.Graph.pr_time)
+
+let fig9b () =
+  completion_figure ~id:"Figure 9(b)"
+    ~title:"GAPBS betweenness centrality time, 4 threads (ms)"
+    ~paper:[ "more random than PR; DiLOS up to 76% faster at 12.5%." ]
+    ~ws:(gapbs_ws + (gapbs_n * 24 * 4))
+    ~systems:[ ("DiLOS(ra)", dilos_ra); ("Fastswap", H.Fastswap) ]
+    ~fractions:fractions_all
+    (fun sys local ->
+      (H.run sys ~local_mem:local ~cores:4 (fun ctx ->
+           let g = Apps.Graph.generate ctx ~n:gapbs_n ~avg_deg:gapbs_deg ~seed:23 in
+           Apps.Graph.betweenness ctx g ~sources:3 ~threads:4 ~seed:3))
+        .H.value
+        .Apps.Graph.bc_time)
+
+(* ------------------------------------------------------------------ *)
+(* Redis *)
+
+type redis_sys = Plain of H.system | App_aware
+
+let redis_systems =
+  [
+    ("Fastswap", Plain H.Fastswap);
+    ("DiLOS no-prefetch", Plain dilos_none);
+    ("DiLOS readahead", Plain dilos_ra);
+    ("DiLOS trend-based", Plain dilos_trend);
+    ("DiLOS app-aware", App_aware);
+  ]
+
+let redis_fractions = [ 0.125; 0.25; 0.5 ]
+
+let run_redis_sys sys ~local_mem f =
+  match sys with
+  | Plain s -> H.run s ~local_mem f
+  | App_aware ->
+      H.run dilos_ra ~local_mem (fun ctx ->
+          ignore (Apps.Redis_guide.install ctx);
+          f ctx)
+
+let redis_throughput_figure ~id ~title ~paper ~ws run =
+  Report.section ~id ~title ~paper;
+  let rows =
+    List.map
+      (fun frac ->
+        pct frac
+        :: List.map
+             (fun (_, sys) ->
+               let r = run_redis_sys sys ~local_mem:(local_of ws frac) run in
+               Report.f0 r.H.value.Apps.Redis_bench.throughput_rps)
+             redis_systems)
+      redis_fractions
+  in
+  Report.table ~header:("local mem" :: List.map fst redis_systems) rows
+
+let fig10a () =
+  let keys = 8192 in
+  redis_throughput_figure ~id:"Figure 10(a)" ~title:"Redis GET 4KB (req/s)"
+    ~paper:
+      [
+        "4KB objects fit one page: prefetchers barely help;";
+        "all DiLOS variants beat Fastswap (1.37-1.52x even w/o prefetch).";
+      ]
+    ~ws:(keys * 4300)
+    (fun ctx ->
+      (* 4080 payload + SDS header = exactly one page, matching the
+         paper's "the object fits into a single page". *)
+      Apps.Redis_bench.run_get ctx ~keys ~size:(Apps.Redis_bench.Fixed 4080)
+        ~queries:keys ~seed:5)
+
+let fig10b () =
+  let keys = 768 in
+  redis_throughput_figure ~id:"Figure 10(b)" ~title:"Redis GET 64KB (req/s)"
+    ~paper:
+      [
+        "large objects span pages: prefetching effective (trend-based up";
+        "to +63% over no-prefetch); DiLOS up to 2.5x Fastswap.";
+      ]
+    ~ws:(keys * 66_000)
+    (fun ctx ->
+      Apps.Redis_bench.run_get ctx ~keys ~size:(Apps.Redis_bench.Fixed 65536)
+        ~queries:keys ~seed:5)
+
+let fig10c () =
+  let keys = 1024 in
+  redis_throughput_figure ~id:"Figure 10(c)"
+    ~title:"Redis GET mixed 4-128KB, FB photo sizes (req/s)"
+    ~paper:[ "between the 4KB and 64KB cases; app-aware on par with best." ]
+    ~ws:(keys * 44_000)
+    (fun ctx ->
+      Apps.Redis_bench.run_get ctx ~keys ~size:Apps.Redis_bench.Fb_mixed
+        ~queries:keys ~seed:5)
+
+let lrange_lists = 1024
+let lrange_elements = 100_000
+let lrange_elem = 512
+let lrange_ws = lrange_elements * (lrange_elem + 40)
+
+let fig10d () =
+  redis_throughput_figure ~id:"Figure 10(d)" ~title:"Redis LRANGE_100 (req/s)"
+    ~paper:
+      [
+        "pointer-chasing quicklists defeat general-purpose prefetchers";
+        "(no gain over no-prefetch); the app-aware guide wins by ~62%.";
+      ]
+    ~ws:lrange_ws
+    (fun ctx ->
+      Apps.Redis_bench.run_lrange ctx ~lists:lrange_lists
+        ~elements:lrange_elements ~elem_size:lrange_elem
+        ~queries:lrange_lists ~range:100 ~seed:5)
+
+let table4 () =
+  Report.section ~id:"Table 4"
+    ~title:"Tail latency, GET(mixed) and LRANGE at 12.5% local (us)"
+    ~paper:
+      [
+        "DiLOS well below Fastswap; prefetchers cut GET tails; only the";
+        "app-aware guide cuts LRANGE tails (-18% p99 vs general-purpose).";
+        "(absolute values differ from the paper's ms: scaled working set)";
+      ];
+  let get_ws = 1024 * 44_000 and lr_ws = lrange_ws in
+  let rows =
+    List.map
+      (fun (name, sys) ->
+        let g =
+          run_redis_sys sys ~local_mem:(local_of get_ws 0.125) (fun ctx ->
+              Apps.Redis_bench.run_get ctx ~keys:1024 ~size:Apps.Redis_bench.Fb_mixed
+                ~queries:1024 ~seed:5)
+        in
+        let l =
+          run_redis_sys sys ~local_mem:(local_of lr_ws 0.125) (fun ctx ->
+              Apps.Redis_bench.run_lrange ctx ~lists:lrange_lists
+                ~elements:lrange_elements ~elem_size:lrange_elem
+                ~queries:lrange_lists ~range:100 ~seed:5)
+        in
+        [
+          name;
+          Report.f0 g.H.value.Apps.Redis_bench.p99_us;
+          Report.f0 g.H.value.Apps.Redis_bench.p999_us;
+          Report.f0 l.H.value.Apps.Redis_bench.p99_us;
+          Report.f0 l.H.value.Apps.Redis_bench.p999_us;
+        ])
+      redis_systems
+  in
+  Report.table
+    ~header:[ "system"; "GET p99"; "GET p99.9"; "LRANGE p99"; "LRANGE p99.9" ]
+    rows
+
+let fig12 () =
+  Report.section ~id:"Figure 12"
+    ~title:"Bandwidth during DEL then GET, guided paging (MB moved)"
+    ~paper:
+      [
+        "guided allocator reduces bandwidth ~12% during DEL and ~29%";
+        "during GET (vector <= 3 segments, only live chunks move).";
+      ];
+  let keys = 65_536 and value_bytes = 128 in
+  let ws = keys * 340 in
+  let run sys =
+    (H.run sys ~local_mem:(local_of ws 0.25) (fun ctx ->
+         Apps.Redis_bench.run_del_get_bandwidth ctx ~keys ~value_bytes
+           ~del_fraction:0.7 ~seed:11))
+      .H.value
+  in
+  let plain = run dilos_ra in
+  let guided = run (H.Dilos_guided Dilos.Kernel.Readahead) in
+  let open Apps.Redis_bench in
+  Report.table
+    ~header:[ "system"; "DEL rx"; "DEL tx"; "DEL total"; "GET rx"; "GET tx"; "GET total" ]
+    [
+      [
+        "DiLOS";
+        Report.f1 plain.del_rx_mb;
+        Report.f1 plain.del_tx_mb;
+        Report.f1 (plain.del_rx_mb +. plain.del_tx_mb);
+        Report.f1 plain.get_rx_mb;
+        Report.f1 plain.get_tx_mb;
+        Report.f1 (plain.get_rx_mb +. plain.get_tx_mb);
+      ];
+      [
+        "DiLOS guided (app-aware)";
+        Report.f1 guided.del_rx_mb;
+        Report.f1 guided.del_tx_mb;
+        Report.f1 (guided.del_rx_mb +. guided.del_tx_mb);
+        Report.f1 guided.get_rx_mb;
+        Report.f1 guided.get_tx_mb;
+        Report.f1 (guided.get_rx_mb +. guided.get_tx_mb);
+      ];
+    ];
+  let reduction a b = (a -. b) /. a *. 100. in
+  Printf.printf
+    "\n reduction: DEL %.0f%% (paper ~12%%), GET %.0f%% (paper ~29%%)\n"
+    (reduction
+       (plain.del_rx_mb +. plain.del_tx_mb)
+       (guided.del_rx_mb +. guided.del_tx_mb))
+    (reduction
+       (plain.get_rx_mb +. plain.get_tx_mb)
+       (guided.get_rx_mb +. guided.get_tx_mb));
+  Printf.printf "\n bandwidth over time (10ms buckets, MB; DEL phase then GET phase):\n";
+  let bucketize series =
+    (* Re-bucket the 1ms meter series into 10ms for display. *)
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (t, rx, tx) ->
+        let b = Int64.to_int (Int64.div t (Sim.Time.ms 10)) in
+        let cur = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl b) in
+        Hashtbl.replace tbl b (fst cur + rx, snd cur + tx))
+      series;
+    Hashtbl.fold (fun b v acc -> (b, v) :: acc) tbl []
+    |> List.sort compare
+  in
+  let show name r =
+    Printf.printf "  %-24s" name;
+    List.iteri
+      (fun i (_, (rx, tx)) ->
+        if i < 12 then Printf.printf " %5.1f" (float_of_int (rx + tx) /. 1e6))
+      (bucketize r.series);
+    print_newline ()
+  in
+  show "DiLOS" plain;
+  show "DiLOS guided" guided
+
+(* ------------------------------------------------------------------ *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "Fastswap fault latency breakdown", fig1);
+    ("fig2", "RDMA latency vs object size", fig2);
+    ("table1", "Fastswap fault counts (20GB seq read, scaled)", table1);
+    ("table2", "sequential r/w throughput", table2);
+    ("fig6", "DiLOS vs Fastswap fault breakdown", fig6);
+    ("table3", "fault counts during seq read", table3);
+    ("fig7a", "quicksort", fig7a);
+    ("fig7b", "k-means", fig7b);
+    ("fig7c", "snappy compression", fig7c);
+    ("fig7d", "snappy decompression", fig7d);
+    ("fig8", "DataFrame NYC taxi", fig8);
+    ("fig9a", "GAPBS PageRank", fig9a);
+    ("fig9b", "GAPBS betweenness centrality", fig9b);
+    ("fig10a", "Redis GET 4KB", fig10a);
+    ("fig10b", "Redis GET 64KB", fig10b);
+    ("fig10c", "Redis GET mixed", fig10c);
+    ("fig10d", "Redis LRANGE_100", fig10d);
+    ("table4", "Redis tail latency", table4);
+    ("fig12", "guided paging bandwidth", fig12);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out, beyond the paper's
+   own figures. *)
+
+let run_dilos_custom ?nic_config ?(huge_pages = true) ~local_mem f =
+  let eng = Sim.Engine.create () in
+  let server =
+    Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 36) ~huge_pages ()
+  in
+  let k =
+    Dilos.Kernel.boot ~eng ~server ?nic_config
+      {
+        Dilos.Kernel.local_mem_bytes = local_mem;
+        cores = 1;
+        prefetch = Dilos.Kernel.Readahead;
+        guided_paging = false;
+        tcp_emulation = false;
+      }
+  in
+  let instance = H.I_dilos k in
+  let ctx =
+    {
+      H.eng;
+      instance;
+      stats = Dilos.Kernel.stats k;
+      bw = Rdma.Fabric.bandwidth (Dilos.Kernel.fabric k);
+      mem = (fun ~core -> H.memif_of_instance instance ~core);
+      cores = 1;
+    }
+  in
+  let out = ref None in
+  Sim.Engine.spawn eng (fun () ->
+      out := Some (f ctx);
+      Dilos.Kernel.shutdown k);
+  Sim.Engine.run eng;
+  Option.get !out
+
+(* NVMe-class far memory (§5.1): ~25x the read latency, lower
+   effective bandwidth. *)
+let nvme_nic =
+  {
+    Rdma.Nic.default with
+    Rdma.Nic.base_read_ns = 75_000;
+    base_write_ns = 15_000;
+    per_byte_ns = 0.45;
+  }
+
+let ablations () =
+  Report.section ~id:"Ablation" ~title:"Design-choice ablations (DESIGN.md)"
+    ~paper:
+      [
+        "(not a paper figure) huge pages on the memory node (§5),";
+        "NVMe-class far memory (§5.1 discussion), eager-eviction benefit.";
+      ];
+  let seq ~nic ~huge =
+    (run_dilos_custom ?nic_config:nic ~huge_pages:huge ~local_mem:(mb 4)
+       (fun ctx -> Apps.Seq.run ctx ~size_bytes:(mb 32) ~mode:Apps.Seq.Read))
+      .Apps.Seq.gbps
+  in
+  let base = seq ~nic:None ~huge:true in
+  let no_huge = seq ~nic:None ~huge:false in
+  let nvme = seq ~nic:(Some nvme_nic) ~huge:true in
+  Report.table
+    ~header:[ "configuration"; "seq read GB/s"; "vs baseline" ]
+    [
+      [ "DiLOS (RDMA, huge pages)"; Report.f2 base; "1.00x" ];
+      [ "memory node w/o huge pages"; Report.f2 no_huge; Report.ratio no_huge base ];
+      [ "NVMe-class far memory"; Report.f2 nvme; Report.ratio nvme base ];
+    ];
+  (* Reclaim-stall accounting: how much reclamation leaks into the
+     fault path under a write-heavy workload (the paper's design goal
+     is zero). *)
+  let r =
+    run_dilos_custom ~local_mem:(mb 2) (fun ctx ->
+        ignore (Apps.Seq.run ctx ~size_bytes:(mb 16) ~mode:Apps.Seq.Write);
+        ctx.H.stats)
+  in
+  Printf.printf
+    "\n write-heavy run: %d reclaim stalls, %.1f us total stall time\n\
+    \ (background cleaner+reclaimer absorbed the rest of %d evictions)\n"
+    (Sim.Stats.get r "reclaim_stalls")
+    (float_of_int (Sim.Stats.get r "reclaim_stall_ns") /. 1000.)
+    (Sim.Stats.get r "evictions")
+
+let all = all @ [ ("ablation", "design-choice ablations (beyond the paper)", ablations) ]

@@ -1,0 +1,35 @@
+(* Benchmark entry point.
+
+   Usage:
+     dune exec bench/main.exe              # every table and figure
+     dune exec bench/main.exe fig7a fig12  # selected experiments
+     dune exec bench/main.exe bechamel     # wall-clock primitive costs
+     dune exec bench/main.exe list         # what exists *)
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter
+    (fun (key, desc, _) -> Printf.printf "  %-8s %s\n" key desc)
+    Experiments.all;
+  print_endline "  bechamel wall-clock primitive-operation costs"
+
+let run_one key =
+  match List.find_opt (fun (k, _, _) -> k = key) Experiments.all with
+  | Some (_, _, fn) ->
+      let t0 = Sys.time () in
+      fn ();
+      Printf.printf "\n (cpu time: %.1fs)\n%!" (Sys.time () -. t0)
+  | None ->
+      Printf.eprintf "unknown experiment %S; try 'list'\n" key;
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      print_endline "DiLOS reproduction: regenerating every table and figure.";
+      List.iter (fun (k, _, _) -> run_one k) Experiments.all;
+      Bechamel_suite.run ()
+  | _ :: [ "list" ] -> list_experiments ()
+  | _ :: [ "bechamel" ] -> Bechamel_suite.run ()
+  | _ :: keys -> List.iter run_one keys
+  | [] -> assert false

@@ -1,0 +1,37 @@
+(* Table rendering + paper-reference annotations for bench output. *)
+
+let line = String.make 78 '-'
+
+let section ~id ~title ~paper =
+  Printf.printf "\n%s\n== %s: %s\n" line id title;
+  List.iter (fun l -> Printf.printf "   paper: %s\n" l) paper;
+  Printf.printf "%s\n" line
+
+let table ~header rows =
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> Stdlib.max w (String.length c)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    List.iter2 (fun w c -> Printf.printf " %-*s" (w + 1) c) widths row;
+    print_newline ()
+  in
+  print_row header;
+  List.iter
+    (fun w -> Printf.printf " %s " (String.make w '-'))
+    widths;
+  print_newline ();
+  List.iter print_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f0 x = Printf.sprintf "%.0f" x
+let ms t = Printf.sprintf "%.2f" (Sim.Time.to_ms t)
+let i = string_of_int
+
+let ratio a b = if b = 0. then "-" else Printf.sprintf "%.2fx" (a /. b)
+
+let pct_of_best best v =
+  if v <= 0. then "-" else Printf.sprintf "%.2fx" (v /. best)

@@ -1,0 +1,228 @@
+(* dilos_sim: run any workload on any memory-disaggregation system
+   from the command line.
+
+     dune exec bin/dilos_sim.exe -- run --workload quicksort \
+       --system dilos --prefetch readahead --local-mb 8 --scale 1000000
+
+   Prints completion time, throughput-style metrics and the paging
+   counters for the run. *)
+
+open Cmdliner
+module H = Apps.Harness
+
+type sys_choice =
+  | S_dilos
+  | S_dilos_guided
+  | S_dilos_tcp
+  | S_fastswap
+  | S_aifm
+  | S_aifm_rdma
+
+let system_conv =
+  Arg.enum
+    [
+      ("dilos", S_dilos);
+      ("dilos-guided", S_dilos_guided);
+      ("dilos-tcp", S_dilos_tcp);
+      ("fastswap", S_fastswap);
+      ("aifm", S_aifm);
+      ("aifm-rdma", S_aifm_rdma);
+    ]
+
+let prefetch_conv =
+  Arg.enum
+    [
+      ("none", Dilos.Kernel.No_prefetch);
+      ("readahead", Dilos.Kernel.Readahead);
+      ("trend", Dilos.Kernel.Trend_based);
+    ]
+
+type workload =
+  | W_seq_read
+  | W_seq_write
+  | W_quicksort
+  | W_kmeans
+  | W_snappy
+  | W_dataframe
+  | W_pagerank
+  | W_bc
+  | W_redis_get
+  | W_redis_lrange
+
+let workload_conv =
+  Arg.enum
+    [
+      ("seq-read", W_seq_read);
+      ("seq-write", W_seq_write);
+      ("quicksort", W_quicksort);
+      ("kmeans", W_kmeans);
+      ("snappy", W_snappy);
+      ("dataframe", W_dataframe);
+      ("pagerank", W_pagerank);
+      ("bc", W_bc);
+      ("redis-get", W_redis_get);
+      ("redis-lrange", W_redis_lrange);
+    ]
+
+let to_system sys prefetch =
+  match sys with
+  | S_dilos -> H.Dilos prefetch
+  | S_dilos_guided -> H.Dilos_guided prefetch
+  | S_dilos_tcp -> H.Dilos_tcp prefetch
+  | S_fastswap -> H.Fastswap
+  | S_aifm -> H.Aifm
+  | S_aifm_rdma -> H.Aifm_rdma
+
+let run_workload workload sys prefetch local_mb scale app_aware cores seed
+    verbose =
+  let system = to_system sys prefetch in
+  let local_mem = local_mb * 1024 * 1024 in
+  let with_guide ctx =
+    if app_aware then ignore (Apps.Redis_guide.install ctx)
+  in
+  let describe, result =
+    match workload with
+    | W_seq_read ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              Apps.Seq.run ctx ~size_bytes:(scale * 4096) ~mode:Apps.Seq.Read)
+        in
+        ( Printf.sprintf "%.2f GB/s" r.H.value.Apps.Seq.gbps,
+          H.{ r with value = () } )
+    | W_seq_write ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              Apps.Seq.run ctx ~size_bytes:(scale * 4096) ~mode:Apps.Seq.Write)
+        in
+        (Printf.sprintf "%.2f GB/s" r.H.value.Apps.Seq.gbps, H.{ r with value = () })
+    | W_quicksort ->
+        let r =
+          H.run system ~local_mem (fun ctx -> Apps.Quicksort.run ctx ~n:scale ~seed)
+        in
+        ( Printf.sprintf "sorted=%b in %.2f ms" r.H.value.Apps.Quicksort.checked
+            (Sim.Time.to_ms r.H.value.Apps.Quicksort.sort_time),
+          H.{ r with value = () } )
+    | W_kmeans ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              Apps.Kmeans.run ctx ~n:scale ~k:10 ~iters:3 ~seed)
+        in
+        ( Printf.sprintf "%.2f ms (inertia %.3g)"
+            (Sim.Time.to_ms r.H.value.Apps.Kmeans.cluster_time)
+            r.H.value.Apps.Kmeans.inertia,
+          H.{ r with value = () } )
+    | W_snappy ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              Apps.Snappy.run_compress ctx ~files:4 ~file_bytes:(scale * 1024) ~seed)
+        in
+        ( Printf.sprintf "%.2f ms (%d -> %d bytes)"
+            (Sim.Time.to_ms r.H.value.Apps.Snappy.time)
+            r.H.value.Apps.Snappy.input_bytes r.H.value.Apps.Snappy.output_bytes,
+          H.{ r with value = () } )
+    | W_dataframe ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              let df = Apps.Dataframe.create ctx ~rows:scale ~seed in
+              Apps.Dataframe.run_workload df)
+        in
+        ( Printf.sprintf "%.2f ms" (Sim.Time.to_ms r.H.value.Apps.Dataframe.total_time),
+          H.{ r with value = () } )
+    | W_pagerank ->
+        let r =
+          H.run system ~local_mem ~cores (fun ctx ->
+              let g = Apps.Graph.generate ctx ~n:scale ~avg_deg:16 ~seed in
+              Apps.Graph.pagerank ctx g ~iters:5 ~threads:cores)
+        in
+        ( Printf.sprintf "%.2f ms (score sum %.4f)"
+            (Sim.Time.to_ms r.H.value.Apps.Graph.pr_time)
+            r.H.value.Apps.Graph.score_sum,
+          H.{ r with value = () } )
+    | W_bc ->
+        let r =
+          H.run system ~local_mem ~cores (fun ctx ->
+              let g = Apps.Graph.generate ctx ~n:scale ~avg_deg:16 ~seed in
+              Apps.Graph.betweenness ctx g ~sources:8 ~threads:cores ~seed)
+        in
+        ( Printf.sprintf "%.2f ms (max centrality %.1f)"
+            (Sim.Time.to_ms r.H.value.Apps.Graph.bc_time)
+            r.H.value.Apps.Graph.max_centrality,
+          H.{ r with value = () } )
+    | W_redis_get ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              with_guide ctx;
+              Apps.Redis_bench.run_get ctx ~keys:scale
+                ~size:(Apps.Redis_bench.Fixed 4096) ~queries:scale ~seed)
+        in
+        ( Printf.sprintf "%.0f req/s, p99 %.0f us"
+            r.H.value.Apps.Redis_bench.throughput_rps r.H.value.Apps.Redis_bench.p99_us,
+          H.{ r with value = () } )
+    | W_redis_lrange ->
+        let r =
+          H.run system ~local_mem (fun ctx ->
+              with_guide ctx;
+              Apps.Redis_bench.run_lrange ctx ~lists:(scale / 100)
+                ~elements:scale ~elem_size:256 ~queries:(scale / 100) ~range:100
+                ~seed)
+        in
+        ( Printf.sprintf "%.0f req/s, p99 %.0f us"
+            r.H.value.Apps.Redis_bench.throughput_rps r.H.value.Apps.Redis_bench.p99_us,
+          H.{ r with value = () } )
+  in
+  Printf.printf "system:    %s%s\n" (H.system_name system)
+    (if app_aware then " + app-aware guide" else "");
+  Printf.printf "local mem: %d MiB\n" local_mb;
+  Printf.printf "result:    %s\n" describe;
+  Printf.printf "simulated: %.3f ms\n" (Sim.Time.to_ms result.H.elapsed);
+  Printf.printf "traffic:   rx %.2f MB, tx %.2f MB\n"
+    (float_of_int result.H.rx_bytes /. 1e6)
+    (float_of_int result.H.tx_bytes /. 1e6);
+  if verbose then begin
+    print_endline "counters:";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+      (Sim.Stats.counters result.H.run_stats)
+  end
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~doc:"Workload to run.")
+  in
+  let system =
+    Arg.(value & opt system_conv S_dilos & info [ "s"; "system" ] ~doc:"Memory system.")
+  in
+  let prefetch =
+    Arg.(
+      value
+      & opt prefetch_conv Dilos.Kernel.Readahead
+      & info [ "p"; "prefetch" ] ~doc:"DiLOS prefetcher (none|readahead|trend).")
+  in
+  let local_mb =
+    Arg.(value & opt int 8 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
+  in
+  let scale =
+    Arg.(
+      value & opt int 100_000
+      & info [ "scale" ] ~doc:"Workload size (elements/rows/keys/pages).")
+  in
+  let app_aware =
+    Arg.(
+      value & flag
+      & info [ "app-aware" ] ~doc:"Install the Redis app-aware prefetch guide.")
+  in
+  let cores = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Simulated cores.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump counters.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload on one system")
+    Term.(
+      const run_workload $ workload $ system $ prefetch $ local_mb $ scale
+      $ app_aware $ cores $ seed $ verbose)
+
+let () =
+  let doc = "DiLOS memory-disaggregation simulator" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dilos_sim" ~doc) [ run_cmd ]))

@@ -1,0 +1,1 @@
+examples/dataframe_taxi.ml: Apps Dilos List Printf Sim

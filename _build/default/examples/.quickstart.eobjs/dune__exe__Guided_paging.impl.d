@@ -1,0 +1,1 @@
+examples/guided_paging.ml: Apps Array Dilos Int64 Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dilos Format Int64 Memnode Printf Sim

@@ -1,0 +1,1 @@
+examples/redis_lrange.ml: Apps Dilos Printf

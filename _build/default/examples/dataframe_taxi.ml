@@ -1,0 +1,33 @@
+(* NYC-taxi-style analytics on the columnar DataFrame, comparing the
+   same unmodified program on DiLOS, Fastswap and AIFM.
+
+     dune exec examples/dataframe_taxi.exe *)
+
+module H = Apps.Harness
+
+let rows = 200_000
+let ws = rows * 40
+
+let () =
+  Printf.printf "DataFrame with %d taxi trips, 25%% local memory\n\n" rows;
+  List.iter
+    (fun (name, sys) ->
+      let r =
+        H.run sys ~local_mem:(ws / 4) (fun ctx ->
+            let df = Apps.Dataframe.create ctx ~rows ~seed:3 in
+            let w = Apps.Dataframe.run_workload df in
+            let mean, std = Apps.Dataframe.q_fare_stats df in
+            (w, mean, std))
+      in
+      let w, mean, std = r.H.value in
+      Printf.printf "%-12s total %8.2f ms   (fare mean $%.2f, std $%.2f)\n" name
+        (Sim.Time.to_ms w.Apps.Dataframe.total_time)
+        mean std;
+      List.iter
+        (fun (q, t) -> Printf.printf "    %-24s %8.2f ms\n" q (Sim.Time.to_ms t))
+        w.Apps.Dataframe.per_query)
+    [
+      ("DiLOS", H.Dilos Dilos.Kernel.Readahead);
+      ("Fastswap", H.Fastswap);
+      ("AIFM", H.Aifm);
+    ]

@@ -1,0 +1,1 @@
+lib/aifm/runtime.ml: Array Bytes Char Dilos Hashtbl Int32 Int64 List Memnode Printf Queue Rdma Sim Stdlib

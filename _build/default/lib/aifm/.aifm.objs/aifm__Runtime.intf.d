@@ -1,0 +1,1 @@
+lib/aifm/runtime.mli: Memnode Rdma Sim

@@ -1,0 +1,62 @@
+(** AIFM baseline (Ruan et al., OSDI '20): application-integrated far
+    memory at user level.
+
+    Memory is managed as {e remoteable objects}, not pages. Every
+    dereference pays a few extra instructions to test whether the
+    object is local (the cost that makes AIFM slower than DiLOS at
+    100% local memory); a miss is handled entirely in user space — no
+    kernel crossing — and fetches exactly the object (or the 4 KiB
+    chunk of a large array). Large allocations are chunked, and
+    sequential chunk access triggers AIFM's multi-threaded streaming
+    prefetcher, which gives near-perfect compute/IO overlap on
+    scan-heavy workloads at small local memory. A background
+    {e evacuator} writes back and evicts cold objects to keep local
+    usage under budget.
+
+    As in the paper's comparison, the runtime talks TCP by default:
+    each completion is delayed by {!Dilos.Params.tcp_emulation_delay}.
+
+    Handles returned by {!malloc} look like addresses (so applications
+    written against the backend-neutral memory interface run
+    unchanged) but encode an object id and an offset; arithmetic is
+    valid only within one allocation. *)
+
+type config = {
+  local_mem_bytes : int;
+  tcp : bool;  (** false = RDMA backend (AIFM also supports one) *)
+  prefetch_window : int;  (** streaming prefetch depth, in chunks *)
+}
+
+val default_config : config
+
+type t
+
+val boot : eng:Sim.Engine.t -> server:Memnode.Server.t -> config -> t
+val shutdown : t -> unit
+val eng : t -> Sim.Engine.t
+val stats : t -> Sim.Stats.t
+val fabric : t -> Rdma.Fabric.t
+val now : t -> Sim.Time.t
+
+val malloc : t -> core:int -> int -> int64
+val free : t -> core:int -> int64 -> unit
+
+val read_u8 : t -> core:int -> int64 -> int
+val read_u16 : t -> core:int -> int64 -> int
+val read_u32 : t -> core:int -> int64 -> int
+val read_u64 : t -> core:int -> int64 -> int64
+val write_u8 : t -> core:int -> int64 -> int -> unit
+val write_u16 : t -> core:int -> int64 -> int -> unit
+val write_u32 : t -> core:int -> int64 -> int -> unit
+val write_u64 : t -> core:int -> int64 -> int64 -> unit
+val read_bytes : t -> core:int -> int64 -> bytes -> int -> int -> unit
+val write_bytes : t -> core:int -> int64 -> bytes -> int -> int -> unit
+val compute : t -> core:int -> int -> unit
+val flush : t -> core:int -> unit
+val touch : t -> core:int -> int64 -> unit
+
+val local_bytes : t -> int
+(** Bytes of object payload currently resident. *)
+
+val is_local : t -> int64 -> bool
+val quiesce : t -> unit

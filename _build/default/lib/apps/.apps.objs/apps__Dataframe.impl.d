@@ -1,0 +1,1 @@
+lib/apps/dataframe.ml: Array Float Harness Int64 List Memif Sim

@@ -1,0 +1,1 @@
+lib/apps/dataframe.mli: Harness Sim

@@ -1,0 +1,1 @@
+lib/apps/dict.ml: Bytes Char Int64 Memif Sds

@@ -1,0 +1,1 @@
+lib/apps/dilos_quiesce.mli: Harness

@@ -1,0 +1,1 @@
+lib/apps/graph.ml: Array Barrier Bytes Harness Int32 Int64 List Memif Sim Stdlib

@@ -1,0 +1,1 @@
+lib/apps/graph.mli: Harness Sim

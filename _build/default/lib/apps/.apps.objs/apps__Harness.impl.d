@@ -1,0 +1,1 @@
+lib/apps/harness.ml: Aifm Dilos Fastswap Int64 Memif Memnode Option Rdma Sim

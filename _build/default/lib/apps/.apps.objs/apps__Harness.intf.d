@@ -1,0 +1,1 @@
+lib/apps/harness.mli: Aifm Dilos Fastswap Memif Rdma Sim

@@ -1,0 +1,1 @@
+lib/apps/kmeans.ml: Array Float Harness Int64 Memif Sim Stdlib

@@ -1,0 +1,1 @@
+lib/apps/memif.ml: Sim

@@ -1,0 +1,1 @@
+lib/apps/quicklist.ml: Int64 List Memif Ziplist

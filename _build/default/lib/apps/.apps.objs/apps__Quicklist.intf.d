@@ -1,0 +1,1 @@
+lib/apps/quicklist.mli: Memif

@@ -1,0 +1,1 @@
+lib/apps/quicksort.ml: Harness Int64 Memif Sim

@@ -1,0 +1,1 @@
+lib/apps/redis.ml: Dict Dilos Harness Int64 Memif Quicklist Sds

@@ -1,0 +1,1 @@
+lib/apps/redis_bench.ml: Array Bytes Char Dilos_quiesce Fun Harness Int64 Memif Printf Rdma Redis Sim

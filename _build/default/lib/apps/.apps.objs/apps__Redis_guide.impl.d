@@ -1,0 +1,1 @@
+lib/apps/redis_guide.ml: Bytes Dilos Harness Int32 Int64 Quicklist Redis Sds Stdlib Vmem

@@ -1,0 +1,1 @@
+lib/apps/redis_guide.mli: Harness

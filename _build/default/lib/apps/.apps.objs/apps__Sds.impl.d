@@ -1,0 +1,1 @@
+lib/apps/sds.ml: Bytes Int64 Memif

@@ -1,0 +1,1 @@
+lib/apps/sds.mli: Memif

@@ -1,0 +1,1 @@
+lib/apps/seq.ml: Harness Int64 Memif Sim Vmem

@@ -1,0 +1,1 @@
+lib/apps/seq.mli: Harness Sim

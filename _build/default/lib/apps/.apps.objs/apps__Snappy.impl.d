@@ -1,0 +1,1 @@
+lib/apps/snappy.ml: Array Buffer Bytes Char Harness Int32 Int64 Memif Sim Stdlib

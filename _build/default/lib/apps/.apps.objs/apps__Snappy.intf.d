@@ -1,0 +1,1 @@
+lib/apps/snappy.mli: Harness Sim

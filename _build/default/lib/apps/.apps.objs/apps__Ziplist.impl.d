@@ -1,0 +1,1 @@
+lib/apps/ziplist.ml: Bytes Int64 Memif

@@ -1,0 +1,1 @@
+lib/apps/ziplist.mli: Memif

@@ -1,0 +1,21 @@
+type t = {
+  eng : Sim.Engine.t;
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+  cv : Sim.Condvar.t;
+}
+
+let create eng ~parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
+  { eng; parties; arrived = 0; generation = 0; cv = Sim.Condvar.create eng }
+
+let wait t =
+  let gen = t.generation in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.arrived <- 0;
+    t.generation <- t.generation + 1;
+    Sim.Condvar.broadcast t.cv
+  end
+  else Sim.Condvar.wait_for t.cv (fun () -> t.generation <> gen)

@@ -1,0 +1,10 @@
+(** Generation-counting barrier for workload fibers (GAPBS-style
+    parallel loops). *)
+
+type t
+
+val create : Sim.Engine.t -> parties:int -> t
+
+val wait : t -> unit
+(** Block until all parties arrive; the barrier then resets for the
+    next phase. *)

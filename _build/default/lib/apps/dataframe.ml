@@ -1,0 +1,183 @@
+type t = {
+  mem : Memif.t;
+  n : int;
+  pickup_hour : int64; (* u8 *)
+  passenger_count : int64; (* u8, 1..6 *)
+  trip_distance : int64; (* f64 bits *)
+  fare : int64; (* f64 bits *)
+  duration_s : int64; (* u32 *)
+}
+
+let rows t = t.n
+
+let read_f64 mem addr = Int64.float_of_bits (mem.Memif.read_u64 addr)
+let write_f64 mem addr v = mem.Memif.write_u64 addr (Int64.bits_of_float v)
+
+(* Arithmetic cost of one row's worth of query work. *)
+let row_cost_ns = 2
+
+let create (ctx : Harness.ctx) ~rows ~seed =
+  let mem = ctx.Harness.mem ~core:0 in
+  let rng = Sim.Rng.create seed in
+  let t =
+    {
+      mem;
+      n = rows;
+      pickup_hour = mem.Memif.malloc rows;
+      passenger_count = mem.Memif.malloc rows;
+      trip_distance = mem.Memif.malloc (rows * 8);
+      fare = mem.Memif.malloc (rows * 8);
+      duration_s = mem.Memif.malloc (rows * 4);
+    }
+  in
+  for i = 0 to rows - 1 do
+    let off = Int64.of_int i in
+    (* Peak-hour-skewed pickups. *)
+    let hour =
+      if Sim.Rng.float rng < 0.4 then 7 + Sim.Rng.int rng 4
+      else Sim.Rng.int rng 24
+    in
+    mem.Memif.write_u8 (Int64.add t.pickup_hour off) hour;
+    mem.Memif.write_u8 (Int64.add t.passenger_count off) (1 + Sim.Rng.int rng 6);
+    (* Distances: mostly short, heavy tail. *)
+    let dist = -3.2 *. log (1. -. Sim.Rng.float rng) in
+    write_f64 mem (Int64.add t.trip_distance (Int64.of_int (i * 8))) dist;
+    let fare = 2.5 +. (dist *. 2.8) +. (Sim.Rng.float rng *. 3.) in
+    write_f64 mem (Int64.add t.fare (Int64.of_int (i * 8))) fare;
+    let dur = int_of_float ((dist /. 0.18) *. 60.) + Sim.Rng.int rng 300 in
+    t.mem.Memif.write_u32 (Int64.add t.duration_s (Int64.of_int (i * 4))) dur
+  done;
+  mem.Memif.flush ();
+  t
+
+let q_count_per_passenger t =
+  let counts = Array.make 7 0 in
+  for i = 0 to t.n - 1 do
+    let p = t.mem.Memif.read_u8 (Int64.add t.passenger_count (Int64.of_int i)) in
+    counts.(p) <- counts.(p) + 1;
+    t.mem.Memif.compute row_cost_ns
+  done;
+  Array.sub counts 1 6
+
+let q_avg_distance_per_hour t =
+  let sums = Array.make 24 0. and counts = Array.make 24 0 in
+  for i = 0 to t.n - 1 do
+    let h = t.mem.Memif.read_u8 (Int64.add t.pickup_hour (Int64.of_int i)) in
+    let d = read_f64 t.mem (Int64.add t.trip_distance (Int64.of_int (i * 8))) in
+    sums.(h) <- sums.(h) +. d;
+    counts.(h) <- counts.(h) + 1;
+    t.mem.Memif.compute row_cost_ns
+  done;
+  Array.mapi
+    (fun h s -> if counts.(h) = 0 then 0. else s /. float_of_int counts.(h))
+    sums
+
+let q_fare_stats t =
+  let sum = ref 0. and sumsq = ref 0. in
+  for i = 0 to t.n - 1 do
+    let f = read_f64 t.mem (Int64.add t.fare (Int64.of_int (i * 8))) in
+    sum := !sum +. f;
+    sumsq := !sumsq +. (f *. f);
+    t.mem.Memif.compute row_cost_ns
+  done;
+  let n = float_of_int t.n in
+  let mean = !sum /. n in
+  (mean, sqrt (Float.max 0. ((!sumsq /. n) -. (mean *. mean))))
+
+let q_long_trips t =
+  (* Filter + materialize: collect fares of trips longer than 30
+     minutes into a fresh column. *)
+  let out = t.mem.Memif.malloc (t.n * 8) in
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    let dur = t.mem.Memif.read_u32 (Int64.add t.duration_s (Int64.of_int (i * 4))) in
+    t.mem.Memif.compute row_cost_ns;
+    if dur > 1800 then begin
+      let f = t.mem.Memif.read_u64 (Int64.add t.fare (Int64.of_int (i * 8))) in
+      t.mem.Memif.write_u64 (Int64.add out (Int64.of_int (!count * 8))) f;
+      incr count
+    end
+  done;
+  t.mem.Memif.free out;
+  !count
+
+let q_sort_by_distance t =
+  (* C++ DataFrame sorts a materialized copy of the column: build
+     (distance, row) pairs in a fresh 16-byte-record column and
+     quicksort them in place. *)
+  let idx = t.mem.Memif.malloc (t.n * 16) in
+  for i = 0 to t.n - 1 do
+    let d = t.mem.Memif.read_u64 (Int64.add t.trip_distance (Int64.of_int (i * 8))) in
+    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (i * 16))) d;
+    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) i
+  done;
+  let key i = Int64.float_of_bits (t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (i * 16)))) in
+  let get i = t.mem.Memif.read_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) in
+  let swap i j =
+    let ka = t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (i * 16))) in
+    let va = get i in
+    let kb = t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (j * 16))) in
+    let vb = get j in
+    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (i * 16))) kb;
+    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) vb;
+    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (j * 16))) ka;
+    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((j * 16) + 8))) va
+  in
+  let rec qsort lo hi =
+    if hi - lo < 12 then
+      for i = lo + 1 to hi do
+        let j = ref i in
+        while !j > lo && key (!j - 1) > key !j do
+          swap (!j - 1) !j;
+          t.mem.Memif.compute row_cost_ns;
+          decr j
+        done
+      done
+    else begin
+      let pivot = key ((lo + hi) / 2) in
+      let l = ref lo and r = ref hi in
+      while !l <= !r do
+        while key !l < pivot do
+          t.mem.Memif.compute row_cost_ns;
+          incr l
+        done;
+        while key !r > pivot do
+          t.mem.Memif.compute row_cost_ns;
+          decr r
+        done;
+        if !l <= !r then begin
+          swap !l !r;
+          incr l;
+          decr r
+        end
+      done;
+      qsort lo !r;
+      qsort !l hi
+    end
+  in
+  if t.n > 1 then qsort 0 (t.n - 1);
+  let top = get (t.n - 1) in
+  t.mem.Memif.free idx;
+  top
+
+type result = { total_time : Sim.Time.t; per_query : (string * Sim.Time.t) list }
+
+let run_workload t =
+  let timed name f acc =
+    t.mem.Memif.flush ();
+    let t0 = t.mem.Memif.now () in
+    ignore (f ());
+    t.mem.Memif.flush ();
+    (name, Sim.Time.sub (t.mem.Memif.now ()) t0) :: acc
+  in
+  let t0 = t.mem.Memif.now () in
+  let per_query =
+    []
+    |> timed "groupby_passenger" (fun () -> q_count_per_passenger t)
+    |> timed "avg_distance_per_hour" (fun () -> q_avg_distance_per_hour t)
+    |> timed "fare_stats" (fun () -> q_fare_stats t)
+    |> timed "long_trips" (fun () -> q_long_trips t)
+    |> timed "sort_by_distance" (fun () -> q_sort_by_distance t)
+    |> List.rev
+  in
+  { total_time = Sim.Time.sub (t.mem.Memif.now ()) t0; per_query }

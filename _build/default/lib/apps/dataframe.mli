@@ -1,0 +1,40 @@
+(** Columnar DataFrame engine + NYC-taxi-style analytics (paper
+    Fig. 8).
+
+    A small but real column-store: typed columns in disaggregated
+    memory, scans, filters, group-bys, statistics and an index sort —
+    the operation mix of the C++ DataFrame NYC taxi notebook the paper
+    (and AIFM) evaluates. Data is synthetic with taxi-like
+    distributions, since the Kaggle data set is not available in this
+    environment. *)
+
+type t
+(** A taxi-trip table bound to one memory backend. *)
+
+val create : Harness.ctx -> rows:int -> seed:int -> t
+(** Generate and load the table (not part of the timed region). *)
+
+val rows : t -> int
+
+(** Individual queries; each returns a small sanity value. *)
+
+val q_count_per_passenger : t -> int array
+(** GroupBy(passenger_count).count() over 1..6 passengers. *)
+
+val q_avg_distance_per_hour : t -> float array
+(** Mean trip distance for each pickup hour (24 buckets). *)
+
+val q_fare_stats : t -> float * float
+(** (mean, stddev) of the fare column. *)
+
+val q_long_trips : t -> int
+(** Filter duration > 30 min, materialize their fares, return count. *)
+
+val q_sort_by_distance : t -> int
+(** Argsort by trip distance (gather-heavy); returns the index of the
+    longest trip. *)
+
+type result = { total_time : Sim.Time.t; per_query : (string * Sim.Time.t) list }
+
+val run_workload : t -> result
+(** The full notebook: all queries in sequence, timed. *)

@@ -1,0 +1,83 @@
+type t = {
+  mem : Memif.t;
+  buckets : int64;
+  mask : int;
+  mutable n : int;
+}
+
+let entry_size = 24
+
+let hash key =
+  (* FNV-1a, truncated to OCaml's 63-bit int. *)
+  let h = ref 0x3cbf29ce48422232 in
+  Bytes.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land max_int) key;
+  !h
+
+let create (mem : Memif.t) ~size_hint =
+  let rec pow2 v = if v >= size_hint then v else pow2 (v * 2) in
+  let size = pow2 16 in
+  let buckets = mem.Memif.malloc (size * 8) in
+  (* Bucket array starts zeroed (fresh pages read as zero). *)
+  { mem; buckets; mask = size - 1; n = 0 }
+
+let count t = t.n
+
+let bucket_addr t key = Int64.add t.buckets (Int64.of_int ((hash key land t.mask) * 8))
+
+let entry_next t e = t.mem.Memif.read_u64 e
+let entry_key t e = t.mem.Memif.read_u64 (Int64.add e 8L)
+let entry_value t e = t.mem.Memif.read_u64 (Int64.add e 16L)
+
+let key_equals t e key =
+  let kaddr = entry_key t e in
+  let klen = Sds.len t.mem kaddr in
+  if klen <> Bytes.length key then false
+  else begin
+    let b = Bytes.create klen in
+    t.mem.Memif.read_bytes (Sds.data_addr kaddr) b 0 klen;
+    Bytes.equal b key
+  end
+
+let find_entry t key =
+  let rec walk e =
+    if Int64.equal e 0L then None
+    else if key_equals t e key then Some e
+    else walk (entry_next t e)
+  in
+  walk (t.mem.Memif.read_u64 (bucket_addr t key))
+
+let insert t ~key ~value =
+  match find_entry t key with
+  | Some e -> t.mem.Memif.write_u64 (Int64.add e 16L) value
+  | None ->
+      let baddr = bucket_addr t key in
+      let head = t.mem.Memif.read_u64 baddr in
+      let e = t.mem.Memif.malloc entry_size in
+      let kaddr = Sds.create t.mem key in
+      t.mem.Memif.write_u64 e head;
+      t.mem.Memif.write_u64 (Int64.add e 8L) kaddr;
+      t.mem.Memif.write_u64 (Int64.add e 16L) value;
+      t.mem.Memif.write_u64 baddr e;
+      t.n <- t.n + 1
+
+let find t key =
+  match find_entry t key with Some e -> Some (entry_value t e) | None -> None
+
+let remove t key =
+  let baddr = bucket_addr t key in
+  let rec walk prev e =
+    if Int64.equal e 0L then None
+    else if key_equals t e key then begin
+      let next = entry_next t e in
+      (match prev with
+      | None -> t.mem.Memif.write_u64 baddr next
+      | Some p -> t.mem.Memif.write_u64 p next);
+      let v = entry_value t e in
+      Sds.free t.mem (entry_key t e);
+      t.mem.Memif.free e;
+      t.n <- t.n - 1;
+      Some v
+    end
+    else walk (Some e) (entry_next t e)
+  in
+  walk None (t.mem.Memif.read_u64 baddr)

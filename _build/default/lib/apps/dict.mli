@@ -1,0 +1,27 @@
+(** Redis's hash table (dict): chained buckets in disaggregated
+    memory.
+
+    Entry layout (24 bytes): [next:u64][key (SDS addr):u64][value
+    (robj addr):u64]. The bucket array is sized up front from the
+    expected keyspace (stand-in for incremental rehashing, noted in
+    DESIGN.md). *)
+
+type t
+
+val create : Memif.t -> size_hint:int -> t
+val count : t -> int
+
+val insert : t -> key:bytes -> value:int64 -> unit
+(** Stores [value] under [key] (creating the key SDS); replaces any
+    existing binding (the old value address is dropped — the caller
+    owns value lifetimes). *)
+
+val find : t -> bytes -> int64 option
+(** The stored value address. *)
+
+val remove : t -> bytes -> int64 option
+(** Unlink and free the entry and its key SDS; returns the value
+    address for the caller to free. *)
+
+val hash : bytes -> int
+(** SipHash stand-in (FNV-1a), exposed for tests. *)

@@ -1,0 +1,5 @@
+let run (ctx : Harness.ctx) =
+  match ctx.Harness.instance with
+  | Harness.I_dilos k -> Dilos.Kernel.quiesce k
+  | Harness.I_fastswap k -> Fastswap.Kernel.quiesce k
+  | Harness.I_aifm k -> Aifm.Runtime.quiesce k

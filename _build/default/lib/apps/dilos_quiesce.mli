@@ -1,0 +1,5 @@
+(** Wait for the backend's background machinery to settle (in-flight
+    write-backs on DiLOS); no-op on the baselines. Used by experiments
+    that measure per-phase bandwidth. *)
+
+val run : Harness.ctx -> unit

@@ -1,0 +1,208 @@
+type csr = { n : int; m : int; offsets : int64; edges : int64; out_deg : int64 }
+
+let edge_cost_ns = 1
+
+let u32 mem a = mem.Memif.read_u32 a
+let f64 mem a = Int64.float_of_bits (mem.Memif.read_u64 a)
+let set_f64 mem a v = mem.Memif.write_u64 a (Int64.bits_of_float v)
+let off32 base i = Int64.add base (Int64.of_int (i * 4))
+let off64 base i = Int64.add base (Int64.of_int (i * 8))
+
+let generate (ctx : Harness.ctx) ~n ~avg_deg ~seed =
+  let mem = ctx.Harness.mem ~core:0 in
+  let rng = Sim.Rng.create seed in
+  let m = n * avg_deg in
+  (* Host-side staging: group in-edges by destination. *)
+  let in_lists = Array.make n [] in
+  let out_deg_host = Array.make n 0 in
+  let skewed () =
+    (* Product of two uniforms concentrates mass near 0: a cheap
+       power-law-ish degree distribution. *)
+    let a = Sim.Rng.int rng n and b = Sim.Rng.int rng n in
+    a * b / n
+  in
+  for _ = 1 to m do
+    let src = Sim.Rng.int rng n in
+    let dst = skewed () in
+    in_lists.(dst) <- src :: in_lists.(dst);
+    out_deg_host.(src) <- out_deg_host.(src) + 1
+  done;
+  let offsets = mem.Memif.malloc ((n + 1) * 4) in
+  let edges = mem.Memif.malloc (Stdlib.max 4 (m * 4)) in
+  let out_deg = mem.Memif.malloc (n * 4) in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    mem.Memif.write_u32 (off32 offsets v) !pos;
+    let lst = in_lists.(v) in
+    let k = List.length lst in
+    if k > 0 then begin
+      let b = Bytes.create (k * 4) in
+      List.iteri (fun i u -> Bytes.set_int32_le b (i * 4) (Int32.of_int u)) lst;
+      mem.Memif.write_bytes (off32 edges !pos) b 0 (k * 4);
+      pos := !pos + k
+    end;
+    in_lists.(v) <- []
+  done;
+  mem.Memif.write_u32 (off32 offsets n) !pos;
+  for v = 0 to n - 1 do
+    mem.Memif.write_u32 (off32 out_deg v) out_deg_host.(v)
+  done;
+  mem.Memif.flush ();
+  { n; m = !pos; offsets; edges; out_deg }
+
+let run_threads eng n f =
+  let done_ = ref 0 in
+  let cv = Sim.Condvar.create eng in
+  for i = 0 to n - 1 do
+    Sim.Engine.spawn eng (fun () ->
+        f i;
+        incr done_;
+        Sim.Condvar.broadcast cv)
+  done;
+  Sim.Condvar.wait_for cv (fun () -> !done_ = n)
+
+type pr_result = { pr_time : Sim.Time.t; iterations : int; score_sum : float }
+
+let pagerank (ctx : Harness.ctx) g ~iters ~threads =
+  let mem0 = ctx.Harness.mem ~core:0 in
+  let n = g.n in
+  let scores = mem0.Memif.malloc (n * 8) in
+  let scores_next = mem0.Memif.malloc (n * 8) in
+  let init = 1. /. float_of_int n in
+  for v = 0 to n - 1 do
+    set_f64 mem0 (off64 scores v) init
+  done;
+  mem0.Memif.flush ();
+  let t0 = mem0.Memif.now () in
+  let damping = 0.85 in
+  let base = (1. -. damping) /. float_of_int n in
+  let cur = ref scores and nxt = ref scores_next in
+  let barrier = Barrier.create ctx.Harness.eng ~parties:threads in
+  let chunk = (n + threads - 1) / threads in
+  run_threads ctx.Harness.eng threads (fun tid ->
+      let mem = ctx.Harness.mem ~core:(tid mod ctx.Harness.cores) in
+      let lo = tid * chunk and hi = Stdlib.min n ((tid + 1) * chunk) - 1 in
+      for _ = 1 to iters do
+        let cur_a = !cur in
+        for v = lo to hi do
+          let s = u32 mem (off32 g.offsets v) in
+          let e = u32 mem (off32 g.offsets (v + 1)) in
+          let acc = ref 0. in
+          for ei = s to e - 1 do
+            let u = u32 mem (off32 g.edges ei) in
+            let deg = u32 mem (off32 g.out_deg u) in
+            if deg > 0 then
+              acc := !acc +. (f64 mem (off64 cur_a u) /. float_of_int deg);
+            mem.Memif.compute edge_cost_ns
+          done;
+          set_f64 mem (off64 !nxt v) (base +. (damping *. !acc))
+        done;
+        mem.Memif.flush ();
+        Barrier.wait barrier;
+        (* Thread 0 swaps the buffers for everyone. *)
+        if tid = 0 then begin
+          let tmp = !cur in
+          cur := !nxt;
+          nxt := tmp
+        end;
+        Barrier.wait barrier
+      done);
+  let sum = ref 0. in
+  for v = 0 to n - 1 do
+    sum := !sum +. f64 mem0 (off64 !cur v)
+  done;
+  let dt = Sim.Time.sub (mem0.Memif.now ()) t0 in
+  { pr_time = dt; iterations = iters; score_sum = !sum }
+
+type bc_result = { bc_time : Sim.Time.t; sources : int; max_centrality : float }
+
+let betweenness (ctx : Harness.ctx) g ~sources ~threads ~seed =
+  let mem0 = ctx.Harness.mem ~core:0 in
+  let n = g.n in
+  let centrality = mem0.Memif.malloc (n * 8) in
+  mem0.Memif.flush ();
+  let t0 = mem0.Memif.now () in
+  let rng = Sim.Rng.create seed in
+  let srcs = Array.init sources (fun _ -> Sim.Rng.int rng n) in
+  let next_src = ref 0 in
+  run_threads ctx.Harness.eng threads (fun tid ->
+      let mem = ctx.Harness.mem ~core:(tid mod ctx.Harness.cores) in
+      (* Per-thread working arrays, reused across sources. *)
+      let dist = mem.Memif.malloc (n * 4) in
+      let sigma = mem.Memif.malloc (n * 8) in
+      let delta = mem.Memif.malloc (n * 8) in
+      let order = mem.Memif.malloc (n * 4) in
+      let rec work () =
+        if !next_src < sources then begin
+          let s = srcs.(!next_src) in
+          incr next_src;
+          (* Init. *)
+          for v = 0 to n - 1 do
+            Memif.write_i32 mem (off32 dist v) (-1);
+            set_f64 mem (off64 sigma v) 0.;
+            set_f64 mem (off64 delta v) 0.
+          done;
+          Memif.write_i32 mem (off32 dist s) 0;
+          set_f64 mem (off64 sigma s) 1.;
+          mem.Memif.write_u32 (off32 order 0) s;
+          let head = ref 0 and tail = ref 1 in
+          (* Forward BFS, counting shortest paths. *)
+          while !head < !tail do
+            let v = u32 mem (off32 order !head) in
+            incr head;
+            let dv = Memif.read_i32 mem (off32 dist v) in
+            let sv = f64 mem (off64 sigma v) in
+            let s0 = u32 mem (off32 g.offsets v) in
+            let e0 = u32 mem (off32 g.offsets (v + 1)) in
+            for ei = s0 to e0 - 1 do
+              let w = u32 mem (off32 g.edges ei) in
+              mem.Memif.compute edge_cost_ns;
+              let dw = Memif.read_i32 mem (off32 dist w) in
+              if dw < 0 then begin
+                Memif.write_i32 mem (off32 dist w) (dv + 1);
+                mem.Memif.write_u32 (off32 order !tail) w;
+                incr tail;
+                set_f64 mem (off64 sigma w) sv
+              end
+              else if dw = dv + 1 then
+                set_f64 mem (off64 sigma w) (f64 mem (off64 sigma w) +. sv)
+            done
+          done;
+          (* Dependency accumulation in reverse BFS order. *)
+          for i = !tail - 1 downto 0 do
+            let v = u32 mem (off32 order i) in
+            let dv = Memif.read_i32 mem (off32 dist v) in
+            let sv = f64 mem (off64 sigma v) in
+            let acc = ref 0. in
+            let s0 = u32 mem (off32 g.offsets v) in
+            let e0 = u32 mem (off32 g.offsets (v + 1)) in
+            for ei = s0 to e0 - 1 do
+              let w = u32 mem (off32 g.edges ei) in
+              mem.Memif.compute edge_cost_ns;
+              if Memif.read_i32 mem (off32 dist w) = dv + 1 then begin
+                let sw = f64 mem (off64 sigma w) in
+                if sw > 0. then
+                  acc := !acc +. (sv /. sw *. (1. +. f64 mem (off64 delta w)))
+              end
+            done;
+            set_f64 mem (off64 delta v) !acc;
+            if v <> s then
+              set_f64 mem (off64 centrality v)
+                (f64 mem (off64 centrality v) +. !acc)
+          done;
+          work ()
+        end
+      in
+      work ();
+      mem.Memif.flush ();
+      mem.Memif.free dist;
+      mem.Memif.free sigma;
+      mem.Memif.free delta;
+      mem.Memif.free order);
+  let maxc = ref 0. in
+  for v = 0 to n - 1 do
+    let c = f64 mem0 (off64 centrality v) in
+    if c > !maxc then maxc := c
+  done;
+  let dt = Sim.Time.sub (mem0.Memif.now ()) t0 in
+  { bc_time = dt; sources; max_centrality = !maxc }

@@ -1,0 +1,36 @@
+(** GAPBS-style graph processing (paper Fig. 9).
+
+    CSR graphs in disaggregated memory, a power-law generator standing
+    in for the Twitter data set, and the two kernels the paper runs:
+    PageRank (mostly streaming with random score gathers) and
+    Brandes betweenness centrality (BFS + dependency accumulation —
+    "one more indirection through tables", the more random of the
+    two). Both kernels run on [threads] worker fibers. *)
+
+type csr = {
+  n : int;
+  m : int;
+  offsets : int64;  (** (n+1) u32 edge offsets *)
+  edges : int64;  (** m u32 destination ids *)
+  out_deg : int64;  (** n u32 out-degrees of the reverse graph *)
+}
+
+val generate : Harness.ctx -> n:int -> avg_deg:int -> seed:int -> csr
+(** Synthetic skewed-degree digraph; the CSR lists {e in}-edges so
+    PageRank can pull. *)
+
+type pr_result = {
+  pr_time : Sim.Time.t;
+  iterations : int;
+  score_sum : float;  (** should be ~1.0 *)
+}
+
+val pagerank : Harness.ctx -> csr -> iters:int -> threads:int -> pr_result
+
+type bc_result = {
+  bc_time : Sim.Time.t;
+  sources : int;
+  max_centrality : float;
+}
+
+val betweenness : Harness.ctx -> csr -> sources:int -> threads:int -> seed:int -> bc_result

@@ -1,0 +1,53 @@
+(** Experiment harness: boot a system, run a workload fiber, collect
+    results. *)
+
+type system =
+  | Dilos of Dilos.Kernel.prefetch_kind
+  | Dilos_guided of Dilos.Kernel.prefetch_kind  (** + allocator reclaim guide *)
+  | Dilos_tcp of Dilos.Kernel.prefetch_kind  (** TCP-emulation delay (§6.2) *)
+  | Fastswap
+  | Fastswap_no_ra  (** readahead disabled (ablation) *)
+  | Aifm  (** TCP backend, as compared in the paper *)
+  | Aifm_rdma
+
+val system_name : system -> string
+
+type instance =
+  | I_dilos of Dilos.Kernel.t
+  | I_fastswap of Fastswap.Kernel.t
+  | I_aifm of Aifm.Runtime.t
+
+type ctx = {
+  eng : Sim.Engine.t;
+  instance : instance;
+  stats : Sim.Stats.t;
+  bw : Rdma.Bandwidth.t;
+  mem : core:int -> Memif.t;
+  cores : int;
+}
+
+val memif_of_instance : instance -> core:int -> Memif.t
+
+type 'a result = {
+  value : 'a;
+  elapsed : Sim.Time.t;  (** simulated time the workload fiber took *)
+  run_stats : Sim.Stats.t;
+  rx_bytes : int;
+  tx_bytes : int;
+}
+
+val run :
+  system ->
+  local_mem:int ->
+  ?cores:int ->
+  ?remote_size:int64 ->
+  ?bw_bucket:Sim.Time.t ->
+  (ctx -> 'a) ->
+  'a result
+(** Boot the system on a fresh engine, run the workload in a fiber,
+    shut down, and report. [elapsed] excludes boot. *)
+
+val set_redis_guide : ctx -> Dilos.Guide.prefetch_guide -> unit
+(** Install an app-aware prefetch guide if (and only if) the instance
+    is DiLOS; silently ignored on baselines, which cannot host
+    guides. *)

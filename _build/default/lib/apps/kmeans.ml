@@ -1,0 +1,115 @@
+type result = {
+  n : int;
+  k : int;
+  iterations : int;
+  cluster_time : Sim.Time.t;
+  inertia : float;
+}
+
+(* Arithmetic per distance-matrix cell. *)
+let cell_cost_ns = 1
+
+(* scikit-learn computes distances in chunks, materializing chunk x k
+   distance matrices (pairwise_distances_chunked); with the Python
+   GC's lag several chunk buffers are alive at once. That allocation
+   churn produces the dirty-page pressure the paper credits for
+   k-means "stressing the slow page reclamation" (Fig. 7(b)). *)
+let chunk_points = 2048
+let gc_lag = 8
+
+let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
+  let mem = ctx.Harness.mem ~core:0 in
+  let rng = Sim.Rng.create seed in
+  let points = mem.Memif.malloc (n * 4) in
+  let labels = mem.Memif.malloc n in
+  let paddr i = Int64.add points (Int64.of_int (i * 4)) in
+  for i = 0 to n - 1 do
+    Memif.write_i32 mem (paddr i) (Sim.Rng.int rng 1_000_000)
+  done;
+  mem.Memif.flush ();
+  let t0 = mem.Memif.now () in
+  (* k-means++-flavoured seeding: random probes across the data set
+     (the irregular phase). *)
+  let centroids = Array.make k 0. in
+  centroids.(0) <- float_of_int (Memif.read_i32 mem (paddr (Sim.Rng.int rng n)));
+  for c = 1 to k - 1 do
+    let best = ref neg_infinity and best_p = ref 0 in
+    for _ = 1 to 64 do
+      let p = Sim.Rng.int rng n in
+      let v = float_of_int (Memif.read_i32 mem (paddr p)) in
+      let d =
+        Array.fold_left
+          (fun acc cv -> Float.min acc (Float.abs (v -. cv)))
+          infinity
+          (Array.sub centroids 0 c)
+      in
+      mem.Memif.compute (c * cell_cost_ns);
+      if d > !best then begin
+        best := d;
+        best_p := p
+      end
+    done;
+    centroids.(c) <- float_of_int (Memif.read_i32 mem (paddr !best_p))
+  done;
+  (* Lloyd iterations with chunked distance matrices. *)
+  let inertia = ref 0. in
+  let gc_ring = Array.make gc_lag 0L in
+  let gc_pos = ref 0 in
+  let alloc_chunk_buf len =
+    let old = gc_ring.(!gc_pos) in
+    if not (Int64.equal old 0L) then mem.Memif.free old;
+    let b = mem.Memif.malloc len in
+    gc_ring.(!gc_pos) <- b;
+    gc_pos := (!gc_pos + 1) mod gc_lag;
+    b
+  in
+  for _iter = 1 to iters do
+    let sums = Array.make k 0. and counts = Array.make k 0 in
+    inertia := 0.;
+    let base = ref 0 in
+    while !base < n do
+      let m = Stdlib.min chunk_points (n - !base) in
+      let dist = alloc_chunk_buf (m * k * 8) in
+      (* Pass 1: materialize the chunk's distance matrix. *)
+      for i = 0 to m - 1 do
+        let v = float_of_int (Memif.read_i32 mem (paddr (!base + i))) in
+        for c = 0 to k - 1 do
+          let d = Float.abs (v -. centroids.(c)) in
+          mem.Memif.write_u64
+            (Int64.add dist (Int64.of_int (((i * k) + c) * 8)))
+            (Int64.bits_of_float d);
+          mem.Memif.compute cell_cost_ns
+        done
+      done;
+      (* Pass 2: argmin over the matrix, update labels and sums. *)
+      for i = 0 to m - 1 do
+        let best = ref 0 and best_d = ref infinity in
+        for c = 0 to k - 1 do
+          let d =
+            Int64.float_of_bits
+              (mem.Memif.read_u64
+                 (Int64.add dist (Int64.of_int (((i * k) + c) * 8))))
+          in
+          if d < !best_d then begin
+            best_d := d;
+            best := c
+          end
+        done;
+        mem.Memif.write_u8 (Int64.add labels (Int64.of_int (!base + i))) !best;
+        let v = float_of_int (Memif.read_i32 mem (paddr (!base + i))) in
+        sums.(!best) <- sums.(!best) +. v;
+        counts.(!best) <- counts.(!best) + 1;
+        inertia := !inertia +. (!best_d *. !best_d)
+      done;
+      base := !base + m
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then centroids.(c) <- sums.(c) /. float_of_int counts.(c)
+    done
+  done;
+  mem.Memif.flush ();
+  let cluster_time = Sim.Time.sub (mem.Memif.now ()) t0 in
+  Array.iter (fun b -> if not (Int64.equal b 0L) then mem.Memif.free b) gc_ring;
+  mem.Memif.free points;
+  mem.Memif.free labels;
+  { n; k; iterations = iters; cluster_time; inertia = !inertia }

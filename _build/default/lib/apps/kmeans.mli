@@ -1,0 +1,17 @@
+(** K-means clustering workload (paper Fig. 7(b)).
+
+    Scikit-learn-style Lloyd iterations over random integer points:
+    k-means++ seeding (random probing over the data set — the
+    irregular access the paper highlights), then alternating
+    assignment scans and centroid updates, with a label vector and a
+    per-chunk distance buffer that churn dirty pages. *)
+
+type result = {
+  n : int;
+  k : int;
+  iterations : int;
+  cluster_time : Sim.Time.t;
+  inertia : float;  (** final sum of squared distances (sanity metric) *)
+}
+
+val run : Harness.ctx -> n:int -> k:int -> iters:int -> seed:int -> result

@@ -1,0 +1,13 @@
+(** Quicksort workload (paper Fig. 7(a)).
+
+    Allocates a vector of random 32-bit integers in disaggregated
+    memory and sorts it in place with an introspective quicksort
+    (median-of-three pivots, insertion sort below a cutoff) — the
+    access pattern of C++ [std::sort] the paper runs. *)
+
+type result = { n : int; sort_time : Sim.Time.t; checked : bool }
+
+val run : Harness.ctx -> n:int -> seed:int -> result
+(** Completion time covers the sort only (allocation and population
+    excluded, as in the paper's measurement). [checked] is the result
+    of a full order verification done after timing. *)

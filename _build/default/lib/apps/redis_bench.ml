@@ -1,0 +1,145 @@
+type value_size = Fixed of int | Fb_mixed
+
+let fb_sizes = [| 4096; 8192; 16384; 32768; 65536; 131072 |]
+
+let sample_size rng = function
+  | Fixed n -> n
+  | Fb_mixed -> Sim.Rng.pick rng fb_sizes
+
+type result = {
+  requests : int;
+  time : Sim.Time.t;
+  throughput_rps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+}
+
+let key_of i = Bytes.of_string (Printf.sprintf "key:%010d" i)
+
+let result_of_hist ~requests ~time h =
+  let q p = float_of_int (Sim.Histogram.quantile h p) /. 1_000. in
+  {
+    requests;
+    time;
+    throughput_rps = float_of_int requests /. Sim.Time.to_s time;
+    p50_us = q 0.5;
+    p99_us = q 0.99;
+    p999_us = q 0.999;
+  }
+
+let run_get (ctx : Harness.ctx) ~keys ~size ~queries ~seed =
+  let rds = Redis.create ctx ~keyspace_hint:keys in
+  let m = Redis.mem rds in
+  let rng = Sim.Rng.create seed in
+  let payload_rng = Sim.Rng.create (seed + 1) in
+  for i = 0 to keys - 1 do
+    let n = sample_size rng size in
+    let v = Bytes.create n in
+    (* Fill sparsely: pattern at page boundaries is enough to verify
+       integrity without massive host-side RNG work. *)
+    Bytes.fill v 0 n (Char.chr (i land 0x7F));
+    Bytes.set_int64_le v 0 (Int64.of_int i);
+    ignore payload_rng;
+    Redis.set rds ~key:(key_of i) ~value:v
+  done;
+  m.Memif.flush ();
+  let h = Sim.Histogram.create () in
+  let t0 = m.Memif.now () in
+  for _ = 1 to queries do
+    let i = Sim.Rng.int rng keys in
+    let r0 = m.Memif.now () in
+    (match Redis.get rds (key_of i) with
+    | Some v -> assert (Int64.to_int (Bytes.get_int64_le v 0) = i)
+    | None -> assert false);
+    m.Memif.flush ();
+    Sim.Histogram.add h (Int64.to_int (Sim.Time.sub (m.Memif.now ()) r0))
+  done;
+  let time = Sim.Time.sub (m.Memif.now ()) t0 in
+  result_of_hist ~requests:queries ~time h
+
+let run_lrange (ctx : Harness.ctx) ~lists ~elements ~elem_size ~queries ~range
+    ~seed =
+  let rds = Redis.create ctx ~keyspace_hint:lists in
+  let m = Redis.mem rds in
+  let rng = Sim.Rng.create seed in
+  let elem = Bytes.make elem_size 'x' in
+  for i = 0 to elements - 1 do
+    let l = Sim.Rng.int rng lists in
+    Bytes.set_int64_le elem 0 (Int64.of_int i);
+    Redis.rpush rds ~key:(key_of l) elem
+  done;
+  m.Memif.flush ();
+  let h = Sim.Histogram.create () in
+  let t0 = m.Memif.now () in
+  for _ = 1 to queries do
+    let l = Sim.Rng.int rng lists in
+    let r0 = m.Memif.now () in
+    let got = Redis.lrange rds ~key:(key_of l) ~count:range in
+    ignore got;
+    m.Memif.flush ();
+    Sim.Histogram.add h (Int64.to_int (Sim.Time.sub (m.Memif.now ()) r0))
+  done;
+  let time = Sim.Time.sub (m.Memif.now ()) t0 in
+  result_of_hist ~requests:queries ~time h
+
+type bandwidth_result = {
+  del_rx_mb : float;
+  del_tx_mb : float;
+  get_rx_mb : float;
+  get_tx_mb : float;
+  series : (Sim.Time.t * int * int) list;
+  del_boundary : Sim.Time.t;
+}
+
+let mb x = float_of_int x /. 1e6
+
+let run_del_get_bandwidth (ctx : Harness.ctx) ~keys ~value_bytes ~del_fraction
+    ~seed =
+  let rds = Redis.create ctx ~keyspace_hint:keys in
+  let m = Redis.mem rds in
+  let rng = Sim.Rng.create seed in
+  let v = Bytes.make value_bytes 'v' in
+  for i = 0 to keys - 1 do
+    Bytes.set_int64_le v 0 (Int64.of_int i);
+    Redis.set rds ~key:(key_of i) ~value:v
+  done;
+  m.Memif.flush ();
+  let bw = ctx.Harness.bw in
+  Rdma.Bandwidth.reset bw;
+  (* DEL phase: remove a random subset, leaving holes in pages. *)
+  let alive = Array.make keys true in
+  let to_del = int_of_float (float_of_int keys *. del_fraction) in
+  let deleted = ref 0 in
+  while !deleted < to_del do
+    let i = Sim.Rng.int rng keys in
+    if alive.(i) then begin
+      alive.(i) <- false;
+      ignore (Redis.del rds (key_of i));
+      incr deleted
+    end
+  done;
+  m.Memif.flush ();
+  Dilos_quiesce.run ctx;
+  let del_rx = Rdma.Bandwidth.total bw Rdma.Bandwidth.Rx in
+  let del_tx = Rdma.Bandwidth.total bw Rdma.Bandwidth.Tx in
+  let del_boundary = m.Memif.now () in
+  (* GET phase: read back every survivor (random order). *)
+  let order = Array.init keys Fun.id in
+  Sim.Rng.shuffle rng order;
+  Array.iter
+    (fun i ->
+      if alive.(i) then
+        match Redis.get rds (key_of i) with
+        | Some b -> assert (Int64.to_int (Bytes.get_int64_le b 0) = i)
+        | None -> assert false)
+    order;
+  m.Memif.flush ();
+  {
+    del_rx_mb = mb del_rx;
+    del_tx_mb = mb del_tx;
+    get_rx_mb = mb (Rdma.Bandwidth.total bw Rdma.Bandwidth.Rx - del_rx);
+    get_tx_mb = mb (Rdma.Bandwidth.total bw Rdma.Bandwidth.Tx - del_tx);
+    series = Rdma.Bandwidth.series bw;
+    del_boundary;
+  }

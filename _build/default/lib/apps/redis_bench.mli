@@ -1,0 +1,56 @@
+(** redis-benchmark-style drivers (paper §6.2–6.3, Figs. 10 and 12,
+    Table 4).
+
+    GET workloads populate the full keyspace with fixed-size or
+    Facebook-photo-mixed values, then issue random GETs; the LRANGE
+    workload populates many separate lists (the paper's modification
+    of vanilla redis-benchmark) and queries their first elements.
+    Per-request latencies go into a histogram for the tail-latency
+    table. *)
+
+type value_size = Fixed of int | Fb_mixed
+(** [Fb_mixed]: 4/8/16/32/64/128 KiB equally distributed — "data sizes
+    of more than 80% of objects in Facebook's photo server". *)
+
+val sample_size : Sim.Rng.t -> value_size -> int
+
+type result = {
+  requests : int;
+  time : Sim.Time.t;
+  throughput_rps : float;
+  p50_us : float;
+  p99_us : float;
+  p999_us : float;
+}
+
+val run_get :
+  Harness.ctx -> keys:int -> size:value_size -> queries:int -> seed:int -> result
+(** SET the whole keyspace, then GET random keys. Timed region covers
+    the GETs only. *)
+
+val run_lrange :
+  Harness.ctx ->
+  lists:int ->
+  elements:int ->
+  elem_size:int ->
+  queries:int ->
+  range:int ->
+  seed:int ->
+  result
+(** Populate [lists] quicklists by pushing [elements] elements to
+    random lists, then run LRANGE_[range] on random lists. *)
+
+type bandwidth_result = {
+  del_rx_mb : float;
+  del_tx_mb : float;
+  get_rx_mb : float;
+  get_tx_mb : float;
+  series : (Sim.Time.t * int * int) list;
+  del_boundary : Sim.Time.t;  (** when the DEL phase ended *)
+}
+
+val run_del_get_bandwidth :
+  Harness.ctx -> keys:int -> value_bytes:int -> del_fraction:float -> seed:int ->
+  bandwidth_result
+(** Fig. 12: populate, DEL a random fraction, then GET every surviving
+    key; report bandwidth per phase and the time series. *)

@@ -1,0 +1,24 @@
+(** Simple Dynamic Strings (Redis's string representation).
+
+    Layout in disaggregated memory:
+    {[ [len:u32][alloc:u32][bytes...][NUL] ]}
+    The header-then-data shape is what the paper's app-aware GET
+    prefetcher exploits: a subpage fetch of the first 8 bytes yields
+    the length, which tells the prefetcher exactly how many pages the
+    value spans (§6.3). *)
+
+val header_size : int
+(** 8 bytes. *)
+
+val create : Memif.t -> bytes -> int64
+(** Allocate and fill; returns the SDS base address. *)
+
+val len : Memif.t -> int64 -> int
+val data_addr : int64 -> int64
+val get : Memif.t -> int64 -> bytes
+(** Read the whole string (header + payload traffic). *)
+
+val total_size : int -> int
+(** Allocation footprint of a payload of the given length. *)
+
+val free : Memif.t -> int64 -> unit

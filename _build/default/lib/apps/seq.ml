@@ -1,0 +1,34 @@
+type mode = Read | Write
+
+type result = { bytes : int; phase_time : Sim.Time.t; gbps : float }
+
+let page = Vmem.Addr.page_size
+
+let run (ctx : Harness.ctx) ~size_bytes ~mode =
+  let mem = ctx.Harness.mem ~core:0 in
+  let n_pages = size_bytes / page in
+  let base = mem.Memif.malloc size_bytes in
+  (* Populate. *)
+  for i = 0 to n_pages - 1 do
+    mem.Memif.write_u64 (Int64.add base (Int64.of_int (i * page))) (Int64.of_int i)
+  done;
+  mem.Memif.flush ();
+  let t0 = mem.Memif.now () in
+  (match mode with
+  | Read ->
+      for i = 0 to n_pages - 1 do
+        let v = mem.Memif.read_u64 (Int64.add base (Int64.of_int (i * page))) in
+        assert (Int64.equal v (Int64.of_int i))
+      done
+  | Write ->
+      for i = 0 to n_pages - 1 do
+        mem.Memif.write_u64
+          (Int64.add base (Int64.of_int (i * page)))
+          (Int64.of_int (i * 2))
+      done);
+  mem.Memif.flush ();
+  let phase_time = Sim.Time.sub (mem.Memif.now ()) t0 in
+  let gbps =
+    float_of_int size_bytes /. (Sim.Time.to_s phase_time *. 1e9)
+  in
+  { bytes = size_bytes; phase_time; gbps }

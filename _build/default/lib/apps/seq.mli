@@ -1,0 +1,16 @@
+(** Sequential read/write microbenchmark (paper §6.1).
+
+    Allocates and populates a region, then reads or writes it with
+    4 KiB strides; only the second phase is timed. Regenerates
+    Table 2 (throughput), Figure 6 / Figure 1 (fault latency
+    breakdown phases), and Tables 1 and 3 (fault counts). *)
+
+type mode = Read | Write
+
+type result = {
+  bytes : int;
+  phase_time : Sim.Time.t;
+  gbps : float;  (** timed-phase throughput in GB/s *)
+}
+
+val run : Harness.ctx -> size_bytes:int -> mode:mode -> result

@@ -1,0 +1,266 @@
+(* Token stream, per 32 KiB block:
+     0x00 len:u16 <len literal bytes>
+     0x01 len:u16 dist:u16          (copy len bytes from dist back)
+   Framing: [orig_len:u32][comp_len:u32][tokens] per block, then a
+   terminating block with orig_len = 0. *)
+
+let block_size = 32 * 1024
+let min_match = 4
+let hash_bits = 13
+let hash_size = 1 lsl hash_bits
+
+let hash4 b i =
+  let v =
+    Char.code (Bytes.get b i)
+    lor (Char.code (Bytes.get b (i + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (i + 2)) lsl 16)
+    lor (Char.code (Bytes.get b (i + 3)) lsl 24)
+  in
+  (v * 0x9E3779B1) lsr (31 - hash_bits) land (hash_size - 1)
+
+let compress_block src slen dst doff0 =
+  let table = Array.make hash_size (-1) in
+  let doff = ref doff0 in
+  let emit_literals lo hi =
+    (* [lo, hi) literal range, chunked to u16. *)
+    let pos = ref lo in
+    while !pos < hi do
+      let n = Stdlib.min (hi - !pos) 0xFFFF in
+      Bytes.set dst !doff '\000';
+      Bytes.set_uint16_le dst (!doff + 1) n;
+      Bytes.blit src !pos dst (!doff + 3) n;
+      doff := !doff + 3 + n;
+      pos := !pos + n
+    done
+  in
+  let lit_start = ref 0 in
+  let i = ref 0 in
+  while !i + min_match <= slen do
+    let h = hash4 src !i in
+    let cand = table.(h) in
+    table.(h) <- !i;
+    if
+      cand >= 0
+      && !i - cand <= 0xFFFF
+      && Bytes.get src cand = Bytes.get src !i
+      && Bytes.get src (cand + 1) = Bytes.get src (!i + 1)
+      && Bytes.get src (cand + 2) = Bytes.get src (!i + 2)
+      && Bytes.get src (cand + 3) = Bytes.get src (!i + 3)
+    then begin
+      (* Extend the match. *)
+      let m = ref min_match in
+      while
+        !i + !m < slen
+        && !m < 0xFFFF
+        && Bytes.get src (cand + !m) = Bytes.get src (!i + !m)
+      do
+        incr m
+      done;
+      emit_literals !lit_start !i;
+      Bytes.set dst !doff '\001';
+      Bytes.set_uint16_le dst (!doff + 1) !m;
+      Bytes.set_uint16_le dst (!doff + 3) (!i - cand);
+      doff := !doff + 5;
+      i := !i + !m;
+      lit_start := !i
+    end
+    else incr i
+  done;
+  emit_literals !lit_start slen;
+  !doff - doff0
+
+let decompress_block src soff slen dst doff0 =
+  let s = ref soff and d = ref doff0 in
+  let stop = soff + slen in
+  while !s < stop do
+    match Bytes.get src !s with
+    | '\000' ->
+        let n = Bytes.get_uint16_le src (!s + 1) in
+        Bytes.blit src (!s + 3) dst !d n;
+        s := !s + 3 + n;
+        d := !d + n
+    | '\001' ->
+        let n = Bytes.get_uint16_le src (!s + 1) in
+        let dist = Bytes.get_uint16_le src (!s + 3) in
+        if dist = 0 || dist > !d - doff0 then
+          invalid_arg "Snappy: corrupt copy token";
+        (* Byte-by-byte: copies may overlap (RLE-style). *)
+        for k = 0 to n - 1 do
+          Bytes.set dst (!d + k) (Bytes.get dst (!d + k - dist))
+        done;
+        s := !s + 5;
+        d := !d + n
+    | _ -> invalid_arg "Snappy: corrupt token tag"
+  done;
+  !d - doff0
+
+let max_compressed_len n = n + (n / 0xFFFF * 3) + 16
+
+let compress_bytes src =
+  let n = Bytes.length src in
+  let out = Buffer.create (n / 2) in
+  let pos = ref 0 in
+  let tmp = Bytes.create (max_compressed_len block_size) in
+  while !pos < n do
+    let blen = Stdlib.min block_size (n - !pos) in
+    let block = Bytes.sub src !pos blen in
+    let clen = compress_block block blen tmp 0 in
+    let hdr = Bytes.create 8 in
+    Bytes.set_int32_le hdr 0 (Int32.of_int blen);
+    Bytes.set_int32_le hdr 4 (Int32.of_int clen);
+    Buffer.add_bytes out hdr;
+    Buffer.add_subbytes out tmp 0 clen;
+    pos := !pos + blen
+  done;
+  let hdr = Bytes.make 8 '\000' in
+  Buffer.add_bytes out hdr;
+  Buffer.to_bytes out
+
+let decompress_bytes src =
+  let out = Buffer.create (Bytes.length src * 2) in
+  let pos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if !pos + 8 > Bytes.length src then invalid_arg "Snappy: truncated stream";
+    let blen = Int32.to_int (Bytes.get_int32_le src !pos) in
+    let clen = Int32.to_int (Bytes.get_int32_le src (!pos + 4)) in
+    pos := !pos + 8;
+    if blen = 0 then continue_ := false
+    else begin
+      let block = Bytes.create blen in
+      let n = decompress_block src !pos clen block 0 in
+      if n <> blen then invalid_arg "Snappy: block length mismatch";
+      Buffer.add_bytes out block;
+      pos := !pos + clen
+    end
+  done;
+  Buffer.to_bytes out
+
+(* ------------------------------------------------------------------ *)
+(* Streaming over disaggregated memory                                 *)
+
+let compress_cost_ns_per_byte = 2
+let decompress_cost_ns_per_byte = 1
+
+let compress (ctx : Harness.ctx) ~src ~len ~dst =
+  let mem = ctx.Harness.mem ~core:0 in
+  let inbuf = Bytes.create block_size in
+  let outbuf = Bytes.create (max_compressed_len block_size + 8) in
+  let pos = ref 0 and dpos = ref 0 in
+  while !pos < len do
+    let blen = Stdlib.min block_size (len - !pos) in
+    mem.Memif.read_bytes (Int64.add src (Int64.of_int !pos)) inbuf 0 blen;
+    let clen = compress_block inbuf blen outbuf 8 in
+    Bytes.set_int32_le outbuf 0 (Int32.of_int blen);
+    Bytes.set_int32_le outbuf 4 (Int32.of_int clen);
+    mem.Memif.compute (blen * compress_cost_ns_per_byte);
+    mem.Memif.write_bytes (Int64.add dst (Int64.of_int !dpos)) outbuf 0 (clen + 8);
+    pos := !pos + blen;
+    dpos := !dpos + clen + 8
+  done;
+  Bytes.fill outbuf 0 8 '\000';
+  mem.Memif.write_bytes (Int64.add dst (Int64.of_int !dpos)) outbuf 0 8;
+  !dpos + 8
+
+let decompress (ctx : Harness.ctx) ~src ~dst =
+  let mem = ctx.Harness.mem ~core:0 in
+  let hdr = Bytes.create 8 in
+  let cbuf = Bytes.create (max_compressed_len block_size) in
+  let obuf = Bytes.create block_size in
+  let pos = ref 0 and dpos = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    mem.Memif.read_bytes (Int64.add src (Int64.of_int !pos)) hdr 0 8;
+    let blen = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    let clen = Int32.to_int (Bytes.get_int32_le hdr 4) in
+    pos := !pos + 8;
+    if blen = 0 then continue_ := false
+    else begin
+      mem.Memif.read_bytes (Int64.add src (Int64.of_int !pos)) cbuf 0 clen;
+      let n = decompress_block cbuf 0 clen obuf 0 in
+      if n <> blen then invalid_arg "Snappy: block length mismatch";
+      mem.Memif.compute (blen * decompress_cost_ns_per_byte);
+      mem.Memif.write_bytes (Int64.add dst (Int64.of_int !dpos)) obuf 0 blen;
+      pos := !pos + clen;
+      dpos := !dpos + blen
+    end
+  done;
+  !dpos
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+
+type result = { input_bytes : int; output_bytes : int; time : Sim.Time.t }
+
+let phrases =
+  [|
+    "the quick brown fox jumps over the lazy dog ";
+    "pack my box with five dozen liquor jugs ";
+    "disaggregated memory with paging keeps compatibility ";
+    "0000000000000000";
+    "ABABABABABABAB";
+  |]
+
+let generate rng n =
+  let b = Buffer.create n in
+  while Buffer.length b < n do
+    if Sim.Rng.float rng < 0.7 then Buffer.add_string b (Sim.Rng.pick rng phrases)
+    else
+      for _ = 1 to 16 do
+        Buffer.add_char b (Char.chr (Sim.Rng.int rng 256))
+      done
+  done;
+  Bytes.sub (Buffer.to_bytes b) 0 n
+
+let prepare_file (ctx : Harness.ctx) rng ~file_bytes =
+  let mem = ctx.Harness.mem ~core:0 in
+  let src = mem.Memif.malloc file_bytes in
+  let data = generate rng file_bytes in
+  mem.Memif.write_bytes src data 0 file_bytes;
+  src
+
+let run_compress ctx ~files ~file_bytes ~seed =
+  let mem = ctx.Harness.mem ~core:0 in
+  let rng = Sim.Rng.create seed in
+  let srcs = Array.init files (fun _ -> prepare_file ctx rng ~file_bytes) in
+  let dsts =
+    Array.init files (fun _ -> mem.Memif.malloc (max_compressed_len file_bytes))
+  in
+  mem.Memif.flush ();
+  let t0 = mem.Memif.now () in
+  let out = ref 0 in
+  Array.iteri
+    (fun i src -> out := !out + compress ctx ~src ~len:file_bytes ~dst:dsts.(i))
+    srcs;
+  mem.Memif.flush ();
+  {
+    input_bytes = files * file_bytes;
+    output_bytes = !out;
+    time = Sim.Time.sub (mem.Memif.now ()) t0;
+  }
+
+let run_decompress ctx ~files ~file_bytes ~seed =
+  let mem = ctx.Harness.mem ~core:0 in
+  let rng = Sim.Rng.create seed in
+  (* Build compressed inputs first. *)
+  let comp =
+    Array.init files (fun _ ->
+        let src = prepare_file ctx rng ~file_bytes in
+        let dst = mem.Memif.malloc (max_compressed_len file_bytes) in
+        let clen = compress ctx ~src ~len:file_bytes ~dst in
+        mem.Memif.free src;
+        (dst, clen))
+  in
+  let outs = Array.init files (fun _ -> mem.Memif.malloc file_bytes) in
+  mem.Memif.flush ();
+  let t0 = mem.Memif.now () in
+  let total = ref 0 in
+  Array.iteri
+    (fun i (src, _) -> total := !total + decompress ctx ~src ~dst:outs.(i))
+    comp;
+  mem.Memif.flush ();
+  {
+    input_bytes = Array.fold_left (fun a (_, c) -> a + c) 0 comp;
+    output_bytes = !total;
+    time = Sim.Time.sub (mem.Memif.now ()) t0;
+  }

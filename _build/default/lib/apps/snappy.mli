@@ -1,0 +1,37 @@
+(** Snappy-style block compression workload (paper Figs. 7(c), 7(d)).
+
+    A real byte-oriented LZ77 codec (greedy hash-table matcher,
+    literal/copy tokens, 32 KiB blocks) whose input and output streams
+    live in disaggregated memory — giving the sequential access
+    pattern the paper's snappy experiment exercises. The pure
+    [compress_bytes]/[decompress_bytes] pair is exposed for
+    correctness tests. *)
+
+val compress_bytes : bytes -> bytes
+val decompress_bytes : bytes -> bytes
+(** Inverse of {!compress_bytes}. @raise Invalid_argument on corrupt
+    input. *)
+
+val compress : Harness.ctx -> src:int64 -> len:int -> dst:int64 -> int
+(** Compress [len] bytes of simulated memory at [src] into [dst]
+    (which must have room for [len + len/256 + 16] bytes); returns the
+    compressed length. *)
+
+val decompress : Harness.ctx -> src:int64 -> dst:int64 -> int
+(** Decompress a {!compress} stream; returns the output length. *)
+
+type result = {
+  input_bytes : int;
+  output_bytes : int;
+  time : Sim.Time.t;
+}
+
+val run_compress : Harness.ctx -> files:int -> file_bytes:int -> seed:int -> result
+(** The paper's workload shape: compress [files] in-memory files one
+    after another (timed; data generation excluded). *)
+
+val run_decompress :
+  Harness.ctx -> files:int -> file_bytes:int -> seed:int -> result
+
+val generate : Sim.Rng.t -> int -> bytes
+(** Semi-compressible test data (text fragments + noise), ~2:1. *)

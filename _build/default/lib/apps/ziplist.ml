@@ -1,0 +1,58 @@
+type t = int64
+
+(* [zlbytes:u32][count:u16][pad:u16][cap:u32] *)
+let header_size = 12
+
+let create (mem : Memif.t) ~capacity =
+  let base = mem.Memif.malloc (header_size + capacity) in
+  mem.Memif.write_u32 base header_size;
+  mem.Memif.write_u16 (Int64.add base 4L) 0;
+  mem.Memif.write_u16 (Int64.add base 6L) 0;
+  mem.Memif.write_u32 (Int64.add base 8L) (header_size + capacity);
+  base
+
+let used_bytes (mem : Memif.t) t = mem.Memif.read_u32 t
+let length (mem : Memif.t) t = mem.Memif.read_u16 (Int64.add t 4L)
+let capacity_bytes t (mem : Memif.t) = mem.Memif.read_u32 (Int64.add t 8L)
+
+let try_append (mem : Memif.t) t entry =
+  let n = Bytes.length entry in
+  if n > 0xFFFF then invalid_arg "Ziplist: entry too large";
+  let used = used_bytes mem t in
+  let cap = capacity_bytes t mem in
+  if used + 2 + n > cap then false
+  else begin
+    let at = Int64.add t (Int64.of_int used) in
+    mem.Memif.write_u16 at n;
+    mem.Memif.write_bytes (Int64.add at 2L) entry 0 n;
+    mem.Memif.write_u32 t (used + 2 + n);
+    mem.Memif.write_u16 (Int64.add t 4L) (length mem t + 1);
+    true
+  end
+
+let iter (mem : Memif.t) t f =
+  let count = length mem t in
+  let pos = ref (Int64.add t (Int64.of_int header_size)) in
+  for _ = 1 to count do
+    let n = mem.Memif.read_u16 !pos in
+    let b = Bytes.create n in
+    mem.Memif.read_bytes (Int64.add !pos 2L) b 0 n;
+    f b;
+    pos := Int64.add !pos (Int64.of_int (2 + n))
+  done
+
+let nth (mem : Memif.t) t i =
+  if i < 0 || i >= length mem t then None
+  else begin
+    let pos = ref (Int64.add t (Int64.of_int header_size)) in
+    for _ = 1 to i do
+      let n = mem.Memif.read_u16 !pos in
+      pos := Int64.add !pos (Int64.of_int (2 + n))
+    done;
+    let n = mem.Memif.read_u16 !pos in
+    let b = Bytes.create n in
+    mem.Memif.read_bytes (Int64.add !pos 2L) b 0 n;
+    Some b
+  end
+
+let free (mem : Memif.t) t = mem.Memif.free t

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Printf Rdma

@@ -1,0 +1,1 @@
+lib/core/comm.mli: Rdma

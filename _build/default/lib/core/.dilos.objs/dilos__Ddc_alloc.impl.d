@@ -1,0 +1,1 @@
+lib/core/ddc_alloc.ml: Array Bytes Guide Hashtbl Int64 List Option Printf Vmem

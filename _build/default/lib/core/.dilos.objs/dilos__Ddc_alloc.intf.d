@@ -1,0 +1,1 @@
+lib/core/ddc_alloc.mli: Guide

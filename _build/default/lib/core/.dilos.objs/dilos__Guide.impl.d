@@ -1,0 +1,1 @@
+lib/core/guide.ml: Array List Params Sim Vmem

@@ -1,0 +1,1 @@
+lib/core/hit_tracker.ml: Array Params Sim Vmem

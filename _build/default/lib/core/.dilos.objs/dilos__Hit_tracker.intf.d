@@ -1,0 +1,1 @@
+lib/core/hit_tracker.mli: Sim Vmem

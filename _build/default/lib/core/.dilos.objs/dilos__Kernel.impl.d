@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Bytes Char Comm Ddc_alloc Guide Hit_tracker Int32 Int64 List Loader Memnode Page_manager Params Prefetcher Rdma Sim Stdlib Vmem

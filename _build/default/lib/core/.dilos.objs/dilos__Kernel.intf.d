@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Ddc_alloc Guide Loader Memnode Rdma Sim Vmem

@@ -1,0 +1,1 @@
+lib/core/page_manager.ml: Array Guide Hashtbl Int64 List Params Rdma Sim Stdlib Vmem

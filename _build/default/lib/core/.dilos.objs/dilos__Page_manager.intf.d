@@ -1,0 +1,1 @@
+lib/core/page_manager.mli: Guide Rdma Sim Vmem

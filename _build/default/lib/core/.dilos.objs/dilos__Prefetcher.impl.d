@@ -1,0 +1,1 @@
+lib/core/prefetcher.ml: Array List Params Sim Stdlib

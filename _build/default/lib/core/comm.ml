@@ -1,0 +1,32 @@
+type t = {
+  cores : int;
+  fault : Rdma.Qp.t array;
+  prefetch : Rdma.Qp.t array;
+  evict : Rdma.Qp.t array;
+  guide : Rdma.Qp.t array;
+}
+
+let create ~fabric ~cores =
+  if cores <= 0 then invalid_arg "Comm.create: cores <= 0";
+  let mint role =
+    Array.init cores (fun core ->
+        Rdma.Fabric.qp fabric ~name:(Printf.sprintf "%s.%d" role core))
+  in
+  {
+    cores;
+    fault = mint "fault";
+    prefetch = mint "prefetch";
+    evict = mint "evict";
+    guide = mint "guide";
+  }
+
+let cores t = t.cores
+
+let pick arr core =
+  if core < 0 || core >= Array.length arr then invalid_arg "Comm: bad core";
+  arr.(core)
+
+let fault_qp t ~core = pick t.fault core
+let prefetch_qp t ~core = pick t.prefetch core
+let evict_qp t ~core = pick t.evict core
+let guide_qp t ~core = pick t.guide core

@@ -1,0 +1,17 @@
+(** Communication module (§4.5).
+
+    Shared-nothing RDMA access: each paging module gets its own queue
+    pair on each core, so a fault fetch is never stuck behind a
+    lower-priority prefetch or eviction (no head-of-line blocking),
+    and app-aware guides get separate per-core queues for their
+    subpaging traffic. *)
+
+type t
+
+val create : fabric:Rdma.Fabric.t -> cores:int -> t
+val cores : t -> int
+
+val fault_qp : t -> core:int -> Rdma.Qp.t
+val prefetch_qp : t -> core:int -> Rdma.Qp.t
+val evict_qp : t -> core:int -> Rdma.Qp.t
+val guide_qp : t -> core:int -> Rdma.Qp.t

@@ -1,0 +1,45 @@
+(** DiLOS's user-level memory allocator (§5, "Prefetchers and guides").
+
+    Modelled on mimalloc: small objects are carved from size-class
+    slab pages, large objects get whole-page spans. Unlike stock
+    mimalloc — which threads a free list through the freed chunks —
+    this allocator tracks chunk liveness in per-page bitmaps, exactly
+    the modification the paper makes so that guided paging can tell
+    live bytes from dead ones.
+
+    Allocation metadata lives on the host side of the simulation (as
+    kernel-visible allocator state); freeing still writes an 8-byte
+    link into the freed chunk, as real allocators do, which is what
+    dirties pages during the DEL phase of the Figure 12 experiment. *)
+
+type t
+
+val create : mmap:(int -> int64) -> unit -> t
+(** [mmap len] must return a fresh DDC virtual range (the allocator
+    grows by mapping arenas). *)
+
+val malloc : t -> int -> int64
+(** Allocate [size] bytes ([size > 0]), 16-byte aligned. *)
+
+val free : t -> write_link:(int64 -> unit) -> int64 -> unit
+(** Release an address previously returned by {!malloc}.
+    [write_link] performs the freed-chunk link store (one 8-byte write
+    at the chunk base) through the owning thread's memory context.
+    @raise Invalid_argument on addresses this allocator does not own
+    or on double free. *)
+
+val usable_size : t -> int64 -> int
+(** The size class (or span size) backing an allocation. *)
+
+val live_segments : t -> int64 -> (int * int) list option
+(** The reclaim-guide view: live (offset, len) ranges of the page at
+    [page_base], sorted, coalesced. [None] means the allocator does
+    not own the page (or it is entirely live). An empty list means the
+    page holds no live data at all. *)
+
+val reclaim_guide : t -> Guide.reclaim_guide
+
+val live_bytes : t -> int
+(** Total bytes currently allocated (diagnostic). *)
+
+val owned_pages : t -> int

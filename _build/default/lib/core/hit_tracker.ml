@@ -1,0 +1,77 @@
+type t = {
+  pt : Vmem.Page_table.t;
+  tracked : int array; (* ring of prefetched vpns awaiting a scan *)
+  mutable tracked_head : int;
+  mutable tracked_len : int;
+  hist : int array; (* ring of recent fault vpns *)
+  mutable hist_head : int; (* next write position *)
+  mutable hist_len : int;
+  mutable ratio : float;
+}
+
+let create pt =
+  {
+    pt;
+    tracked = Array.make Params.hit_tracker_capacity 0;
+    tracked_head = 0;
+    tracked_len = 0;
+    hist = Array.make Params.trend_history 0;
+    hist_head = 0;
+    hist_len = 0;
+    ratio = 1.0;
+  }
+
+let note_prefetched t vpn =
+  let cap = Array.length t.tracked in
+  if t.tracked_len < cap then begin
+    t.tracked.((t.tracked_head + t.tracked_len) mod cap) <- vpn;
+    t.tracked_len <- t.tracked_len + 1
+  end
+  else begin
+    (* Overwrite the oldest un-scanned entry. *)
+    t.tracked.(t.tracked_head) <- vpn;
+    t.tracked_head <- (t.tracked_head + 1) mod cap
+  end
+
+let note_fault t vpn =
+  t.hist.(t.hist_head) <- vpn;
+  t.hist_head <- (t.hist_head + 1) mod Array.length t.hist;
+  if t.hist_len < Array.length t.hist then t.hist_len <- t.hist_len + 1
+
+let ewma_alpha = 0.3
+
+let scan t =
+  if t.tracked_len > 0 then begin
+    let cap = Array.length t.tracked in
+    let hits = ref 0 in
+    for i = 0 to t.tracked_len - 1 do
+      let vpn = t.tracked.((t.tracked_head + i) mod cap) in
+      let pte = Vmem.Page_table.get t.pt vpn in
+      (* A prefetched page that was evicted before use also reads as a
+         miss: its tag is no longer Local. *)
+      if Vmem.Pte.tag pte = Vmem.Pte.Local && Vmem.Pte.accessed pte then begin
+        incr hits;
+        (* Used prefetches are accesses the fault path never saw:
+           replay them into the history (§4.3 — the tracker collects
+           "the hit ratio and access history"), in prefetch-issue
+           order, which approximates access order. *)
+        note_fault t vpn
+      end
+    done;
+    let fresh = float_of_int !hits /. float_of_int t.tracked_len in
+    t.ratio <- (ewma_alpha *. fresh) +. ((1. -. ewma_alpha) *. t.ratio);
+    t.tracked_head <- 0;
+    t.tracked_len <- 0
+  end;
+  t.ratio
+
+let hit_ratio t = t.ratio
+
+let history t =
+  Array.init t.hist_len (fun i ->
+      let idx =
+        (t.hist_head - 1 - i + (2 * Array.length t.hist)) mod Array.length t.hist
+      in
+      t.hist.(idx))
+
+let scan_cost n = Sim.Time.ns (20 + (4 * n))

@@ -1,0 +1,34 @@
+(** PTE hit tracker (§4.3).
+
+    DiLOS maps prefetched pages straight into the unified page table,
+    so there is no swap cache whose minor faults would reveal the
+    prefetch hit ratio. Instead, the tracker remembers recently
+    prefetched VPNs and, on each major fault (while the 4 KiB fetch is
+    in flight), scans their PTE accessed bits: a set bit means the
+    prefetch was useful. It also keeps the recent fault history the
+    trend prefetcher consumes. *)
+
+type t
+
+val create : Vmem.Page_table.t -> t
+
+val note_prefetched : t -> int -> unit
+(** Record that [vpn] was just prefetched (its accessed bit is
+    clear — prefetch mapping does not count as an access). *)
+
+val note_fault : t -> int -> unit
+(** Record a major-fault VPN into the history ring. *)
+
+val scan : t -> float
+(** Scan tracked PTEs, fold their accessed bits into the running hit
+    ratio estimate (EWMA), and return it. Scanned entries are
+    retired. Returns the previous estimate when nothing new was
+    tracked. *)
+
+val hit_ratio : t -> float
+val history : t -> int array
+(** Recent fault VPNs, most recent first. *)
+
+val scan_cost : int -> Sim.Time.t
+(** CPU time to scan [n] PTEs — charged inside the fetch window, so it
+    adds no fault latency as long as it fits in ~2–3 us. *)

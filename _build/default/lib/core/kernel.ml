@@ -1,0 +1,519 @@
+type prefetch_kind = No_prefetch | Readahead | Trend_based
+
+type config = {
+  local_mem_bytes : int;
+  cores : int;
+  prefetch : prefetch_kind;
+  guided_paging : bool;
+  tcp_emulation : bool;
+}
+
+let default_config =
+  {
+    local_mem_bytes = 64 * 1024 * 1024;
+    cores = 1;
+    prefetch = Readahead;
+    guided_paging = false;
+    tcp_emulation = false;
+  }
+
+exception Segmentation_fault of int64
+
+let tlb_entries = 64
+let tlb_mask = tlb_entries - 1
+
+(* Accumulated fast-path time is flushed to the engine at least this
+   often, so background fibers interleave realistically. *)
+let pending_cap_ns = 10_000
+
+type core_state = {
+  core_id : int;
+  tlb_vpn : int array;
+  tlb_bytes : bytes array;
+  tlb_written : bool array;
+  mutable pending : int;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  cfg : config;
+  stats : Sim.Stats.t;
+  fabric : Rdma.Fabric.t;
+  aspace : Vmem.Address_space.t;
+  pt : Vmem.Page_table.t;
+  frames : Vmem.Frame.t;
+  pm : Page_manager.t;
+  comm : Comm.t;
+  tracker : Hit_tracker.t;
+  prefetcher : Prefetcher.t;
+  mutable prefetch_guide : Guide.prefetch_guide option;
+  alloc : Ddc_alloc.t;
+  loader : Loader.t;
+  mapping_changed : Sim.Condvar.t;
+  cores : core_state array;
+  prefetch_low : int; (* shed prefetches below this many free frames *)
+}
+
+let eng t = t.eng
+let stats t = t.stats
+let fabric t = t.fabric
+let loader t = t.loader
+let config t = t.cfg
+let now t = Sim.Engine.now t.eng
+let allocator t = t.alloc
+let free_frames t = Page_manager.free_frames t.pm
+let page_tag t addr = Vmem.Pte.tag (Vmem.Page_table.get t.pt (Vmem.Addr.vpn addr))
+let quiesce t = Page_manager.quiesce t.pm
+
+let make_core id =
+  let dummy = Bytes.create 0 in
+  {
+    core_id = id;
+    tlb_vpn = Array.make tlb_entries (-1);
+    tlb_bytes = Array.make tlb_entries dummy;
+    tlb_written = Array.make tlb_entries false;
+    pending = 0;
+  }
+
+let invalidate t vpn =
+  Array.iter
+    (fun cs ->
+      let i = vpn land tlb_mask in
+      if cs.tlb_vpn.(i) = vpn then cs.tlb_vpn.(i) <- -1)
+    t.cores
+
+let boot ~eng ~server ?nic_config (cfg : config) =
+  if cfg.cores <= 0 then invalid_arg "Kernel.boot: cores <= 0";
+  let stats = Sim.Stats.create () in
+  let extra_completion_delay =
+    if cfg.tcp_emulation then Some Params.tcp_emulation_delay else None
+  in
+  let fabric =
+    Memnode.Server.connect server ~stats ?nic_config ?extra_completion_delay ()
+  in
+  let aspace = Vmem.Address_space.create () in
+  let pt = Vmem.Page_table.create () in
+  let frames =
+    Vmem.Frame.create
+      ~frames:(Stdlib.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
+  in
+  let comm = Comm.create ~fabric ~cores:cfg.cores in
+  let alloc =
+    Ddc_alloc.create
+      ~mmap:(fun len -> Vmem.Address_space.mmap aspace ~len ~ddc:true ~name:"ddc-arena" ())
+      ()
+  in
+  let reclaim_guide =
+    if cfg.guided_paging then Some (Ddc_alloc.reclaim_guide alloc) else None
+  in
+  let pm =
+    Page_manager.create ~eng ~stats ~pt ~frames
+      ~evict_qp:(Comm.evict_qp comm ~core:0) ?reclaim_guide ()
+  in
+  let prefetcher =
+    match cfg.prefetch with
+    | No_prefetch -> Prefetcher.none
+    | Readahead -> Prefetcher.readahead ()
+    | Trend_based -> Prefetcher.trend_based ()
+  in
+  let t =
+    {
+      eng;
+      cfg;
+      stats;
+      fabric;
+      aspace;
+      pt;
+      frames;
+      pm;
+      comm;
+      tracker = Hit_tracker.create pt;
+      prefetcher;
+      prefetch_guide = None;
+      alloc;
+      loader = Loader.create ();
+      mapping_changed = Sim.Condvar.create eng;
+      cores = Array.init cfg.cores make_core;
+      prefetch_low =
+        Stdlib.max 2
+          (Stdlib.min Params.prefetch_low_frames (Vmem.Frame.total frames / 64));
+    }
+  in
+  Page_manager.set_invalidate pm (invalidate t);
+  Page_manager.start pm;
+  t
+
+let shutdown t = Page_manager.stop t.pm
+let set_prefetch_guide t g = t.prefetch_guide <- g
+
+let core_state t core =
+  if core < 0 || core >= Array.length t.cores then invalid_arg "Kernel: bad core";
+  t.cores.(core)
+
+let flush_core t cs =
+  if cs.pending > 0 then begin
+    let p = cs.pending in
+    cs.pending <- 0;
+    Sim.Engine.sleep t.eng (Sim.Time.ns p)
+  end
+
+let charge t cs ns =
+  cs.pending <- cs.pending + ns;
+  if cs.pending >= pending_cap_ns then flush_core t cs
+
+let flush t ~core = flush_core t (core_state t core)
+let compute t ~core ns = charge t (core_state t core) ns
+
+(* ------------------------------------------------------------------ *)
+(* Page fault handling                                                 *)
+
+let full_page_segs base = [ { Rdma.Qp.raddr = base; loff = 0; len = Vmem.Addr.page_size } ]
+
+let action_segs t ~payload ~base =
+  Page_manager.vector_segments t.pm ~payload
+  |> List.map (fun (off, len) ->
+         { Rdma.Qp.raddr = Int64.add base (Int64.of_int off); loff = off; len })
+
+let map_fetched t vpn frame =
+  Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
+  Page_manager.note_mapped t.pm vpn;
+  Sim.Condvar.broadcast t.mapping_changed
+
+(* Asynchronous page prefetch; also the guide's pf_prefetch. Sheds
+   work instead of blocking: skipped when memory is tight, when the
+   page is not remote, or when it lies outside DDC ranges. *)
+let issue_prefetch t ~core vpn =
+  if Page_manager.free_frames t.pm > t.prefetch_low then begin
+    let base = Vmem.Addr.base vpn in
+    if Vmem.Address_space.is_ddc t.aspace base then begin
+      let pte = Vmem.Page_table.get t.pt vpn in
+      match Vmem.Pte.tag pte with
+      | Vmem.Pte.Local | Vmem.Pte.Fetching | Vmem.Pte.Unmapped -> ()
+      | (Vmem.Pte.Remote | Vmem.Pte.Action) as tag -> (
+          match Page_manager.try_alloc_frame t.pm with
+          | None -> ()
+          | Some frame ->
+              let segs =
+                match tag with
+                | Vmem.Pte.Action ->
+                    action_segs t ~payload:(Vmem.Pte.payload pte) ~base
+                | _ -> full_page_segs base
+              in
+              Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_fetching ());
+              Sim.Stats.incr t.stats "prefetch_issued";
+              let finish () =
+                map_fetched t vpn frame;
+                Hit_tracker.note_prefetched t.tracker vpn
+              in
+              if segs = [] then finish ()
+              else
+                Rdma.Qp.post_read
+                  (Comm.prefetch_qp t.comm ~core)
+                  ~segs
+                  ~buf:(Vmem.Frame.data t.frames frame)
+                  ~on_complete:finish)
+    end
+  end
+
+let prefetch_ops t ~core =
+  {
+    Guide.pf_prefetch = (fun addr -> issue_prefetch t ~core (Vmem.Addr.vpn addr));
+    pf_fetch_sub =
+      (fun addr len k ->
+        if len <= 0 then invalid_arg "pf_fetch_sub: len <= 0";
+        let vpn = Vmem.Addr.vpn addr in
+        let pte = Vmem.Page_table.get t.pt vpn in
+        let off = Vmem.Addr.offset addr in
+        if Vmem.Pte.tag pte = Vmem.Pte.Local && off + len <= Vmem.Addr.page_size
+        then begin
+          let b = Vmem.Frame.data t.frames (Vmem.Pte.frame pte) in
+          k (Bytes.sub b off len)
+        end
+        else begin
+          Sim.Stats.incr t.stats "subpage_fetches";
+          Sim.Stats.add t.stats "subpage_bytes" len;
+          let buf = Bytes.create len in
+          Rdma.Qp.post_read
+            (Comm.guide_qp t.comm ~core)
+            ~segs:[ { Rdma.Qp.raddr = addr; loff = 0; len } ]
+            ~buf
+            ~on_complete:(fun () -> k buf)
+        end);
+    pf_is_local =
+      (fun addr ->
+        Vmem.Pte.tag (Vmem.Page_table.get t.pt (Vmem.Addr.vpn addr)) = Vmem.Pte.Local);
+    pf_now = (fun () -> Sim.Engine.now t.eng);
+  }
+
+let elapsed_ns t t0 = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0)
+
+(* Major fault: the faulted page is on the memory node ([Remote]) or
+   was evicted with a guided vector ([Action]). *)
+let major_fault t cs vpn pte =
+  let t_start = Sim.Engine.now t.eng in
+  let base = Vmem.Addr.base vpn in
+  (* Decode the entry and mark it Fetching atomically (no intervening
+     sleep): a concurrent fault on another core must observe Fetching
+     and wait instead of issuing a duplicate READ (§4.2). *)
+  let segs =
+    match Vmem.Pte.tag pte with
+    | Vmem.Pte.Action -> action_segs t ~payload:(Vmem.Pte.payload pte) ~base
+    | Vmem.Pte.Remote -> full_page_segs base
+    | Vmem.Pte.Local | Vmem.Pte.Unmapped | Vmem.Pte.Fetching -> assert false
+  in
+  Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_fetching ());
+  Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_pte_check_ns);
+  let alloc_t0 = Sim.Engine.now t.eng in
+  let frame = Page_manager.alloc_frame t.pm in
+  Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_page_alloc_ns);
+  let alloc_ns = elapsed_ns t alloc_t0 in
+  let fetch_t0 = Sim.Engine.now t.eng in
+  let completed = ref false in
+  let waiter = ref None in
+  (if segs = [] then completed := true
+   else
+     Rdma.Qp.post_read
+       (Comm.fault_qp t.comm ~core:cs.core_id)
+       ~segs
+       ~buf:(Vmem.Frame.data t.frames frame)
+       ~on_complete:(fun () ->
+         completed := true;
+         match !waiter with Some wake -> wake () | None -> ()));
+  (* Work hidden inside the fetch window (§4.3): hit tracking and
+     prefetch issue happen while the 4 KiB READ is in flight. *)
+  (* Scan first: used prefetches are older accesses than this fault
+     and must precede it in the reconstructed history. *)
+  let ratio = Hit_tracker.scan t.tracker in
+  Hit_tracker.note_fault t.tracker vpn;
+  Sim.Engine.sleep t.eng (Hit_tracker.scan_cost 64);
+  let handled =
+    match t.prefetch_guide with
+    | Some g ->
+        g.Guide.pg_on_fault
+          (prefetch_ops t ~core:cs.core_id)
+          {
+            Guide.fi_addr = base;
+            fi_hit_ratio = ratio;
+            fi_history = Hit_tracker.history t.tracker;
+          }
+    | None -> false
+  in
+  if not handled then begin
+    let wanted =
+      t.prefetcher.Prefetcher.decide ~fault_vpn:vpn ~hit_ratio:ratio
+        ~history:(Hit_tracker.history t.tracker)
+    in
+    Sim.Engine.sleep t.eng (Prefetcher.decision_cost (List.length wanted));
+    List.iter (issue_prefetch t ~core:cs.core_id) wanted
+  end;
+  if not !completed then Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
+  let fetch_ns = elapsed_ns t fetch_t0 in
+  Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_map_ns);
+  map_fetched t vpn frame;
+  Sim.Stats.incr t.stats "major_faults";
+  Sim.Stats.record t.stats "fault_ns" (elapsed_ns t t_start);
+  Sim.Stats.add t.stats "ph_exception_ns" 570;
+  Sim.Stats.add t.stats "ph_pte_ns" (Params.dilos_pte_check_ns + Params.dilos_map_ns);
+  Sim.Stats.add t.stats "ph_alloc_ns" (Stdlib.min alloc_ns Params.dilos_page_alloc_ns);
+  Sim.Stats.add t.stats "ph_reclaim_ns"
+    (Stdlib.max 0 (alloc_ns - Params.dilos_page_alloc_ns));
+  Sim.Stats.add t.stats "ph_fetch_ns" fetch_ns
+
+let handle_fault t cs vpn _pte_at_trap =
+  Sim.Engine.sleep t.eng Vmem.Mmu.exception_cost;
+  (* Re-read after exception delivery: another core may have resolved
+     or started resolving this page meanwhile. *)
+  let pte = Vmem.Page_table.get t.pt vpn in
+  match Vmem.Pte.tag pte with
+  | Vmem.Pte.Local -> () (* raced with a concurrent mapping; retry *)
+  | Vmem.Pte.Fetching ->
+      (* Another core (or the prefetcher) is already fetching this
+         page: wait for the PTE to change instead of duplicating the
+         request (§4.2). These are DiLOS's "minor faults". *)
+      Sim.Stats.incr t.stats "fetch_waits";
+      (* These waits are accesses the swap path observed; the trend
+         detector needs them to see the true access stride (Leap logs
+         every swap-path access, not only misses). *)
+      Hit_tracker.note_fault t.tracker vpn;
+      let t0 = Sim.Engine.now t.eng in
+      Sim.Condvar.wait_for t.mapping_changed (fun () ->
+          Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) <> Vmem.Pte.Fetching);
+      Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_fetch_wait_poll_ns);
+      Sim.Stats.record t.stats "fetch_wait_ns" (elapsed_ns t t0)
+  | Vmem.Pte.Unmapped ->
+      let addr = Vmem.Addr.base vpn in
+      (match Vmem.Address_space.find t.aspace addr with
+      | None -> raise (Segmentation_fault addr)
+      | Some vma ->
+          (* First touch: anonymous zero-fill, no RDMA. alloc_frame can
+             block, so re-check for a concurrent zero-fill afterwards. *)
+          let frame = Page_manager.alloc_frame t.pm in
+          if Vmem.Page_table.get t.pt vpn <> Vmem.Pte.zero then
+            Vmem.Frame.free t.frames frame
+          else begin
+            Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_page_alloc_ns);
+            if Vmem.Page_table.get t.pt vpn <> Vmem.Pte.zero then
+              Vmem.Frame.free t.frames frame
+            else begin
+              Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
+              if vma.Vmem.Address_space.ddc then Page_manager.note_mapped t.pm vpn;
+              Sim.Condvar.broadcast t.mapping_changed;
+              Sim.Stats.incr t.stats "zero_fill_faults"
+            end
+          end)
+  | Vmem.Pte.Remote | Vmem.Pte.Action -> major_fault t cs vpn pte
+
+(* ------------------------------------------------------------------ *)
+(* Data path                                                           *)
+
+let frame_bytes_slow t cs vpn ~write =
+  flush_core t cs;
+  let rec loop () =
+    match Vmem.Mmu.access t.pt ~vpn ~write with
+    | Vmem.Mmu.Frame f ->
+        let b = Vmem.Frame.data t.frames f in
+        let i = vpn land tlb_mask in
+        cs.tlb_vpn.(i) <- vpn;
+        cs.tlb_bytes.(i) <- b;
+        cs.tlb_written.(i) <- write;
+        cs.pending <- cs.pending + 20;
+        b
+    | Vmem.Mmu.Fault pte ->
+        handle_fault t cs vpn pte;
+        loop ()
+  in
+  loop ()
+
+let page_for_read t cs vpn =
+  let i = vpn land tlb_mask in
+  if cs.tlb_vpn.(i) = vpn then begin
+    charge t cs Params.mem_access_ns;
+    cs.tlb_bytes.(i)
+  end
+  else frame_bytes_slow t cs vpn ~write:false
+
+let page_for_write t cs vpn =
+  let i = vpn land tlb_mask in
+  if cs.tlb_vpn.(i) = vpn then begin
+    if not cs.tlb_written.(i) then begin
+      (* First store through a read-loaded translation: the hardware
+         walker would set the dirty bit now. *)
+      Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
+      cs.tlb_written.(i) <- true;
+      charge t cs 5
+    end;
+    charge t cs Params.mem_access_ns;
+    cs.tlb_bytes.(i)
+  end
+  else frame_bytes_slow t cs vpn ~write:true
+
+let split addr = (Vmem.Addr.vpn addr, Vmem.Addr.offset addr)
+
+let check_span off size =
+  if off + size > Vmem.Addr.page_size then
+    invalid_arg "Kernel: scalar access straddles a page boundary"
+
+let read_u8 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  Char.code (Bytes.get (page_for_read t cs vpn) off)
+
+let read_u16 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 2;
+  Bytes.get_uint16_le (page_for_read t cs vpn) off
+
+let read_u32 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 4;
+  Int32.to_int (Bytes.get_int32_le (page_for_read t cs vpn) off) land 0xFFFFFFFF
+
+let read_u64 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 8;
+  Bytes.get_int64_le (page_for_read t cs vpn) off
+
+let write_u8 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  Bytes.set (page_for_write t cs vpn) off (Char.chr (v land 0xFF))
+
+let write_u16 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 2;
+  Bytes.set_uint16_le (page_for_write t cs vpn) off (v land 0xFFFF)
+
+let write_u32 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 4;
+  Bytes.set_int32_le (page_for_write t cs vpn) off (Int32.of_int v)
+
+let write_u64 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 8;
+  Bytes.set_int64_le (page_for_write t cs vpn) off v
+
+let bulk t ~core addr buf off len ~write =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Kernel: bulk access outside buffer";
+  let cs = core_state t core in
+  let pos = ref addr and done_ = ref 0 in
+  while !done_ < len do
+    let vpn, poff = split !pos in
+    let n = Stdlib.min (len - !done_) (Vmem.Addr.page_size - poff) in
+    let page =
+      if write then page_for_write t cs vpn else page_for_read t cs vpn
+    in
+    if write then Bytes.blit buf (off + !done_) page poff n
+    else Bytes.blit page poff buf (off + !done_) n;
+    (* One access charge per cache line moved. *)
+    charge t cs (n / 64 * Params.mem_access_ns);
+    pos := Int64.add !pos (Int64.of_int n);
+    done_ := !done_ + n
+  done
+
+let read_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:false
+let write_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:true
+
+let touch t ~core addr =
+  let cs = core_state t core in
+  ignore (page_for_read t cs (Vmem.Addr.vpn addr))
+
+(* ------------------------------------------------------------------ *)
+(* Memory management                                                   *)
+
+let mmap t ~len ~ddc ?name () = Vmem.Address_space.mmap t.aspace ~len ~ddc ?name ()
+
+let munmap t base =
+  let vma = Vmem.Address_space.munmap t.aspace base in
+  let vpn0 = Vmem.Addr.vpn vma.Vmem.Address_space.base in
+  let count = Int64.to_int (Int64.div vma.Vmem.Address_space.len 4096L) in
+  Vmem.Page_table.iter_range t.pt ~vpn:vpn0 ~count (fun vpn pte ->
+      match Vmem.Pte.tag pte with
+      | Vmem.Pte.Local ->
+          Vmem.Frame.free t.frames (Vmem.Pte.frame pte);
+          Vmem.Page_table.set t.pt vpn Vmem.Pte.zero;
+          invalidate t vpn
+      | Vmem.Pte.Remote | Vmem.Pte.Action ->
+          Vmem.Page_table.set t.pt vpn Vmem.Pte.zero
+      | Vmem.Pte.Fetching ->
+          invalid_arg "Kernel.munmap: page fetch in flight"
+      | Vmem.Pte.Unmapped -> ())
+
+let ddc_malloc t ~core size =
+  let cs = core_state t core in
+  charge t cs 30;
+  Ddc_alloc.malloc t.alloc size
+
+let ddc_free t ~core addr =
+  let cs = core_state t core in
+  charge t cs 25;
+  Ddc_alloc.free t.alloc ~write_link:(fun a -> write_u64 t ~core a 0xDEADBEEFL) addr
+
+let malloc_usable_size t addr = Ddc_alloc.usable_size t.alloc addr

@@ -1,0 +1,327 @@
+(* The LRU clock: a FIFO ring of VPNs with membership tracking so a
+   page is queued at most once. *)
+module Clock = struct
+  type t = {
+    mutable data : int array;
+    mutable head : int;
+    mutable len : int;
+    queued : (int, unit) Hashtbl.t;
+  }
+
+  let create () = { data = Array.make 256 0; head = 0; len = 0; queued = Hashtbl.create 256 }
+  let length t = t.len
+  let mem t vpn = Hashtbl.mem t.queued vpn
+
+  let push t vpn =
+    if not (mem t vpn) then begin
+      let cap = Array.length t.data in
+      if t.len = cap then begin
+        let nd = Array.make (cap * 2) 0 in
+        for i = 0 to t.len - 1 do
+          nd.(i) <- t.data.((t.head + i) mod cap)
+        done;
+        t.data <- nd;
+        t.head <- 0
+      end;
+      t.data.((t.head + t.len) mod Array.length t.data) <- vpn;
+      t.len <- t.len + 1;
+      Hashtbl.replace t.queued vpn ()
+    end
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let vpn = t.data.(t.head) in
+      t.head <- (t.head + 1) mod Array.length t.data;
+      t.len <- t.len - 1;
+      Hashtbl.remove t.queued vpn;
+      Some vpn
+    end
+
+  let peek_nth t i = if i >= t.len then None else Some t.data.((t.head + i) mod Array.length t.data)
+end
+
+type t = {
+  eng : Sim.Engine.t;
+  stats : Sim.Stats.t;
+  pt : Vmem.Page_table.t;
+  frames : Vmem.Frame.t;
+  evict_qp : Rdma.Qp.t;
+  reclaim_guide : Guide.reclaim_guide option;
+  clock : Clock.t;
+  vector_log : (int, (int * int) list) Hashtbl.t;
+  mutable next_log_id : int;
+  wb_inflight : (int, unit) Hashtbl.t;
+  mutable invalidate : int -> unit;
+  frames_avail : Sim.Condvar.t;
+  reclaim_work : Sim.Condvar.t;
+  wb_done : Sim.Condvar.t;
+  mutable running : bool;
+  low : int;
+  high : int;
+}
+
+let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
+  let total = Vmem.Frame.total frames in
+  (* The free pool must absorb a demand fetch plus a full prefetch
+     window between reclaimer wake-ups, or prefetching starves. *)
+  let low =
+    Stdlib.max
+      (2 + Params.readahead_max_window)
+      (int_of_float (Params.free_low_watermark *. float_of_int total))
+  in
+  let high =
+    Stdlib.max (3 * low)
+      (int_of_float (Params.free_high_watermark *. float_of_int total))
+  in
+  {
+    eng;
+    stats;
+    pt;
+    frames;
+    evict_qp;
+    reclaim_guide;
+    clock = Clock.create ();
+    vector_log = Hashtbl.create 64;
+    next_log_id = 1;
+    wb_inflight = Hashtbl.create 16;
+    invalidate = (fun _ -> ());
+    frames_avail = Sim.Condvar.create eng;
+    reclaim_work = Sim.Condvar.create eng;
+    wb_done = Sim.Condvar.create eng;
+    running = false;
+    low;
+    high;
+  }
+
+let set_invalidate t f = t.invalidate <- f
+let free_frames t = Vmem.Frame.free_count t.frames
+let note_mapped t vpn = Clock.push t.clock vpn
+
+let vector_segments t ~payload =
+  match Hashtbl.find_opt t.vector_log payload with
+  | Some segs ->
+      Hashtbl.remove t.vector_log payload;
+      segs
+  | None -> invalid_arg "Page_manager.vector_segments: unknown payload"
+
+let log_vector t segs =
+  let id = t.next_log_id in
+  t.next_log_id <- t.next_log_id + 1;
+  Hashtbl.replace t.vector_log id segs;
+  id
+
+let guide_segments t vpn =
+  match t.reclaim_guide with
+  | None -> None
+  | Some g -> (
+      match g.Guide.rg_live_segments (Vmem.Addr.base vpn) with
+      | None -> None
+      | Some [] -> Some [] (* page holds no live data: nothing to move *)
+      | Some segs ->
+          let segs = Guide.clamp_segments segs in
+          (* A full-page vector is just an ordinary page. *)
+          if segs = Guide.whole_page then None else Some segs)
+
+(* Drop a local page without any RDMA: either it is clean (remote copy
+   current) or the guide says nothing on it is live. With a guide,
+   leave an Action PTE so the refetch moves only live bytes. *)
+let drop_without_write t vpn pte =
+  let frame = Vmem.Pte.frame pte in
+  let new_pte =
+    match guide_segments t vpn with
+    | Some segs -> Vmem.Pte.make_action ~payload:(log_vector t segs)
+    | None -> Vmem.Pte.make_remote ()
+  in
+  Vmem.Page_table.set t.pt vpn new_pte;
+  t.invalidate vpn;
+  Vmem.Frame.free t.frames frame;
+  Sim.Stats.incr t.stats "evictions";
+  Sim.Condvar.broadcast t.frames_avail
+
+(* Write a dirty page back. [then_evict] distinguishes the reclaimer's
+   clean-then-drop path from the periodic cleaner (which leaves the
+   page mapped). *)
+let writeback t vpn pte ~then_evict =
+  if not (Hashtbl.mem t.wb_inflight vpn) then begin
+    let frame = Vmem.Pte.frame pte in
+    Hashtbl.replace t.wb_inflight vpn ();
+    (* Clear dirty before the copy is snapshotted: a store racing with
+       the write-back must re-dirty the page so we notice. *)
+    Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_dirty;
+    t.invalidate vpn;
+    (* The guide trims the write-back for the cleaner as well as for
+       eviction (§4.4: the cleaner writes only the used area). The
+       caller guarantees there is at least one live segment. *)
+    let segs_opt =
+      match guide_segments t vpn with
+      | Some [] -> assert false
+      | other -> other
+    in
+    let base = Vmem.Addr.base vpn in
+    let segs =
+      match segs_opt with
+      | Some segs ->
+          List.map
+            (fun (off, len) ->
+              { Rdma.Qp.raddr = Int64.add base (Int64.of_int off); loff = off; len })
+            segs
+      | None -> [ { Rdma.Qp.raddr = base; loff = 0; len = Vmem.Addr.page_size } ]
+    in
+    let buf = Vmem.Frame.data t.frames frame in
+    Rdma.Qp.post_write t.evict_qp ~segs ~buf ~on_complete:(fun () ->
+        Hashtbl.remove t.wb_inflight vpn;
+        Sim.Stats.incr t.stats "writebacks";
+        (if then_evict then
+           let pte' = Vmem.Page_table.get t.pt vpn in
+           match Vmem.Pte.tag pte' with
+           | Vmem.Pte.Local when not (Vmem.Pte.dirty pte') ->
+               let new_pte =
+                 match segs_opt with
+                 | Some segs -> Vmem.Pte.make_action ~payload:(log_vector t segs)
+                 | None -> Vmem.Pte.make_remote ()
+               in
+               Vmem.Page_table.set t.pt vpn new_pte;
+               t.invalidate vpn;
+               Vmem.Frame.free t.frames (Vmem.Pte.frame pte');
+               Sim.Stats.incr t.stats "evictions";
+               Sim.Condvar.broadcast t.frames_avail
+           | Vmem.Pte.Local ->
+               (* Re-dirtied while in flight: keep it resident. *)
+               Clock.push t.clock vpn
+           | Vmem.Pte.Unmapped | Vmem.Pte.Remote | Vmem.Pte.Fetching
+           | Vmem.Pte.Action ->
+               ());
+        Sim.Condvar.broadcast t.wb_done)
+  end
+
+(* One clock step. Returns [true] if it made progress towards freeing
+   a frame (evicted, or started an eviction write-back). *)
+let clock_step t =
+  match Clock.pop t.clock with
+  | None -> false
+  | Some vpn -> (
+      let pte = Vmem.Page_table.get t.pt vpn in
+      match Vmem.Pte.tag pte with
+      | Vmem.Pte.Unmapped | Vmem.Pte.Remote | Vmem.Pte.Action ->
+          (* Stale entry; page already gone. *)
+          false
+      | Vmem.Pte.Fetching ->
+          Clock.push t.clock vpn;
+          false
+      | Vmem.Pte.Local ->
+          if Hashtbl.mem t.wb_inflight vpn then begin
+            Clock.push t.clock vpn;
+            false
+          end
+          else if Vmem.Pte.accessed pte then begin
+            (* Second chance: strip the accessed bit and recycle. *)
+            Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_accessed;
+            t.invalidate vpn;
+            Clock.push t.clock vpn;
+            false
+          end
+          else if Vmem.Pte.dirty pte then begin
+            (match guide_segments t vpn with
+            | Some [] -> drop_without_write t vpn pte
+            | Some _ | None -> writeback t vpn pte ~then_evict:true);
+            true
+          end
+          else begin
+            drop_without_write t vpn pte;
+            true
+          end)
+
+let reclaim_until t target =
+  let no_progress = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && free_frames t < target do
+    if clock_step t then no_progress := 0
+    else begin
+      incr no_progress;
+      if !no_progress > Clock.length t.clock + 1 then
+        if Hashtbl.length t.wb_inflight > 0 then begin
+          (* Everything evictable is already being written back; wait
+             for a completion rather than spinning. *)
+          Sim.Condvar.wait t.wb_done;
+          no_progress := 0
+        end
+        else begin
+          Sim.Stats.incr t.stats "reclaim_gave_up";
+          continue_ := false
+        end
+    end;
+    (* Model the per-page CPU cost of scanning/evicting. *)
+    Sim.Engine.sleep t.eng (Sim.Time.ns Params.evict_page_cost_ns)
+  done
+
+let reclaimer_fiber t () =
+  while t.running do
+    if free_frames t < t.low then reclaim_until t t.high
+    else Sim.Condvar.wait t.reclaim_work
+  done
+
+let cleaner_fiber t () =
+  while t.running do
+    Sim.Engine.sleep t.eng Params.cleaner_period;
+    if t.running then begin
+      let scanned = ref 0 and i = ref 0 in
+      while !scanned < Params.cleaner_batch && !i < Clock.length t.clock do
+        (match Clock.peek_nth t.clock !i with
+        | None -> ()
+        | Some vpn ->
+            let pte = Vmem.Page_table.get t.pt vpn in
+            if
+              Vmem.Pte.tag pte = Vmem.Pte.Local
+              && Vmem.Pte.dirty pte
+              && (not (Hashtbl.mem t.wb_inflight vpn))
+              && guide_segments t vpn <> Some []
+            then begin
+              writeback t vpn pte ~then_evict:false;
+              incr scanned
+            end);
+        incr i
+      done;
+      if !scanned > 0 then
+        Sim.Engine.sleep t.eng (Sim.Time.ns (!scanned * 120))
+    end
+  done
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Sim.Engine.spawn t.eng ~name:"pm.reclaimer" (reclaimer_fiber t);
+    Sim.Engine.spawn t.eng ~name:"pm.cleaner" (cleaner_fiber t)
+  end
+
+let stop t =
+  t.running <- false;
+  Sim.Condvar.broadcast t.reclaim_work
+
+let try_alloc_frame t =
+  let r = Vmem.Frame.alloc t.frames in
+  if free_frames t < t.low then Sim.Condvar.broadcast t.reclaim_work;
+  r
+
+let alloc_frame t =
+  match try_alloc_frame t with
+  | Some f -> f
+  | None ->
+      Sim.Stats.incr t.stats "reclaim_stalls";
+      let started = Sim.Engine.now t.eng in
+      let frame = ref None in
+      Sim.Condvar.broadcast t.reclaim_work;
+      Sim.Condvar.wait_for t.frames_avail (fun () ->
+          match Vmem.Frame.alloc t.frames with
+          | Some f ->
+              frame := Some f;
+              true
+          | None ->
+              Sim.Condvar.broadcast t.reclaim_work;
+              false);
+      let stalled = Sim.Time.sub (Sim.Engine.now t.eng) started in
+      Sim.Stats.add t.stats "reclaim_stall_ns" (Int64.to_int stalled);
+      (match !frame with Some f -> f | None -> assert false)
+
+let quiesce t =
+  Sim.Condvar.wait_for t.wb_done (fun () -> Hashtbl.length t.wb_inflight = 0)

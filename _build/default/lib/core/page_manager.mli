@@ -1,0 +1,61 @@
+(** Page manager (§4.4): allocator, cleaner, reclaimer.
+
+    The fault handler never reclaims: it pops a free frame from the
+    allocator, and two background fibers keep that pool stocked —
+
+    - the {e cleaner} periodically scans the LRU clock for dirty pages
+      and writes them back (clearing dirty bits), so that eviction of
+      cold pages is usually RDMA-free;
+    - the {e reclaimer} runs the clock algorithm eagerly whenever free
+      frames fall under the low watermark, evicting
+      least-recently-used clean pages until the high watermark.
+
+    With a reclaim guide installed (guided paging), evictions move
+    only the live byte ranges of each page using vectored RDMA and
+    leave an [Action] PTE whose payload indexes the logged vector, so
+    the eventual re-fetch is equally frugal. *)
+
+type t
+
+val create :
+  eng:Sim.Engine.t ->
+  stats:Sim.Stats.t ->
+  pt:Vmem.Page_table.t ->
+  frames:Vmem.Frame.t ->
+  evict_qp:Rdma.Qp.t ->
+  ?reclaim_guide:Guide.reclaim_guide ->
+  unit ->
+  t
+
+val set_invalidate : t -> (int -> unit) -> unit
+(** Register the kernel's TLB shoot-down: called with a VPN whenever
+    the manager clears accessed/dirty bits or unmaps a page. *)
+
+val start : t -> unit
+(** Spawn the cleaner and reclaimer fibers. *)
+
+val stop : t -> unit
+(** Ask background fibers to exit at their next wake-up (so
+    [Engine.run] can drain). *)
+
+val alloc_frame : t -> int
+(** Pop a free frame for the calling fiber, blocking (and nudging the
+    reclaimer) when the pool is empty. The blocked time is the
+    "reclaim in critical path" the design tries to avoid; it is
+    accounted in the [reclaim_stall_ns] counter. *)
+
+val try_alloc_frame : t -> int option
+(** Non-blocking variant used by the prefetcher, which sheds load
+    instead of stalling. *)
+
+val note_mapped : t -> int -> unit
+(** Tell the LRU clock a page just became [Local] at [vpn]. *)
+
+val vector_segments : t -> payload:int -> (int * int) list
+(** Decode an [Action] PTE payload into its logged fetch vector
+    (consumed: the log entry is removed). *)
+
+val free_frames : t -> int
+val quiesce : t -> unit
+(** Block until no write-back is in flight (used by tests and
+    checkpoints). *)

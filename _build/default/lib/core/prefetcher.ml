@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  decide : fault_vpn:int -> hit_ratio:float -> history:int array -> int list;
+}
+
+let none = { name = "no-prefetch"; decide = (fun ~fault_vpn:_ ~hit_ratio:_ ~history:_ -> []) }
+
+let clamp_window w =
+  Stdlib.max Params.readahead_min_window (Stdlib.min Params.readahead_max_window w)
+
+let adapt_window w hit_ratio =
+  clamp_window (if hit_ratio >= 0.5 then w * 2 else w / 2)
+
+let forward_pages vpn stride count =
+  List.init count (fun i -> vpn + (stride * (i + 1)))
+
+let readahead () =
+  let window = ref Params.readahead_min_window in
+  let decide ~fault_vpn ~hit_ratio ~history:_ =
+    window := adapt_window !window hit_ratio;
+    forward_pages fault_vpn 1 !window
+  in
+  { name = "readahead"; decide }
+
+(* Boyer–Moore majority vote over the deltas of the fault history;
+   verify the candidate actually has majority support. *)
+let majority_stride history =
+  let n = Array.length history in
+  if n < 2 then None
+  else begin
+    let deltas = Array.init (n - 1) (fun i -> history.(i) - history.(i + 1)) in
+    let candidate = ref 0 and votes = ref 0 in
+    Array.iter
+      (fun d ->
+        if !votes = 0 then begin
+          candidate := d;
+          votes := 1
+        end
+        else if d = !candidate then incr votes
+        else decr votes)
+      deltas;
+    let support = Array.fold_left (fun acc d -> if d = !candidate then acc + 1 else acc) 0 deltas in
+    if 2 * support > Array.length deltas && !candidate <> 0 then Some !candidate
+    else None
+  end
+
+let trend_based () =
+  let window = ref Params.readahead_min_window in
+  let decide ~fault_vpn ~hit_ratio ~history =
+    window := adapt_window !window hit_ratio;
+    match majority_stride history with
+    | Some stride -> forward_pages fault_vpn stride !window
+    | None -> forward_pages fault_vpn 1 Params.readahead_min_window
+  in
+  { name = "trend-based"; decide }
+
+let decision_cost n = Sim.Time.ns (60 + (30 * n))

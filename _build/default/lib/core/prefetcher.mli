@@ -1,0 +1,30 @@
+(** General-purpose prefetchers (§4.3).
+
+    A prefetcher is consulted on every major fault, inside the RDMA
+    fetch window, and returns the VPNs worth fetching next. DiLOS
+    ships the two from the paper: Linux's readahead and Leap's
+    majority-trend prefetcher; [none] disables prefetching. *)
+
+type t = {
+  name : string;
+  decide : fault_vpn:int -> hit_ratio:float -> history:int array -> int list;
+      (** VPNs to prefetch, most valuable first. The caller filters
+          already-local pages and sheds under memory pressure. *)
+}
+
+val none : t
+
+val readahead : unit -> t
+(** Linux-style sequential readahead: fetch the next [w] pages after
+    the fault; the window doubles while prefetches hit and halves when
+    they miss (bounds from {!Params}). *)
+
+val trend_based : unit -> t
+(** Leap's majority-trend prefetcher: detect the majority stride among
+    recent fault deltas (Boyer–Moore vote); when a majority exists,
+    fetch along that stride, otherwise fall back to a minimal
+    next-page window. *)
+
+val decision_cost : int -> Sim.Time.t
+(** CPU cost of deciding + posting [n] prefetch requests (hidden in
+    the fetch window). *)

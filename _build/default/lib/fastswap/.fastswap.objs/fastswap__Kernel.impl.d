@@ -1,0 +1,1 @@
+lib/fastswap/kernel.ml: Array Bytes Char Dilos Hashtbl Int32 Int64 Memnode Printf Queue Rdma Sim Stdlib Swap_cache Vmem

@@ -1,0 +1,1 @@
+lib/fastswap/kernel.mli: Memnode Rdma Sim

@@ -1,0 +1,1 @@
+lib/fastswap/swap_cache.ml: Hashtbl Queue

@@ -1,0 +1,581 @@
+type config = { local_mem_bytes : int; cores : int; readahead : bool }
+
+let default_config =
+  { local_mem_bytes = 64 * 1024 * 1024; cores = 1; readahead = true }
+
+exception Segmentation_fault of int64
+
+let tlb_entries = 64
+let tlb_mask = tlb_entries - 1
+let pending_cap_ns = 10_000
+let cluster = 8 (* Linux page_cluster = 3 -> 2^3 pages per readahead *)
+
+type core_state = {
+  core_id : int;
+  tlb_vpn : int array;
+  tlb_bytes : bytes array;
+  tlb_written : bool array;
+  mutable pending : int;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  cfg : config;
+  stats : Sim.Stats.t;
+  fabric : Rdma.Fabric.t;
+  aspace : Vmem.Address_space.t;
+  pt : Vmem.Page_table.t;
+  frames : Vmem.Frame.t;
+  cache : Swap_cache.t;
+  qps : Rdma.Qp.t array; (* one per core: faults + readahead share it *)
+  lru : int Queue.t; (* mapped-page reclaim scan order *)
+  queued : (int, unit) Hashtbl.t;
+  swap_backed : (int, unit) Hashtbl.t;
+      (* pages that came back from swap and still hold a swap slot:
+         their first re-dirtying pays the slot-release/wp cost *)
+  io_done : Sim.Condvar.t;
+  frames_avail : Sim.Condvar.t;
+  reclaim_work : Sim.Condvar.t;
+  cores : core_state array;
+  mutable running : bool;
+  mutable reclaim_counter : int;
+  mutable ra_window : int; (* adaptive cluster readahead window (Linux
+                              VMA readahead: grows on hits, shrinks
+                              when readahead pages go unused) *)
+  mutable heap : Dilos.Ddc_alloc.t option; (* glibc stand-in *)
+  low : int;
+  high : int;
+}
+
+let eng t = t.eng
+let stats t = t.stats
+let fabric t = t.fabric
+let now t = Sim.Engine.now t.eng
+let free_frames t = Vmem.Frame.free_count t.frames
+let swap_cache_size t = Swap_cache.size t.cache
+
+let make_core id =
+  let dummy = Bytes.create 0 in
+  {
+    core_id = id;
+    tlb_vpn = Array.make tlb_entries (-1);
+    tlb_bytes = Array.make tlb_entries dummy;
+    tlb_written = Array.make tlb_entries false;
+    pending = 0;
+  }
+
+let invalidate t vpn =
+  Array.iter
+    (fun cs ->
+      let i = vpn land tlb_mask in
+      if cs.tlb_vpn.(i) = vpn then cs.tlb_vpn.(i) <- -1)
+    t.cores
+
+let lru_push t vpn =
+  if not (Hashtbl.mem t.queued vpn) then begin
+    Queue.push vpn t.lru;
+    Hashtbl.replace t.queued vpn ()
+  end
+
+(* One reclaim step over the unified LRU: a popped VPN may be a
+   mapped page or an unconsumed swap-cache (readahead) page; both age
+   in insertion order, approximating the kernel's inactive list. Dirty
+   victims are swapped out with a synchronous frontswap store — cheap
+   from the offload thread, expensive when this runs as direct reclaim
+   in a fault. Returns [true] if a frame was freed. *)
+let rec evict_one t ~qp ~budget =
+  if budget = 0 then false
+  else
+    match Queue.take_opt t.lru with
+    | None -> false
+    | Some vpn -> (
+        Hashtbl.remove t.queued vpn;
+        match Swap_cache.find t.cache vpn with
+        | Some e when not e.Swap_cache.io_inflight ->
+            (* Never-used readahead page: clean, just drop it. *)
+            Swap_cache.remove t.cache vpn;
+            Vmem.Frame.free t.frames e.Swap_cache.frame;
+            Sim.Stats.incr t.stats "evictions";
+            Sim.Stats.incr t.stats "ra_dropped";
+            t.ra_window <- Stdlib.max 1 (t.ra_window / 2);
+            Sim.Condvar.broadcast t.frames_avail;
+            true
+        | Some _ ->
+            (* Swap-in still in flight; not reclaimable yet. *)
+            lru_push t vpn;
+            evict_one t ~qp ~budget:(budget - 1)
+        | None -> (
+            let pte = Vmem.Page_table.get t.pt vpn in
+            match Vmem.Pte.tag pte with
+            | Vmem.Pte.Unmapped | Vmem.Pte.Remote | Vmem.Pte.Action
+            | Vmem.Pte.Fetching ->
+                evict_one t ~qp ~budget (* stale entry, free scan *)
+            | Vmem.Pte.Local ->
+                if Vmem.Pte.accessed pte then begin
+                  (* Inactive-list second chance. *)
+                  Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_accessed;
+                  invalidate t vpn;
+                  lru_push t vpn;
+                  evict_one t ~qp ~budget:(budget - 1)
+                end
+                else begin
+                  let frame = Vmem.Pte.frame pte in
+                  (if Vmem.Pte.dirty pte then begin
+                     (* Swap-out: synchronous frontswap store. *)
+                     let buf = Vmem.Frame.data t.frames frame in
+                     Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf ~off:0
+                       ~len:Vmem.Addr.page_size;
+                     Sim.Stats.incr t.stats "writebacks"
+                   end);
+                  Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
+                  invalidate t vpn;
+                  Hashtbl.remove t.swap_backed vpn;
+                  Vmem.Frame.free t.frames frame;
+                  Sim.Stats.incr t.stats "evictions";
+                  Sim.Condvar.broadcast t.frames_avail;
+                  true
+                end))
+
+let evict_one t ~qp = evict_one t ~qp ~budget:(Queue.length t.lru + 1)
+
+(* Fastswap's dedicated reclaim kernel thread. *)
+let offload_fiber t () =
+  while t.running do
+    if Vmem.Frame.free_count t.frames < t.low then begin
+      let progress = ref true in
+      while Vmem.Frame.free_count t.frames < t.high && !progress do
+        (* Swap-outs share the paging QP: frontswap has one RDMA
+           path, so reclaim writes delay demand fetches (the
+           head-of-line blocking DiLOS's per-module queues avoid). *)
+        progress := evict_one t ~qp:t.qps.(0);
+        Sim.Engine.sleep t.eng (Sim.Time.ns 200)
+      done
+    end
+    else Sim.Condvar.wait t.reclaim_work
+  done
+
+let boot ~eng ~server (cfg : config) =
+  if cfg.cores <= 0 then invalid_arg "Fastswap.boot: cores <= 0";
+  let stats = Sim.Stats.create () in
+  let fabric = Memnode.Server.connect server ~stats () in
+  let frames =
+    Vmem.Frame.create
+      ~frames:(Stdlib.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
+  in
+  let total = Vmem.Frame.total frames in
+  let t =
+    {
+      eng;
+      cfg;
+      stats;
+      fabric;
+      aspace = Vmem.Address_space.create ();
+      pt = Vmem.Page_table.create ();
+      frames;
+      cache = Swap_cache.create ();
+      qps =
+        Array.init cfg.cores (fun i ->
+            Rdma.Fabric.qp fabric ~name:(Printf.sprintf "swap.%d" i));
+      lru = Queue.create ();
+      queued = Hashtbl.create 1024;
+      swap_backed = Hashtbl.create 1024;
+      io_done = Sim.Condvar.create eng;
+      frames_avail = Sim.Condvar.create eng;
+      reclaim_work = Sim.Condvar.create eng;
+      cores = Array.init cfg.cores make_core;
+      running = true;
+      reclaim_counter = 0;
+      ra_window = 2;
+      heap = None;
+      low = Stdlib.max 4 (total / 50);
+      high = Stdlib.max 24 (total / 25);
+    }
+  in
+  Sim.Engine.spawn eng ~name:"fastswap.offload" (offload_fiber t);
+  t
+
+let shutdown t =
+  t.running <- false;
+  Sim.Condvar.broadcast t.reclaim_work
+
+let quiesce _t = ()
+let core_state t core =
+  if core < 0 || core >= Array.length t.cores then invalid_arg "Fastswap: bad core";
+  t.cores.(core)
+
+let flush_core t cs =
+  if cs.pending > 0 then begin
+    let p = cs.pending in
+    cs.pending <- 0;
+    Sim.Engine.sleep t.eng (Sim.Time.ns p)
+  end
+
+let charge t cs ns =
+  cs.pending <- cs.pending + ns;
+  if cs.pending >= pending_cap_ns then flush_core t cs
+
+let flush t ~core = flush_core t (core_state t core)
+let compute t ~core ns = charge t (core_state t core) ns
+
+(* Allocate a frame in fault context: on exhaustion, either this fault
+   draws the short straw and does direct reclaim, or it parks on the
+   offload thread. The split follows Fig. 1's observation that most —
+   but not all — reclamation is hidden. *)
+let direct_or_offloaded t =
+  t.reclaim_counter <- t.reclaim_counter + 1;
+  float_of_int (t.reclaim_counter mod 100) /. 100.
+  >= Dilos.Params.fastswap_reclaim_offload_fraction
+
+let direct_reclaim t cs =
+  Sim.Stats.incr t.stats "direct_reclaims";
+  Sim.Stats.add t.stats "ph_reclaim_ns" Dilos.Params.fastswap_reclaim_direct_ns;
+  Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_reclaim_direct_ns);
+  ignore (evict_one t ~qp:t.qps.(cs.core_id))
+
+let alloc_frame_fault t cs =
+  match Vmem.Frame.alloc t.frames with
+  | Some f ->
+      (* Under memory pressure, a share of faults still performs the
+         non-offloadable part of reclamation inline (Fig. 1: ~29% of
+         the average fault even with Fastswap's offloading). *)
+      if Vmem.Frame.free_count t.frames < 2 * t.high then begin
+        Sim.Condvar.broadcast t.reclaim_work;
+        if direct_or_offloaded t then direct_reclaim t cs
+      end;
+      f
+  | None ->
+      let rec acquire () =
+        Sim.Condvar.broadcast t.reclaim_work;
+        if direct_or_offloaded t then direct_reclaim t cs;
+        match Vmem.Frame.alloc t.frames with
+        | Some f -> f
+        | None ->
+            Sim.Condvar.wait t.frames_avail;
+            (match Vmem.Frame.alloc t.frames with
+            | Some f -> f
+            | None -> acquire ())
+      in
+      acquire ()
+
+let swapin_cluster t cs vpn_fault =
+  (* Aligned cluster readahead: fetch the 8-page cluster containing
+     the fault. The faulted page's IO is posted first; the rest queue
+     behind it on the same QP. *)
+  let qp = t.qps.(cs.core_id) in
+  let win = t.ra_window in
+  let start = vpn_fault land lnot (win - 1) in
+  let submit vpn =
+    let pte = Vmem.Page_table.get t.pt vpn in
+    if
+      vpn <> vpn_fault
+      && Vmem.Pte.tag pte = Vmem.Pte.Remote
+      && (not (Swap_cache.mem t.cache vpn))
+      && Vmem.Frame.free_count t.frames > 1
+    then begin
+      match Vmem.Frame.alloc t.frames with
+      | None -> ()
+      | Some frame ->
+          let e = { Swap_cache.frame; io_inflight = true } in
+          Swap_cache.insert t.cache vpn e;
+          lru_push t vpn;
+          Sim.Stats.incr t.stats "readahead_pages";
+          Rdma.Qp.post_read qp
+            ~segs:
+              [
+                {
+                  Rdma.Qp.raddr = Vmem.Addr.base vpn;
+                  loff = 0;
+                  len = Vmem.Addr.page_size;
+                };
+              ]
+            ~buf:(Vmem.Frame.data t.frames frame)
+            ~on_complete:(fun () ->
+              e.Swap_cache.io_inflight <- false;
+              Sim.Condvar.broadcast t.io_done)
+    end
+  in
+  if t.cfg.readahead && win > 1 then
+    for v = start to start + win - 1 do
+      submit v
+    done
+
+(* Map a swap-cache entry whose IO has finished. *)
+let map_from_cache t vpn entry =
+  Swap_cache.remove t.cache vpn;
+  Vmem.Page_table.set t.pt vpn
+    (Vmem.Pte.make_local ~frame:entry.Swap_cache.frame ~writable:true);
+  Hashtbl.replace t.swap_backed vpn ();
+  lru_push t vpn
+
+let rec major_fault t cs vpn =
+  let t_start = Sim.Engine.now t.eng in
+  Sim.Stats.incr t.stats "major_faults";
+  (* Swap-cache management: radix tree insertion, swap slot lookup,
+     cgroup charging... *)
+  Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_swapcache_ns);
+  let alloc_t0 = Sim.Engine.now t.eng in
+  let frame = alloc_frame_fault t cs in
+  Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_page_alloc_ns);
+  let alloc_spent =
+    Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) alloc_t0)
+  in
+  if Swap_cache.mem t.cache vpn || Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) = Vmem.Pte.Local
+  then begin
+    (* Lost the race while sleeping/allocating: another core brought
+       the page in. Release our frame and retry through the normal
+       dispatch. *)
+    Vmem.Frame.free t.frames frame;
+    handle_fault_inner t cs vpn
+  end
+  else begin
+  let e = { Swap_cache.frame; io_inflight = true } in
+  Swap_cache.insert t.cache vpn e;
+  let fetch_t0 = Sim.Engine.now t.eng in
+  let waiter = ref None in
+  Rdma.Qp.post_read t.qps.(cs.core_id)
+    ~segs:
+      [ { Rdma.Qp.raddr = Vmem.Addr.base vpn; loff = 0; len = Vmem.Addr.page_size } ]
+    ~buf:(Vmem.Frame.data t.frames frame)
+    ~on_complete:(fun () ->
+      e.Swap_cache.io_inflight <- false;
+      (match !waiter with Some wake -> wake () | None -> ());
+      Sim.Condvar.broadcast t.io_done);
+  swapin_cluster t cs vpn;
+  if e.Swap_cache.io_inflight then
+    Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
+  let fetch_ns = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) fetch_t0) in
+  Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_other_ns);
+  (* Re-find the entry: while we slept it may have been consumed by a
+     minor fault or reclaimed (and even replaced by a fresh fetch). *)
+  (match Swap_cache.find t.cache vpn with
+  | Some e' when e' == e -> map_from_cache t vpn e
+  | Some _ | None -> ());
+  Sim.Stats.record t.stats "fault_ns"
+    (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t_start));
+  Sim.Stats.add t.stats "ph_exception_ns" 570;
+  Sim.Stats.add t.stats "ph_swapcache_ns" Dilos.Params.fastswap_swapcache_ns;
+  Sim.Stats.add t.stats "ph_alloc_ns"
+    (Stdlib.min alloc_spent Dilos.Params.fastswap_page_alloc_ns);
+  Sim.Stats.add t.stats "ph_fetch_ns" fetch_ns;
+  Sim.Stats.add t.stats "ph_other_ns" Dilos.Params.fastswap_other_ns
+  end
+
+and handle_fault t cs vpn _pte_at_trap =
+  Sim.Engine.sleep t.eng Vmem.Mmu.exception_cost;
+  handle_fault_inner t cs vpn
+
+and handle_fault_inner t cs vpn =
+  let pte = Vmem.Page_table.get t.pt vpn in
+  match Vmem.Pte.tag pte with
+  | Vmem.Pte.Local -> ()
+  | Vmem.Pte.Fetching | Vmem.Pte.Action -> assert false (* DiLOS-only tags *)
+  | Vmem.Pte.Unmapped -> (
+      match Vmem.Address_space.find t.aspace (Vmem.Addr.base vpn) with
+      | None -> raise (Segmentation_fault (Vmem.Addr.base vpn))
+      | Some _ ->
+          let frame = alloc_frame_fault t cs in
+          Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_page_alloc_ns);
+          if Vmem.Page_table.get t.pt vpn <> Vmem.Pte.zero then
+            Vmem.Frame.free t.frames frame
+          else begin
+            Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
+            lru_push t vpn;
+            Sim.Stats.incr t.stats "zero_fill_faults"
+          end)
+  | Vmem.Pte.Remote -> (
+      match Swap_cache.find t.cache vpn with
+      | Some e ->
+          (* Minor fault: page already in the swap cache. *)
+          Sim.Stats.incr t.stats "minor_faults";
+          t.ra_window <- Stdlib.min cluster (t.ra_window * 2);
+          let t0 = Sim.Engine.now t.eng in
+          Sim.Engine.sleep t.eng
+            (Sim.Time.ns (Dilos.Params.fastswap_minor_fault_ns - 570));
+          if e.Swap_cache.io_inflight then
+            Sim.Condvar.wait_for t.io_done (fun () ->
+                not e.Swap_cache.io_inflight);
+          (* While we slept, the entry may have been consumed by
+             another core or reclaimed and replaced; only map if it is
+             still exactly ours. *)
+          (match Swap_cache.find t.cache vpn with
+          | Some e' when e' == e -> map_from_cache t vpn e
+          | Some _ | None -> ());
+          Sim.Stats.record t.stats "minor_fault_ns"
+            (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0) + 570)
+      | None -> major_fault t cs vpn)
+
+let frame_bytes_slow t cs vpn ~write =
+  flush_core t cs;
+  let rec loop () =
+    match Vmem.Mmu.access t.pt ~vpn ~write with
+    | Vmem.Mmu.Frame f ->
+        let b = Vmem.Frame.data t.frames f in
+        let i = vpn land tlb_mask in
+        cs.tlb_vpn.(i) <- vpn;
+        cs.tlb_bytes.(i) <- b;
+        cs.tlb_written.(i) <- write;
+        cs.pending <- cs.pending + 20;
+        b
+    | Vmem.Mmu.Fault pte ->
+        handle_fault t cs vpn pte;
+        loop ()
+  in
+  loop ()
+
+let page_for_read t cs vpn =
+  let i = vpn land tlb_mask in
+  if cs.tlb_vpn.(i) = vpn then begin
+    charge t cs Dilos.Params.mem_access_ns;
+    cs.tlb_bytes.(i)
+  end
+  else frame_bytes_slow t cs vpn ~write:false
+
+(* Dirtying a page that came back from swap releases its swap slot
+   and goes through write-protect handling; pages that never swapped
+   pay nothing extra (see Params.fastswap_dirty_write_ns). *)
+let charge_dirtying t cs vpn =
+  if Hashtbl.mem t.swap_backed vpn then begin
+    Hashtbl.remove t.swap_backed vpn;
+    charge t cs Dilos.Params.fastswap_dirty_write_ns
+  end
+
+let page_for_write t cs vpn =
+  let i = vpn land tlb_mask in
+  if cs.tlb_vpn.(i) = vpn then begin
+    if not cs.tlb_written.(i) then begin
+      Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
+      cs.tlb_written.(i) <- true;
+      charge_dirtying t cs vpn
+    end;
+    charge t cs Dilos.Params.mem_access_ns;
+    cs.tlb_bytes.(i)
+  end
+  else begin
+    let b = frame_bytes_slow t cs vpn ~write:true in
+    charge_dirtying t cs vpn;
+    b
+  end
+
+let split addr = (Vmem.Addr.vpn addr, Vmem.Addr.offset addr)
+
+let check_span off size =
+  if off + size > Vmem.Addr.page_size then
+    invalid_arg "Fastswap: scalar access straddles a page boundary"
+
+let read_u8 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  Char.code (Bytes.get (page_for_read t cs vpn) off)
+
+let read_u16 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 2;
+  Bytes.get_uint16_le (page_for_read t cs vpn) off
+
+let read_u32 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 4;
+  Int32.to_int (Bytes.get_int32_le (page_for_read t cs vpn) off) land 0xFFFFFFFF
+
+let read_u64 t ~core addr =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 8;
+  Bytes.get_int64_le (page_for_read t cs vpn) off
+
+let write_u8 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  Bytes.set (page_for_write t cs vpn) off (Char.chr (v land 0xFF))
+
+let write_u16 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 2;
+  Bytes.set_uint16_le (page_for_write t cs vpn) off (v land 0xFFFF)
+
+let write_u32 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 4;
+  Bytes.set_int32_le (page_for_write t cs vpn) off (Int32.of_int v)
+
+let write_u64 t ~core addr v =
+  let cs = core_state t core in
+  let vpn, off = split addr in
+  check_span off 8;
+  Bytes.set_int64_le (page_for_write t cs vpn) off v
+
+let bulk t ~core addr buf off len ~write =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Fastswap: bulk access outside buffer";
+  let cs = core_state t core in
+  let pos = ref addr and done_ = ref 0 in
+  while !done_ < len do
+    let vpn, poff = split !pos in
+    let n = Stdlib.min (len - !done_) (Vmem.Addr.page_size - poff) in
+    let page = if write then page_for_write t cs vpn else page_for_read t cs vpn in
+    if write then Bytes.blit buf (off + !done_) page poff n
+    else Bytes.blit page poff buf (off + !done_) n;
+    charge t cs (n / 64 * Dilos.Params.mem_access_ns);
+    pos := Int64.add !pos (Int64.of_int n);
+    done_ := !done_ + n
+  done
+
+let read_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:false
+let write_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:true
+
+let touch t ~core addr =
+  let cs = core_state t core in
+  ignore (page_for_read t cs (Vmem.Addr.vpn addr))
+
+let mmap t ~len ?name () = Vmem.Address_space.mmap t.aspace ~len ~ddc:true ?name ()
+
+let munmap t base =
+  let vma = Vmem.Address_space.munmap t.aspace base in
+  let vpn0 = Vmem.Addr.vpn vma.Vmem.Address_space.base in
+  let count = Int64.to_int (Int64.div vma.Vmem.Address_space.len 4096L) in
+  Vmem.Page_table.iter_range t.pt ~vpn:vpn0 ~count (fun vpn pte ->
+      (match Swap_cache.find t.cache vpn with
+      | Some e when not e.Swap_cache.io_inflight ->
+          Swap_cache.remove t.cache vpn;
+          Vmem.Frame.free t.frames e.Swap_cache.frame
+      | Some _ -> invalid_arg "Fastswap.munmap: swap-in in flight"
+      | None -> ());
+      match Vmem.Pte.tag pte with
+      | Vmem.Pte.Local ->
+          Vmem.Frame.free t.frames (Vmem.Pte.frame pte);
+          Vmem.Page_table.set t.pt vpn Vmem.Pte.zero;
+          invalidate t vpn
+      | Vmem.Pte.Remote -> Vmem.Page_table.set t.pt vpn Vmem.Pte.zero
+      | Vmem.Pte.Action | Vmem.Pte.Fetching -> assert false
+      | Vmem.Pte.Unmapped -> ())
+
+(* glibc-malloc stand-in: the same slab/span allocator DiLOS uses,
+   minus the guided-paging hooks — small objects pack into pages, so
+   Fastswap's heap density matches DiLOS's (only the paging path
+   differs). *)
+let heap_of t =
+  match t.heap with
+  | Some h -> h
+  | None ->
+      let h =
+        Dilos.Ddc_alloc.create
+          ~mmap:(fun len -> mmap t ~len ~name:"heap" ())
+          ()
+      in
+      t.heap <- Some h;
+      h
+
+let malloc t ~core size =
+  ignore core;
+  charge t (core_state t core) 30;
+  Dilos.Ddc_alloc.malloc (heap_of t) size
+
+let free t ~core addr =
+  charge t (core_state t core) 25;
+  Dilos.Ddc_alloc.free (heap_of t)
+    ~write_link:(fun a -> write_u64 t ~core a 0xDEADBEEFL)
+    addr

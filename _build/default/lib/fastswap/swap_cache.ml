@@ -1,0 +1,40 @@
+type entry = { frame : int; mutable io_inflight : bool }
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  order : int Queue.t; (* insertion order; may contain stale vpns *)
+}
+
+let create () = { tbl = Hashtbl.create 256; order = Queue.create () }
+let find t vpn = Hashtbl.find_opt t.tbl vpn
+
+let insert t vpn e =
+  if Hashtbl.mem t.tbl vpn then invalid_arg "Swap_cache.insert: duplicate";
+  Hashtbl.replace t.tbl vpn e;
+  Queue.push vpn t.order
+
+let remove t vpn = Hashtbl.remove t.tbl vpn
+let mem t vpn = Hashtbl.mem t.tbl vpn
+let size t = Hashtbl.length t.tbl
+
+let pop_idle t =
+  (* Scan from the oldest insertion; drop stale queue entries as we
+     go. Entries with IO in flight are re-queued. *)
+  let rec go tried =
+    if tried > Queue.length t.order then None
+    else
+      match Queue.take_opt t.order with
+      | None -> None
+      | Some vpn -> (
+          match Hashtbl.find_opt t.tbl vpn with
+          | None -> go tried (* stale; consumed by a minor fault *)
+          | Some e when e.io_inflight ->
+              Queue.push vpn t.order;
+              go (tried + 1)
+          | Some e ->
+              Hashtbl.remove t.tbl vpn;
+              Some (vpn, e))
+  in
+  go 0
+
+let iter t f = Hashtbl.iter f t.tbl

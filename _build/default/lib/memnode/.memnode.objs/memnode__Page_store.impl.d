@@ -1,0 +1,1 @@
+lib/memnode/page_store.ml: Bytes Hashtbl Int64 Printf Rdma Stdlib

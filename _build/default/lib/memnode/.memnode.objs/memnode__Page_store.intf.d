@@ -1,0 +1,1 @@
+lib/memnode/page_store.mli: Rdma

@@ -1,0 +1,1 @@
+lib/memnode/server.ml: Page_store Rdma Sim

@@ -1,0 +1,1 @@
+lib/memnode/server.mli: Page_store Rdma Sim

@@ -1,0 +1,59 @@
+let block_size = 4096
+let block_shift = 12
+
+type t = { size : int64; blocks : (int, bytes) Hashtbl.t }
+
+let create ~size =
+  if Int64.compare size 0L < 0 then invalid_arg "Page_store.create: negative size";
+  { size; blocks = Hashtbl.create 4096 }
+
+let size t = t.size
+
+let check t addr len =
+  if len < 0 then invalid_arg "Page_store: negative length";
+  if
+    Int64.compare addr 0L < 0
+    || Int64.compare (Int64.add addr (Int64.of_int len)) t.size > 0
+  then invalid_arg (Printf.sprintf "Page_store: range [0x%Lx,+%d) out of bounds" addr len)
+
+let block t idx =
+  match Hashtbl.find_opt t.blocks idx with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make block_size '\000' in
+      Hashtbl.add t.blocks idx b;
+      b
+
+(* Walk the blocks spanned by [addr, addr+len) and apply [f block
+   block_off dst_off n] to each piece. *)
+let iter_span addr len f =
+  let pos = ref addr and remaining = ref len and done_ = ref 0 in
+  while !remaining > 0 do
+    let idx = Int64.to_int (Int64.shift_right_logical !pos block_shift) in
+    let boff = Int64.to_int (Int64.logand !pos (Int64.of_int (block_size - 1))) in
+    let n = Stdlib.min !remaining (block_size - boff) in
+    f idx boff !done_ n;
+    pos := Int64.add !pos (Int64.of_int n);
+    remaining := !remaining - n;
+    done_ := !done_ + n
+  done
+
+let read t ~addr ~dst ~off ~len =
+  check t addr len;
+  iter_span addr len (fun idx boff piece n ->
+      match Hashtbl.find_opt t.blocks idx with
+      | Some b -> Bytes.blit b boff dst (off + piece) n
+      | None -> Bytes.fill dst (off + piece) n '\000')
+
+let write t ~addr ~src ~off ~len =
+  check t addr len;
+  iter_span addr len (fun idx boff piece n ->
+      Bytes.blit src (off + piece) (block t idx) boff n)
+
+let resident_blocks t = Hashtbl.length t.blocks
+
+let target t =
+  {
+    Rdma.Qp.t_read = (fun addr dst off len -> read t ~addr ~dst ~off ~len);
+    t_write = (fun addr src off len -> write t ~addr ~src ~off ~len);
+  }

@@ -1,0 +1,27 @@
+(** Authoritative byte store on the memory node.
+
+    Sparse: backing blocks are allocated on first write, and reads of
+    never-written memory observe zeros (matching fresh DRAM handed
+    out by the memory node server). Serves arbitrary byte ranges,
+    including ranges crossing block boundaries, so it can back both
+    full-page transfers and the sub-page / vectored operations used by
+    guides. *)
+
+type t
+
+val block_size : int
+(** Granularity of backing allocation (4 KiB). *)
+
+val create : size:int64 -> t
+(** [create ~size] serves addresses \[0, size). *)
+
+val size : t -> int64
+
+val read : t -> addr:int64 -> dst:bytes -> off:int -> len:int -> unit
+val write : t -> addr:int64 -> src:bytes -> off:int -> len:int -> unit
+
+val resident_blocks : t -> int
+(** Number of blocks materialized so far (diagnostic). *)
+
+val target : t -> Rdma.Qp.target
+(** The one-sided access interface handed to the RNIC. *)

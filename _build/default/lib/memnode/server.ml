@@ -1,0 +1,25 @@
+type t = {
+  eng : Sim.Engine.t;
+  store : Page_store.t;
+  huge_pages : bool;
+}
+
+let create ~eng ~size ?(huge_pages = true) () =
+  { eng; store = Page_store.create ~size; huge_pages }
+
+let connect t ?nic_config ?extra_completion_delay ?stats ?bw_bucket () =
+  let fabric =
+    Rdma.Fabric.connect ~eng:t.eng ?nic_config ~huge_pages:t.huge_pages
+      ?extra_completion_delay ?stats ?bw_bucket
+      ~target:(Page_store.target t.store) ~size:(Page_store.size t.store) ()
+  in
+  (* Control path: one virtio round trip per connection. Advancing the
+     clock here is fine because connection setup happens before any
+     workload fiber starts. *)
+  Sim.Engine.at t.eng
+    (Sim.Time.add (Sim.Engine.now t.eng) Rdma.Fabric.setup_cost)
+    (fun () -> ());
+  fabric
+
+let store t = t.store
+let size t = Page_store.size t.store

@@ -1,0 +1,27 @@
+(** Memory node server.
+
+    Mirrors the paper's memory node (§5): a process that accepts a
+    setup request from the computing node, registers its memory region
+    with its RNIC (using huge TLB pages so the RNIC page table fits in
+    NIC cache), and then steps aside — every data-path operation is a
+    one-sided RDMA served by the (simulated) RNIC against the
+    {!Page_store}. *)
+
+type t
+
+val create : eng:Sim.Engine.t -> size:int64 -> ?huge_pages:bool -> unit -> t
+(** [size] is the amount of remote memory exported, in bytes. *)
+
+val connect :
+  t ->
+  ?nic_config:Rdma.Nic.config ->
+  ?extra_completion_delay:Sim.Time.t ->
+  ?stats:Sim.Stats.t ->
+  ?bw_bucket:Sim.Time.t ->
+  unit ->
+  Rdma.Fabric.t
+(** Perform connection setup (control path) and return the fabric the
+    computing node uses from then on. *)
+
+val store : t -> Page_store.t
+val size : t -> int64

@@ -1,0 +1,1 @@
+lib/rdma/bandwidth.ml: Array Hashtbl Int64 List Sim Stdlib

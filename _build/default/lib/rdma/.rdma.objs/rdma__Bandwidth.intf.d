@@ -1,0 +1,1 @@
+lib/rdma/bandwidth.mli: Sim

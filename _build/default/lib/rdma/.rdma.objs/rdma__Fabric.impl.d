@@ -1,0 +1,1 @@
+lib/rdma/fabric.ml: Bandwidth Nic Qp Region Sim

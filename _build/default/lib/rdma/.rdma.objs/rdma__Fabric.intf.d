@@ -1,0 +1,1 @@
+lib/rdma/fabric.mli: Bandwidth Nic Qp Region Sim

@@ -1,0 +1,1 @@
+lib/rdma/nic.mli: Sim

@@ -1,0 +1,1 @@
+lib/rdma/qp.ml: Bandwidth Bytes Int64 List Nic Region Sim

@@ -1,0 +1,1 @@
+lib/rdma/qp.mli: Bandwidth Nic Region Sim

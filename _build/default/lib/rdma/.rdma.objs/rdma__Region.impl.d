@@ -1,0 +1,1 @@
+lib/rdma/region.ml: Int64 Printf

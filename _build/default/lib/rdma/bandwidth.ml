@@ -1,0 +1,44 @@
+type dir = Rx | Tx
+
+type t = {
+  eng : Sim.Engine.t;
+  bucket : Sim.Time.t;
+  tbl : (int, int array) Hashtbl.t; (* bucket index -> [|rx; tx|] *)
+  mutable total_rx : int;
+  mutable total_tx : int;
+}
+
+let create ?(bucket = Sim.Time.ms 1) eng =
+  if Int64.compare bucket 0L <= 0 then invalid_arg "Bandwidth.create: bucket <= 0";
+  { eng; bucket; tbl = Hashtbl.create 64; total_rx = 0; total_tx = 0 }
+
+let record t dir bytes_ =
+  let idx = Int64.to_int (Int64.div (Sim.Engine.now t.eng) t.bucket) in
+  let cell =
+    match Hashtbl.find_opt t.tbl idx with
+    | Some c -> c
+    | None ->
+        let c = [| 0; 0 |] in
+        Hashtbl.add t.tbl idx c;
+        c
+  in
+  (match dir with
+  | Rx ->
+      cell.(0) <- cell.(0) + bytes_;
+      t.total_rx <- t.total_rx + bytes_
+  | Tx ->
+      cell.(1) <- cell.(1) + bytes_;
+      t.total_tx <- t.total_tx + bytes_)
+
+let total t = function Rx -> t.total_rx | Tx -> t.total_tx
+
+let series t =
+  Hashtbl.fold (fun idx c acc -> (idx, c) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.map (fun (idx, c) ->
+         (Int64.mul (Int64.of_int idx) t.bucket, c.(0), c.(1)))
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.total_rx <- 0;
+  t.total_tx <- 0

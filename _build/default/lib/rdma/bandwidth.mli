@@ -1,0 +1,25 @@
+(** Time-bucketed link bandwidth meter.
+
+    Records bytes moved in each direction per fixed-size time bucket,
+    so experiments can plot consumption over (simulated) time — used
+    to regenerate the paper's Figure 12. *)
+
+type dir = Rx | Tx
+(** [Rx]: bytes fetched from the memory node (READ completions);
+    [Tx]: bytes written back to it. *)
+
+type t
+
+val create : ?bucket:Sim.Time.t -> Sim.Engine.t -> t
+(** Default bucket is 1 ms of simulated time. *)
+
+val record : t -> dir -> int -> unit
+(** Record bytes at the engine's current time. *)
+
+val total : t -> dir -> int
+
+val series : t -> (Sim.Time.t * int * int) list
+(** [(bucket_start, rx_bytes, tx_bytes)] for every non-empty bucket,
+    in time order. *)
+
+val reset : t -> unit

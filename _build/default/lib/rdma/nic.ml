@@ -1,0 +1,44 @@
+type config = {
+  base_read_ns : int;
+  base_write_ns : int;
+  per_byte_ns : float;
+  per_segment_ns : int;
+  long_vector_penalty_ns : int;
+  doorbell_ns : int;
+  no_huge_page_walk_ns : int;
+}
+
+let default =
+  {
+    (* Fig. 2: 128 B read ~2.2 us; 4 KiB adds ~0.6 us. *)
+    base_read_ns = 2_180;
+    base_write_ns = 2_050;
+    per_byte_ns = 0.151;
+    per_segment_ns = 120;
+    long_vector_penalty_ns = 1_500;
+    doorbell_ns = 80;
+    no_huge_page_walk_ns = 250;
+  }
+
+type t = { cfg : config }
+
+let create ?(config = default) () = { cfg = config }
+let config t = t.cfg
+
+type op = Read | Write
+
+let latency t op ~bytes_ ~segments ~huge_pages =
+  let c = t.cfg in
+  let base = match op with Read -> c.base_read_ns | Write -> c.base_write_ns in
+  let seg_extra = if segments > 1 then (segments - 1) * c.per_segment_ns else 0 in
+  let long_extra =
+    if segments > 3 then (segments - 3) * c.long_vector_penalty_ns else 0
+  in
+  let walk = if huge_pages then 0 else c.no_huge_page_walk_ns in
+  let total =
+    float_of_int (base + seg_extra + long_extra + walk)
+    +. (c.per_byte_ns *. float_of_int bytes_)
+  in
+  Sim.Time.ns (int_of_float total)
+
+let doorbell t = Sim.Time.ns t.cfg.doorbell_ns

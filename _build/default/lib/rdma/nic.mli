@@ -1,0 +1,41 @@
+(** RNIC latency/service model.
+
+    Calibrated against the paper's Figure 2 (one-sided RDMA latency
+    over a 100 GbE ConnectX-5 link): a ~128 B read completes in
+    ~2.2 us and a 4 KiB read costs only ~0.6 us more, i.e. latency =
+    base + bytes * per_byte. Scatter/gather verbs pay a per-segment
+    cost, and vectors longer than three segments suffer the
+    significant slowdown reported in §6.3. *)
+
+type config = {
+  base_read_ns : int;  (** one-sided READ base latency *)
+  base_write_ns : int;  (** one-sided WRITE base latency *)
+  per_byte_ns : float;  (** payload serialization cost per byte *)
+  per_segment_ns : int;  (** extra cost per scatter/gather segment beyond the first *)
+  long_vector_penalty_ns : int;
+      (** extra cost per segment beyond the third (§6.3: "vectorized
+          RDMA has a significant slowdown when its vector is longer
+          than three") *)
+  doorbell_ns : int;
+      (** MMIO doorbell (BlueFlame WQE-by-MMIO); paid on the posting
+          CPU, not the wire *)
+  no_huge_page_walk_ns : int;
+      (** extra host page-table walk cost per op when the memory node
+          does not use huge pages (§5, "Memory node") *)
+}
+
+val default : config
+(** Calibration used throughout the reproduction; see
+    [lib/core/params.ml] for provenance. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+type op = Read | Write
+
+val latency : t -> op -> bytes_:int -> segments:int -> huge_pages:bool -> Sim.Time.t
+(** Wire + NIC processing time for one work request. *)
+
+val doorbell : t -> Sim.Time.t

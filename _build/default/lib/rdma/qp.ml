@@ -1,0 +1,139 @@
+type target = {
+  t_read : int64 -> bytes -> int -> int -> unit;
+  t_write : int64 -> bytes -> int -> int -> unit;
+}
+
+type seg = { raddr : int64; loff : int; len : int }
+
+type t = {
+  eng : Sim.Engine.t;
+  nic : Nic.t;
+  target : target;
+  region : Region.t;
+  rkey : int;
+  bw : Bandwidth.t option;
+  stats : Sim.Stats.t option;
+  huge_pages : bool;
+  extra_completion_delay : Sim.Time.t;
+  name : string;
+  mutable next_free : Sim.Time.t;
+  mutable inflight : int;
+}
+
+let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
+    ?(extra_completion_delay = Sim.Time.zero) ~name () =
+  {
+    eng;
+    nic;
+    target;
+    region;
+    rkey;
+    bw;
+    stats;
+    huge_pages;
+    extra_completion_delay;
+    name;
+    next_free = Sim.Time.zero;
+    inflight = 0;
+  }
+
+let name t = t.name
+let inflight t = t.inflight
+
+let total_len segs = List.fold_left (fun acc s -> acc + s.len) 0 segs
+
+(* Serialization (occupancy) time of a work request on the send
+   engine: per-request overhead + payload at link rate. *)
+let wr_overhead_ns = 150
+
+let occupancy t ~bytes_ ~segments =
+  let c = Nic.config t.nic in
+  let seg_extra = if segments > 1 then (segments - 1) * c.Nic.per_segment_ns else 0 in
+  let long_extra =
+    if segments > 3 then (segments - 3) * c.Nic.long_vector_penalty_ns else 0
+  in
+  Sim.Time.ns
+    (wr_overhead_ns + seg_extra + long_extra
+    + int_of_float (c.Nic.per_byte_ns *. float_of_int bytes_))
+
+let validate t segs buf =
+  if segs = [] then invalid_arg "Qp: empty segment list";
+  List.iter
+    (fun s ->
+      Region.check t.region ~rkey:t.rkey ~addr:s.raddr ~len:s.len;
+      if s.loff < 0 || s.loff + s.len > Bytes.length buf then
+        invalid_arg "Qp: segment outside local buffer")
+    segs
+
+let count t op bytes_ =
+  match t.stats with
+  | None -> ()
+  | Some st -> (
+      match op with
+      | Nic.Read ->
+          Sim.Stats.incr st "rdma_reads";
+          Sim.Stats.add st "rdma_read_bytes" bytes_
+      | Nic.Write ->
+          Sim.Stats.incr st "rdma_writes";
+          Sim.Stats.add st "rdma_write_bytes" bytes_)
+
+let meter t op bytes_ =
+  match t.bw with
+  | None -> ()
+  | Some bw -> (
+      match op with
+      | Nic.Read -> Bandwidth.record bw Bandwidth.Rx bytes_
+      | Nic.Write -> Bandwidth.record bw Bandwidth.Tx bytes_)
+
+let post t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
+  validate t segs buf;
+  let bytes_ = total_len segs in
+  let segments = List.length segs in
+  let now = Sim.Engine.now t.eng in
+  let posted = Sim.Time.add now (Nic.doorbell t.nic) in
+  let start = Sim.Time.max posted t.next_free in
+  t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
+  let latency = Nic.latency t.nic op ~bytes_ ~segments ~huge_pages:t.huge_pages in
+  let completion =
+    Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
+  in
+  t.inflight <- t.inflight + 1;
+  count t op bytes_;
+  Sim.Engine.at t.eng completion (fun () ->
+      t.inflight <- t.inflight - 1;
+      meter t op bytes_;
+      transfer ();
+      on_complete ())
+
+let post_read t ~segs ~buf ~on_complete =
+  let transfer () =
+    List.iter (fun s -> t.target.t_read s.raddr buf s.loff s.len) segs
+  in
+  post t Nic.Read ~segs ~buf ~transfer ~on_complete
+
+let post_write t ~segs ~buf ~on_complete =
+  (* Snapshot the payload at post time: the NIC reads local memory when
+     the WR is posted, not when the ack returns. *)
+  let snapshot = Bytes.copy buf in
+  let transfer () =
+    List.iter (fun s -> t.target.t_write s.raddr snapshot s.loff s.len) segs
+  in
+  post t Nic.Write ~segs ~buf ~transfer ~on_complete
+
+let sync t post_fn ~segs ~buf =
+  Sim.Engine.suspend t.eng (fun wake ->
+      post_fn t ~segs ~buf ~on_complete:wake)
+
+let read_sync_v t ~segs ~buf = sync t post_read ~segs ~buf
+let write_sync_v t ~segs ~buf = sync t post_write ~segs ~buf
+
+let read t ~raddr ~buf ~off ~len =
+  read_sync_v t ~segs:[ { raddr; loff = off; len } ] ~buf
+
+let write t ~raddr ~buf ~off ~len =
+  write_sync_v t ~segs:[ { raddr; loff = off; len } ] ~buf
+
+let queue_delay t =
+  let now = Sim.Engine.now t.eng in
+  if Int64.compare t.next_free now > 0 then Sim.Time.sub t.next_free now
+  else Sim.Time.zero

@@ -1,0 +1,64 @@
+(** Queue pairs: one-sided READ / WRITE / scatter-gather verbs.
+
+    Service model: each work request occupies the QP's send engine for
+    its serialization time (payload bytes at link rate plus a
+    per-request overhead), while its completion fires a full wire
+    latency after service starts. Multiple outstanding requests on one
+    QP therefore pipeline — throughput is bandwidth-bound, single-op
+    latency matches {!Nic.latency}. Requests on different QPs do not
+    interfere, modelling the paper's shared-nothing per-core queues
+    (§4.5). *)
+
+type target = {
+  t_read : int64 -> bytes -> int -> int -> unit;
+      (** [t_read raddr dst dst_off len]: copy remote bytes into a
+          local buffer (executed at completion time). *)
+  t_write : int64 -> bytes -> int -> int -> unit;
+      (** [t_write raddr src src_off len]: copy local bytes into
+          remote memory (source snapshotted at post time). *)
+}
+
+type seg = { raddr : int64; loff : int; len : int }
+(** One scatter/gather element: remote address, offset into the local
+    buffer, and length. *)
+
+type t
+
+val create :
+  eng:Sim.Engine.t ->
+  nic:Nic.t ->
+  target:target ->
+  region:Region.t ->
+  rkey:int ->
+  ?bw:Bandwidth.t ->
+  ?stats:Sim.Stats.t ->
+  ?huge_pages:bool ->
+  ?extra_completion_delay:Sim.Time.t ->
+  name:string ->
+  unit ->
+  t
+
+val name : t -> string
+val inflight : t -> int
+
+val post_read :
+  t -> segs:seg list -> buf:bytes -> on_complete:(unit -> unit) -> unit
+(** Asynchronous one-sided READ. May be called from fibers or plain
+    callbacks. [buf] is filled at completion time. *)
+
+val post_write :
+  t -> segs:seg list -> buf:bytes -> on_complete:(unit -> unit) -> unit
+(** Asynchronous one-sided WRITE. The payload is snapshotted when
+    posted. *)
+
+val read : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
+(** Synchronous single-segment READ (blocks the calling fiber). *)
+
+val write : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
+
+val read_sync_v : t -> segs:seg list -> buf:bytes -> unit
+val write_sync_v : t -> segs:seg list -> buf:bytes -> unit
+
+val queue_delay : t -> Sim.Time.t
+(** How long a request posted now would wait before service begins
+    (diagnostic; used by tests to verify pipelining). *)

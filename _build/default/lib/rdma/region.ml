@@ -1,0 +1,21 @@
+type t = { rkey : int; base : int64; len : int64 }
+
+exception Protection_fault of string
+
+let make ~rkey ~base ~len =
+  if Int64.compare len 0L < 0 then invalid_arg "Region.make: negative length";
+  { rkey; base; len }
+
+let check t ~rkey ~addr ~len =
+  if rkey <> t.rkey then
+    raise (Protection_fault (Printf.sprintf "bad rkey %d (expected %d)" rkey t.rkey));
+  let last = Int64.add addr (Int64.of_int len) in
+  if
+    Int64.compare addr t.base < 0
+    || Int64.compare last (Int64.add t.base t.len) > 0
+    || len < 0
+  then
+    raise
+      (Protection_fault
+         (Printf.sprintf "access [0x%Lx,+%d) outside region [0x%Lx,+%Ld)" addr len
+            t.base t.len))

@@ -1,0 +1,16 @@
+(** Registered memory regions and protection keys.
+
+    The memory node registers its memory with the RNIC and hands the
+    computing node an [rkey]; one-sided operations must present a
+    valid rkey and stay within the region bounds (§5, "To isolate
+    data-path among VMs, DiLOS' driver uses RDMA's protection key
+    mechanism"). *)
+
+type t = { rkey : int; base : int64; len : int64 }
+
+exception Protection_fault of string
+
+val make : rkey:int -> base:int64 -> len:int64 -> t
+
+val check : t -> rkey:int -> addr:int64 -> len:int -> unit
+(** @raise Protection_fault on rkey mismatch or out-of-bounds access. *)

@@ -1,0 +1,25 @@
+(** Condition variables for engine fibers.
+
+    The usual discipline applies: check the predicate, [wait] while it
+    is false. Because the simulation is single-threaded there are no
+    data races, but a fiber must re-check its predicate after waking
+    (another woken fiber may have consumed the resource first). *)
+
+type t
+
+val create : Engine.t -> t
+
+val wait : t -> unit
+(** Park the calling fiber until [signal] or [broadcast]. *)
+
+val signal : t -> unit
+(** Wake the longest-waiting fiber, if any. *)
+
+val broadcast : t -> unit
+(** Wake all waiting fibers, in waiting order. *)
+
+val wait_for : t -> (unit -> bool) -> unit
+(** [wait_for cv pred] returns once [pred ()] is true, waiting on [cv]
+    between checks. *)
+
+val waiters : t -> int

@@ -1,0 +1,101 @@
+type event = { time : Time.t; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let cmp_event a b =
+  let c = Int64.compare a.time b.time in
+  if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+let create () =
+  { now = Time.zero; seq = 0; queue = Heap.create ~cmp:cmp_event; failure = None }
+
+let now t = t.now
+
+let at t time fn =
+  if Int64.compare time t.now < 0 then
+    invalid_arg "Engine.at: scheduling in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq; fn }
+
+let after t delay fn = at t (Time.add t.now delay) fn
+
+(* Fibers are implemented with one effect: [Suspend register]. The
+   handler captures the continuation and hands [register] a wake
+   function that re-schedules it on the event queue. *)
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let fiber_handler t (f : unit -> unit) () =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          if t.failure = None then
+            t.failure <- Some (e, Printexc.get_raw_backtrace ()));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  let wake () =
+                    if !woken then invalid_arg "Engine: double wake of a fiber";
+                    woken := true;
+                    at t t.now (fun () -> continue k ())
+                  in
+                  (* An exception inside [register] belongs to the
+                     suspending fiber, not to the engine loop. *)
+                  match register wake with
+                  | () -> ()
+                  | exception e -> discontinue k e)
+          | _ -> None);
+    }
+
+let spawn t ?name:_ f = at t t.now (fiber_handler t f)
+let suspend _t register = Effect.perform (Suspend register)
+
+let sleep_until t time =
+  if Int64.compare time t.now > 0 then
+    Effect.perform (Suspend (fun wake -> at t time wake))
+
+let sleep t delay = sleep_until t (Time.add t.now delay)
+let yield t = Effect.perform (Suspend (fun wake -> at t t.now wake))
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      (ev.fn ());
+      true
+
+let check_failure t =
+  match t.failure with
+  | Some (e, bt) ->
+      t.failure <- None;
+      Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run t =
+  while t.failure = None && step t do
+    ()
+  done;
+  check_failure t
+
+let run_until_idle t ~max_time =
+  let continue_ = ref true in
+  while !continue_ && t.failure = None do
+    match Heap.peek t.queue with
+    | Some ev when Int64.compare ev.time max_time <= 0 -> ignore (step t)
+    | Some _ | None -> continue_ := false
+  done;
+  check_failure t
+
+let pending t = Heap.length t.queue

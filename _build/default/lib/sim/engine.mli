@@ -1,0 +1,59 @@
+(** Discrete-event simulation engine with effect-handler fibers.
+
+    A simulation is a set of fibers sharing one virtual clock. A fiber
+    runs uninterrupted OCaml code until it blocks — by sleeping for a
+    simulated duration or by suspending on an external wake-up (see
+    {!Condvar}). Parallelism between simulated cores emerges naturally:
+    two fibers sleeping over the same interval overlap in simulated
+    time.
+
+    Determinism: events at equal timestamps fire in the order they were
+    scheduled (a monotonically increasing sequence number breaks
+    ties). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] schedules fiber [f] to start at the current time.
+    Exceptions escaping a fiber abort the simulation run. *)
+
+val at : t -> Time.t -> (unit -> unit) -> unit
+(** [at t when_ f] schedules callback [f] (not a fiber: it must not
+    block) at absolute time [when_], which must not be in the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> unit
+(** [after t delay f] is [at t (now t + delay) f]. *)
+
+val sleep : t -> Time.t -> unit
+(** Block the calling fiber for a simulated duration. Must be called
+    from inside a fiber. *)
+
+val sleep_until : t -> Time.t -> unit
+(** Block the calling fiber until an absolute simulated time (no-op if
+    the time has already passed). *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] parks the calling fiber. [register] receives
+    a [wake] function; calling [wake] (at most once) schedules the
+    fiber to resume at the then-current simulated time. *)
+
+val yield : t -> unit
+(** Re-schedule the calling fiber at the current time, letting other
+    ready fibers and callbacks run first. *)
+
+val run : t -> unit
+(** Drain the event queue. Returns when no event remains (all fibers
+    finished or are parked forever). Re-raises the first exception
+    that escaped a fiber or callback. *)
+
+val run_until_idle : t -> max_time:Time.t -> unit
+(** Like {!run} but stops (leaving remaining events queued) once the
+    clock would exceed [max_time]. *)
+
+val pending : t -> int
+(** Number of queued events (diagnostic). *)

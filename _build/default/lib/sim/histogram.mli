@@ -1,0 +1,22 @@
+(** Fixed-memory latency histogram (HDR-style).
+
+    Values are non-negative integers (we use nanoseconds). Buckets are
+    exponential with 16 sub-buckets per octave, giving a relative
+    quantile error of at most ~6%; min, max, mean and count are
+    exact. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val count : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] with [q] in \[0, 1\]; e.g. [quantile t 0.99] is the
+    p99. Returns 0 on an empty histogram. *)
+
+val merge_into : dst:t -> t -> unit
+val reset : t -> unit

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine for simulation purposes: bias is
+     at most bound/2^63, negligible for the bounds we use. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+let int64 t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64: bound must be positive";
+  Int64.rem (Int64.shift_right_logical (next64 t) 1) bound
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11) *. (1. /. 9007199254740992.)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let fill_bytes t buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    Bytes.set_int64_le buf !i (next64 t);
+    i := !i + 8
+  done;
+  while !i < n do
+    Bytes.set buf !i (Char.chr (Int64.to_int (Int64.logand (next64 t) 0xFFL)));
+    incr i
+  done

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every experiment seeds its own generator so that runs are exactly
+    reproducible and independent of OCaml's global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-thread streams). *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). [bound] must be > 0. *)
+
+val int64 : t -> int64 -> int64
+(** Uniform in \[0, bound). [bound] must be > 0. *)
+
+val float : t -> float
+(** Uniform in \[0, 1). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val fill_bytes : t -> bytes -> unit
+(** Fill a buffer with pseudo-random bytes. *)

@@ -1,0 +1,40 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histos : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; histos = Hashtbl.create 8 }
+
+let cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (cell t name)
+let add t name n = cell t name := !(cell t name) + n
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let set t name v = cell t name := v
+
+let histogram t name =
+  match Hashtbl.find_opt t.histos name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.histos name h;
+      h
+
+let record t name v = Histogram.add (histogram t name) v
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histos
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t)

@@ -1,0 +1,30 @@
+(** Named counters and histograms for a simulation run.
+
+    Components increment shared counters ("major_faults",
+    "bytes_fetched", ...) and record latency samples into named
+    histograms; the experiment harness reads them back at the end of
+    the run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** Missing counters read as 0. *)
+
+val set : t -> string -> int -> unit
+
+val histogram : t -> string -> Histogram.t
+(** The named histogram, created on first use. *)
+
+val record : t -> string -> int -> unit
+(** [record t name v] adds a sample to histogram [name]. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let s n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let us_f x = Int64.of_float (Float.round (x *. 1_000.))
+let to_us t = Int64.to_float t /. 1_000.
+let to_ms t = Int64.to_float t /. 1_000_000.
+let to_s t = Int64.to_float t /. 1_000_000_000.
+let add = Int64.add
+let sub = Int64.sub
+let max = Int64.max
+let min = Int64.min
+let compare = Int64.compare
+
+let pp ppf t =
+  let f = Int64.to_float t in
+  if Int64.compare t (ns 10_000) < 0 then Format.fprintf ppf "%Ldns" t
+  else if Int64.compare t (us 10_000) < 0 then
+    Format.fprintf ppf "%.2fus" (f /. 1e3)
+  else if Int64.compare t (ms 10_000) < 0 then
+    Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else Format.fprintf ppf "%.3fs" (f /. 1e9)

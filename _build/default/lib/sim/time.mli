@@ -1,0 +1,34 @@
+(** Simulated time.
+
+    All simulated durations and instants are expressed as int64
+    nanoseconds. The engine clock starts at [zero] and only moves
+    forward. *)
+
+type t = int64
+
+val zero : t
+
+(** Construction from common units. *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val us_f : float -> t
+(** [us_f x] is [x] microseconds rounded to the nearest nanosecond. *)
+
+(** Conversion back to floats, for reporting. *)
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)

@@ -1,0 +1,1 @@
+lib/vmem/mmu.ml: Array Page_table Pte Sim

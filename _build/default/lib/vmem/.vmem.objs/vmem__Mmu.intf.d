@@ -1,0 +1,1 @@
+lib/vmem/mmu.mli: Page_table Pte Sim

@@ -1,0 +1,18 @@
+let page_size = 4096
+let page_shift = 12
+let page_mask = 0xFFFL
+
+let vpn a = Int64.to_int (Int64.shift_right_logical a page_shift)
+let base v = Int64.shift_left (Int64.of_int v) page_shift
+let offset a = Int64.to_int (Int64.logand a page_mask)
+let is_page_aligned a = Int64.logand a page_mask = 0L
+
+let round_up a =
+  Int64.logand (Int64.add a page_mask) (Int64.lognot page_mask)
+
+let pages_spanned addr len =
+  if len <= 0 then 0
+  else
+    let first = vpn addr in
+    let last = vpn (Int64.add addr (Int64.of_int (len - 1))) in
+    last - first + 1

@@ -1,0 +1,47 @@
+type vma = { base : int64; len : int64; ddc : bool; vma_name : string }
+
+type t = { mutable vmas : vma list; mutable next : int64 }
+(* [vmas] kept sorted by base; allocation is a simple bump since
+   simulated address space is effectively infinite. *)
+
+let default_base = 0x10000000L
+
+let create ?(base = default_base) () =
+  if not (Addr.is_page_aligned base) then
+    invalid_arg "Address_space.create: base not page aligned";
+  { vmas = []; next = base }
+
+let mmap t ~len ~ddc ?(name = "anon") () =
+  if len <= 0 then invalid_arg "Address_space.mmap: len <= 0";
+  let base = t.next in
+  let len64 = Addr.round_up (Int64.of_int len) in
+  let vma = { base; len = len64; ddc; vma_name = name } in
+  t.vmas <- vma :: t.vmas;
+  (* Guard page between mappings catches stray pointer bugs. *)
+  t.next <- Int64.add (Int64.add base len64) (Int64.of_int Addr.page_size);
+  base
+
+let munmap t base =
+  let found, rest =
+    List.partition (fun v -> Int64.equal v.base base) t.vmas
+  in
+  match found with
+  | [ v ] ->
+      t.vmas <- rest;
+      v
+  | [] -> raise Not_found
+  | _ :: _ -> assert false
+
+let find t addr =
+  List.find_opt
+    (fun v ->
+      Int64.compare addr v.base >= 0
+      && Int64.compare addr (Int64.add v.base v.len) < 0)
+    t.vmas
+
+let is_ddc t addr = match find t addr with Some v -> v.ddc | None -> false
+
+let vmas t =
+  List.sort (fun a b -> Int64.compare a.base b.base) t.vmas
+
+let top t = t.next

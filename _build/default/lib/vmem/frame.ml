@@ -1,0 +1,48 @@
+type t = {
+  total : int;
+  payload : bytes array;
+  free_stack : int array;
+  mutable free_top : int; (* number of free frames on the stack *)
+  in_use : Bytes.t; (* 1 byte per frame: 0 = free, 1 = used *)
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Frame.create: need at least one frame";
+  {
+    total = frames;
+    payload = Array.init frames (fun _ -> Bytes.create Addr.page_size);
+    free_stack = Array.init frames (fun i -> frames - 1 - i);
+    free_top = frames;
+    in_use = Bytes.make frames '\000';
+  }
+
+let total t = t.total
+let free_count t = t.free_top
+let used_count t = t.total - t.free_top
+
+let alloc t =
+  if t.free_top = 0 then None
+  else begin
+    t.free_top <- t.free_top - 1;
+    let f = t.free_stack.(t.free_top) in
+    Bytes.set t.in_use f '\001';
+    Bytes.fill t.payload.(f) 0 Addr.page_size '\000';
+    Some f
+  end
+
+let alloc_exn t =
+  match alloc t with
+  | Some f -> f
+  | None -> invalid_arg "Frame.alloc_exn: pool exhausted"
+
+let free t f =
+  if f < 0 || f >= t.total then invalid_arg "Frame.free: bad frame number";
+  if Bytes.get t.in_use f = '\000' then invalid_arg "Frame.free: double free";
+  Bytes.set t.in_use f '\000';
+  t.free_stack.(t.free_top) <- f;
+  t.free_top <- t.free_top + 1
+
+let data t f =
+  if f < 0 || f >= t.total || Bytes.get t.in_use f = '\000' then
+    invalid_arg "Frame.data: frame not allocated";
+  t.payload.(f)

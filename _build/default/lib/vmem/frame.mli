@@ -1,0 +1,25 @@
+(** Local DRAM: a fixed pool of 4 KiB physical frames.
+
+    The pool size is the computing node's local cache budget (the
+    "12.5% / 25% / 50% / 100% local memory" knob of the evaluation).
+    Frame payloads are real bytes; they are what applications read and
+    write through the MMU. *)
+
+type t
+
+val create : frames:int -> t
+val total : t -> int
+val free_count : t -> int
+val used_count : t -> int
+
+val alloc : t -> int option
+(** Returns a zeroed frame number, or [None] when the pool is
+    exhausted. *)
+
+val alloc_exn : t -> int
+
+val free : t -> int -> unit
+(** @raise Invalid_argument on double free or bad frame number. *)
+
+val data : t -> int -> bytes
+(** The 4 KiB payload of an allocated frame. *)

@@ -1,0 +1,31 @@
+(** Radix page table in hardware format.
+
+    Four levels, 9 bits per level, leaves holding 512 raw PTE words —
+    the same shape the MMU walks on x86-64. This is the structure
+    DiLOS reuses as its "unified page table": there is no separate
+    swap-cache index, all disaggregation state lives in the PTEs. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> int -> Pte.t
+(** [get t vpn] is the entry for virtual page [vpn] ([Pte.zero] when
+    no leaf exists). *)
+
+val set : t -> int -> Pte.t -> unit
+(** Intermediate levels are allocated on demand. *)
+
+val update : t -> int -> (Pte.t -> Pte.t) -> unit
+
+val leaf_slot : t -> int -> Pte.t array * int
+(** [leaf_slot t vpn] exposes the leaf array and index holding the
+    entry for [vpn], materializing the path. Lets the MMU fast path
+    and the hit tracker touch PTEs without re-walking. *)
+
+val iter_range : t -> vpn:int -> count:int -> (int -> Pte.t -> unit) -> unit
+(** Visit entries for [vpn .. vpn+count-1] (unmapped ones read as
+    [Pte.zero]); skips over entirely absent leaves cheaply. *)
+
+val count_mapped : t -> int
+(** Number of non-zero entries (diagnostic, O(mapped)). *)

@@ -1,0 +1,1 @@
+test/test_aifm.ml: Aifm Alcotest Array Bytes Int64 Memnode Printf Sim Util

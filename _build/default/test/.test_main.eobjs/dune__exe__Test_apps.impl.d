@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Bytes Dilos Float Gen Int64 List Printf QCheck QCheck_alcotest Sim String Util

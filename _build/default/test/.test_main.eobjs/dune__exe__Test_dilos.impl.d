@@ -1,0 +1,1 @@
+test/test_dilos.ml: Alcotest Array Bytes Char Dilos Int64 List Printf Rdma Sim Util Vmem

@@ -1,0 +1,1 @@
+test/test_fastswap.ml: Alcotest Dilos Fastswap Int64 Printf Sim Util Vmem

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aifm Test_apps Test_dilos Test_fastswap Test_misc Test_page_manager Test_prefetcher Test_rdma Test_redis Test_sim Test_vmem

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Apps Bytes Dilos Gen Int64 List Memnode Printf QCheck QCheck_alcotest Rdma Sim Stdlib Util

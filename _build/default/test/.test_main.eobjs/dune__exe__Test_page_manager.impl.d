@@ -1,0 +1,1 @@
+test/test_page_manager.ml: Alcotest Bytes Dilos Int64 Memnode Rdma Sim Util Vmem

@@ -1,0 +1,1 @@
+test/test_prefetcher.ml: Alcotest Array Dilos List QCheck QCheck_alcotest Util Vmem

@@ -1,0 +1,1 @@
+test/test_rdma.ml: Alcotest Bytes Char Dilos Int64 List Memnode Printf Rdma Sim String Util

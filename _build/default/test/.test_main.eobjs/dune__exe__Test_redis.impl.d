@@ -1,0 +1,1 @@
+test/test_redis.ml: Alcotest Apps Bytes Char Dilos Hashtbl Int32 Int64 List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest Bytes Char Int64 List QCheck QCheck_alcotest Util Vmem

@@ -1,0 +1,1 @@
+test/util.ml: Aifm Alcotest Dilos Fastswap Int64 Memnode Sim

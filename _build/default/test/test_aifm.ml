@@ -1,0 +1,125 @@
+open Util
+
+let roundtrip_small_objects () =
+  with_aifm (fun _eng k ->
+      let a = Aifm.Runtime.malloc k ~core:0 64 in
+      let b = Aifm.Runtime.malloc k ~core:0 64 in
+      Aifm.Runtime.write_u64 k ~core:0 a 7L;
+      Aifm.Runtime.write_u64 k ~core:0 b 8L;
+      check_i64 "a" 7L (Aifm.Runtime.read_u64 k ~core:0 a);
+      check_i64 "b" 8L (Aifm.Runtime.read_u64 k ~core:0 b);
+      Aifm.Runtime.free k ~core:0 a;
+      Aifm.Runtime.free k ~core:0 b)
+
+let roundtrip_through_evacuation () =
+  with_aifm ~local_mem:(256 * 1024) (fun eng k ->
+      let n = 128 in
+      let objs =
+        Array.init n (fun i ->
+            let a = Aifm.Runtime.malloc k ~core:0 4096 in
+            Aifm.Runtime.write_u64 k ~core:0 a (Int64.of_int i);
+            a)
+      in
+      Sim.Engine.sleep eng (Sim.Time.ms 2);
+      Array.iteri
+        (fun i a ->
+          check_i64 "object survives evacuation" (Int64.of_int i)
+            (Aifm.Runtime.read_u64 k ~core:0 a))
+        objs;
+      check_bool "evictions happened" true
+        (Sim.Stats.get (Aifm.Runtime.stats k) "evictions" > 0);
+      check_bool "misses happened" true
+        (Sim.Stats.get (Aifm.Runtime.stats k) "object_misses" > 0))
+
+let budget_respected () =
+  with_aifm ~local_mem:(256 * 1024) (fun eng k ->
+      let n = 256 in
+      let objs =
+        Array.init n (fun _ -> Aifm.Runtime.malloc k ~core:0 4096)
+      in
+      Array.iter (fun a -> Aifm.Runtime.write_u64 k ~core:0 a 1L) objs;
+      Sim.Engine.sleep eng (Sim.Time.ms 5);
+      check_bool
+        (Printf.sprintf "local %d near budget" (Aifm.Runtime.local_bytes k))
+        true
+        (Aifm.Runtime.local_bytes k <= 300 * 1024))
+
+let streaming_prefetch_fires () =
+  with_aifm ~local_mem:(1024 * 1024) (fun eng k ->
+      (* A 512 KiB array streamed sequentially: chunks beyond the
+         faulting one should be prefetched. *)
+      let a = Aifm.Runtime.malloc k ~core:0 (512 * 1024) in
+      let buf = Bytes.create 4096 in
+      for i = 0 to 127 do
+        Aifm.Runtime.write_bytes k ~core:0
+          (Int64.add a (Int64.of_int (i * 4096)))
+          buf 0 4096
+      done;
+      Sim.Engine.sleep eng (Sim.Time.ms 5);
+      (* Drop everything, then stream-read. *)
+      let st = Aifm.Runtime.stats k in
+      let before = Sim.Stats.get st "prefetch_issued" in
+      (* Force evacuation by allocating another large array. *)
+      let b = Aifm.Runtime.malloc k ~core:0 (900 * 1024) in
+      for i = 0 to (900 * 1024 / 4096) - 1 do
+        Aifm.Runtime.write_u64 k ~core:0 (Int64.add b (Int64.of_int (i * 4096))) 0L
+      done;
+      Sim.Engine.sleep eng (Sim.Time.ms 5);
+      for i = 0 to 127 do
+        Aifm.Runtime.read_bytes k ~core:0
+          (Int64.add a (Int64.of_int (i * 4096)))
+          buf 0 4096
+      done;
+      let after = Sim.Stats.get st "prefetch_issued" in
+      check_bool
+        (Printf.sprintf "prefetches issued (%d -> %d)" before after)
+        true (after > before))
+
+let dangling_handle_rejected () =
+  with_aifm (fun _eng k ->
+      let a = Aifm.Runtime.malloc k ~core:0 64 in
+      Aifm.Runtime.free k ~core:0 a;
+      Alcotest.check_raises "dangling" (Invalid_argument "Aifm: dangling handle")
+        (fun () -> ignore (Aifm.Runtime.read_u64 k ~core:0 a)))
+
+let offset_bounds_checked () =
+  with_aifm (fun _eng k ->
+      let a = Aifm.Runtime.malloc k ~core:0 64 in
+      Alcotest.check_raises "beyond object"
+        (Invalid_argument "Aifm: offset beyond object") (fun () ->
+          ignore (Aifm.Runtime.read_u8 k ~core:0 (Int64.add a 64L))))
+
+let tcp_slower_than_rdma () =
+  let time tcp =
+    run_sim (fun eng ->
+        let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 30) () in
+        let k =
+          Aifm.Runtime.boot ~eng ~server
+            { Aifm.Runtime.local_mem_bytes = 128 * 1024; tcp; prefetch_window = 0 }
+        in
+        let n = 128 in
+        let objs =
+          Array.init n (fun _ ->
+              let a = Aifm.Runtime.malloc k ~core:0 4096 in
+              Aifm.Runtime.write_u64 k ~core:0 a 1L;
+              a)
+        in
+        let t0 = Sim.Engine.now eng in
+        Array.iter (fun a -> ignore (Aifm.Runtime.read_u64 k ~core:0 a)) objs;
+        let dt = Sim.Time.sub (Sim.Engine.now eng) t0 in
+        Aifm.Runtime.shutdown k;
+        dt)
+  in
+  let rdma = time false and tcp = time true in
+  check_bool "tcp slower" true (Int64.compare tcp rdma > 0)
+
+let suite =
+  [
+    quick "roundtrip small objects" roundtrip_small_objects;
+    quick "roundtrip through evacuation" roundtrip_through_evacuation;
+    quick "budget respected" budget_respected;
+    quick "streaming prefetch fires" streaming_prefetch_fires;
+    quick "dangling handle rejected" dangling_handle_rejected;
+    quick "offset bounds checked" offset_bounds_checked;
+    quick "tcp slower than rdma" tcp_slower_than_rdma;
+  ]

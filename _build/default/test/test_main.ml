@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "dilos-repro"
+    [
+      ("sim", Test_sim.suite);
+      ("rdma", Test_rdma.suite);
+      ("vmem", Test_vmem.suite);
+      ("dilos", Test_dilos.suite);
+      ("page-manager", Test_page_manager.suite);
+      ("prefetcher", Test_prefetcher.suite);
+      ("fastswap", Test_fastswap.suite);
+      ("aifm", Test_aifm.suite);
+      ("apps", Test_apps.suite);
+      ("redis", Test_redis.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,158 @@
+open Util
+
+(* Build a bare page manager over a scratch fabric for unit-level
+   checks (kernel-level behaviour is covered in test_dilos). *)
+let with_pm ?(frames = 16) ?reclaim_guide f =
+  run_sim (fun eng ->
+      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 30) () in
+      let stats = Sim.Stats.create () in
+      let fabric = Memnode.Server.connect server ~stats () in
+      let pt = Vmem.Page_table.create () in
+      let fr = Vmem.Frame.create ~frames in
+      let pm =
+        Dilos.Page_manager.create ~eng ~stats ~pt ~frames:fr
+          ~evict_qp:(Rdma.Fabric.qp fabric ~name:"evict") ?reclaim_guide ()
+      in
+      Dilos.Page_manager.start pm;
+      let r = f eng stats pt fr pm in
+      Dilos.Page_manager.stop pm;
+      r)
+
+let map_page pt fr pm vpn ~dirty =
+  let frame = Vmem.Frame.alloc_exn fr in
+  let pte = Vmem.Pte.make_local ~frame ~writable:true in
+  let pte = if dirty then Vmem.Pte.set_dirty pte else pte in
+  Vmem.Page_table.set pt vpn pte;
+  Dilos.Page_manager.note_mapped pm vpn;
+  frame
+
+let alloc_blocks_until_reclaim () =
+  with_pm ~frames:8 (fun _eng stats pt fr pm ->
+      (* Occupy every frame with clean cold pages. *)
+      for vpn = 1 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:false)
+      done;
+      check_int "pool empty" 0 (Dilos.Page_manager.free_frames pm);
+      (* alloc_frame must trigger eviction and return. *)
+      let f = Dilos.Page_manager.alloc_frame pm in
+      check_bool "got a frame" true (f >= 0);
+      check_bool "stall recorded" true (Sim.Stats.get stats "reclaim_stalls" >= 1);
+      check_bool "something evicted" true (Sim.Stats.get stats "evictions" >= 1))
+
+let clean_pages_dropped_without_rdma () =
+  with_pm ~frames:8 (fun _eng stats pt fr pm ->
+      for vpn = 1 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:false)
+      done;
+      ignore (Dilos.Page_manager.alloc_frame pm);
+      check_int "no writebacks for clean pages" 0 (Sim.Stats.get stats "writebacks");
+      (* The evicted page's PTE flipped to Remote. *)
+      let remote = ref 0 in
+      for vpn = 1 to 8 do
+        if Vmem.Pte.tag (Vmem.Page_table.get pt vpn) = Vmem.Pte.Remote then incr remote
+      done;
+      check_bool "at least one remote" true (!remote >= 1))
+
+let dirty_pages_written_back_on_eviction () =
+  with_pm ~frames:8 (fun eng stats pt fr pm ->
+      let frame0 = map_page pt fr pm 1 ~dirty:true in
+      Bytes.set_int64_le (Vmem.Frame.data fr frame0) 0 0x5151L;
+      for vpn = 2 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:true)
+      done;
+      ignore (Dilos.Page_manager.alloc_frame pm);
+      Dilos.Page_manager.quiesce pm;
+      Sim.Engine.sleep eng (Sim.Time.ms 1);
+      check_bool "writebacks happened" true (Sim.Stats.get stats "writebacks" >= 1))
+
+let second_chance_respects_accessed_bit () =
+  with_pm ~frames:8 (fun _eng _stats pt fr pm ->
+      (* Page 1 is hot (accessed); 2..8 cold. *)
+      let _ = map_page pt fr pm 1 ~dirty:false in
+      Vmem.Page_table.update pt 1 Vmem.Pte.set_accessed;
+      for vpn = 2 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:false)
+      done;
+      ignore (Dilos.Page_manager.alloc_frame pm);
+      (* The hot page survived the first eviction wave. *)
+      Alcotest.(check bool) "hot page still local" true
+        (Vmem.Pte.tag (Vmem.Page_table.get pt 1) = Vmem.Pte.Local))
+
+let cleaner_cleans_in_background () =
+  with_pm ~frames:32 (fun eng stats pt fr pm ->
+      for vpn = 1 to 4 do
+        ignore (map_page pt fr pm vpn ~dirty:true)
+      done;
+      (* No memory pressure: only the periodic cleaner acts. *)
+      Sim.Engine.sleep eng (Sim.Time.ms 2);
+      check_bool "cleaner wrote dirty pages" true
+        (Sim.Stats.get stats "writebacks" >= 4);
+      for vpn = 1 to 4 do
+        let p = Vmem.Page_table.get pt vpn in
+        Alcotest.(check bool) "still mapped" true (Vmem.Pte.tag p = Vmem.Pte.Local);
+        Alcotest.(check bool) "now clean" false (Vmem.Pte.dirty p)
+      done)
+
+let vector_log_roundtrip () =
+  let guide =
+    {
+      Dilos.Guide.rg_name = "test";
+      rg_live_segments = (fun _ -> Some [ (0, 64); (1024, 128) ]);
+    }
+  in
+  with_pm ~frames:8 ~reclaim_guide:guide (fun _eng _stats pt fr pm ->
+      for vpn = 1 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:false)
+      done;
+      ignore (Dilos.Page_manager.alloc_frame pm);
+      (* Evicted pages carry Action PTEs with the guide's vector. *)
+      let found = ref false in
+      for vpn = 1 to 8 do
+        let p = Vmem.Page_table.get pt vpn in
+        if Vmem.Pte.tag p = Vmem.Pte.Action && not !found then begin
+          found := true;
+          let segs =
+            Dilos.Page_manager.vector_segments pm ~payload:(Vmem.Pte.payload p)
+          in
+          Alcotest.(check (list (pair int int)))
+            "vector preserved" [ (0, 64); (1024, 128) ] segs
+        end
+      done;
+      check_bool "an action pte exists" true !found)
+
+let vector_log_consumed_once () =
+  let guide =
+    {
+      Dilos.Guide.rg_name = "test";
+      rg_live_segments = (fun _ -> Some [ (0, 64) ]);
+    }
+  in
+  with_pm ~frames:8 ~reclaim_guide:guide (fun _eng _stats pt fr pm ->
+      for vpn = 1 to 8 do
+        ignore (map_page pt fr pm vpn ~dirty:false)
+      done;
+      ignore (Dilos.Page_manager.alloc_frame pm);
+      let payload = ref None in
+      for vpn = 1 to 8 do
+        let p = Vmem.Page_table.get pt vpn in
+        if Vmem.Pte.tag p = Vmem.Pte.Action && !payload = None then
+          payload := Some (Vmem.Pte.payload p)
+      done;
+      match !payload with
+      | None -> Alcotest.fail "no action pte"
+      | Some pl ->
+          ignore (Dilos.Page_manager.vector_segments pm ~payload:pl);
+          Alcotest.check_raises "second decode fails"
+            (Invalid_argument "Page_manager.vector_segments: unknown payload")
+            (fun () -> ignore (Dilos.Page_manager.vector_segments pm ~payload:pl)))
+
+let suite =
+  [
+    quick "alloc blocks until reclaim" alloc_blocks_until_reclaim;
+    quick "clean pages dropped without rdma" clean_pages_dropped_without_rdma;
+    quick "dirty pages written back on eviction" dirty_pages_written_back_on_eviction;
+    quick "second chance respects accessed bit" second_chance_respects_accessed_bit;
+    quick "cleaner cleans in background" cleaner_cleans_in_background;
+    quick "vector log roundtrip" vector_log_roundtrip;
+    quick "vector log consumed once" vector_log_consumed_once;
+  ]

@@ -1,0 +1,126 @@
+open Util
+
+let no_hist = [||]
+
+let readahead_sequential_growth () =
+  let p = Dilos.Prefetcher.readahead () in
+  let d1 = p.Dilos.Prefetcher.decide ~fault_vpn:10 ~hit_ratio:1.0 ~history:no_hist in
+  Alcotest.(check (list int)) "first window forward" [ 11; 12 ] d1;
+  let d2 = p.Dilos.Prefetcher.decide ~fault_vpn:20 ~hit_ratio:1.0 ~history:no_hist in
+  check_int "window grew" 4 (List.length d2);
+  let d3 = p.Dilos.Prefetcher.decide ~fault_vpn:30 ~hit_ratio:1.0 ~history:no_hist in
+  check_int "window capped at max" Dilos.Params.readahead_max_window (List.length d3);
+  let d4 = p.Dilos.Prefetcher.decide ~fault_vpn:40 ~hit_ratio:1.0 ~history:no_hist in
+  check_int "stays capped" Dilos.Params.readahead_max_window (List.length d4)
+
+let readahead_shrinks_on_misses () =
+  let p = Dilos.Prefetcher.readahead () in
+  for _ = 1 to 4 do
+    ignore (p.Dilos.Prefetcher.decide ~fault_vpn:0 ~hit_ratio:1.0 ~history:no_hist)
+  done;
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:0 ~hit_ratio:0.0 ~history:no_hist in
+  check_int "halved" (Dilos.Params.readahead_max_window / 2) (List.length d);
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:0 ~hit_ratio:0.0 ~history:no_hist in
+  check_int "halved again" (Dilos.Params.readahead_max_window / 4) (List.length d)
+
+let trend_detects_stride () =
+  let p = Dilos.Prefetcher.trend_based () in
+  (* History most-recent-first with a stride of 3. *)
+  let history = [| 112; 109; 106; 103; 100 |] in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:112 ~hit_ratio:1.0 ~history in
+  (match d with
+  | a :: b :: _ ->
+      check_int "first prediction" 115 a;
+      check_int "second prediction" 118 b
+  | _ -> Alcotest.fail "expected predictions");
+  ()
+
+let trend_negative_stride () =
+  let p = Dilos.Prefetcher.trend_based () in
+  let history = [| 88; 90; 92; 94 |] in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:88 ~hit_ratio:1.0 ~history in
+  match d with
+  | a :: _ -> check_int "walks backwards" 86 a
+  | [] -> Alcotest.fail "expected predictions"
+
+let trend_falls_back_without_majority () =
+  let p = Dilos.Prefetcher.trend_based () in
+  (* No majority stride in this noise. *)
+  let history = [| 5; 100; 7; 64; 31; 900; 2 |] in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:5 ~hit_ratio:0.5 ~history in
+  Alcotest.(check (list int)) "minimal next-page fallback" [ 6 ] d
+
+let trend_majority_with_noise =
+  QCheck.Test.make ~name:"trend finds majority stride through noise" ~count:100
+    QCheck.(pair (int_range 1 9) (int_range 5 14))
+    (fun (stride, noise_pos) ->
+      (* 16 faults with a fixed stride, one corrupted entry. *)
+      let base = 1000 in
+      let hist =
+        Array.init 16 (fun i -> base + ((15 - i) * stride))
+      in
+      hist.(noise_pos) <- hist.(noise_pos) + 1;
+      let p = Dilos.Prefetcher.trend_based () in
+      match p.Dilos.Prefetcher.decide ~fault_vpn:hist.(0) ~hit_ratio:1.0 ~history:hist with
+      | a :: _ -> a = hist.(0) + stride
+      | [] -> false)
+
+let hit_tracker_ratio () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      (* 4 prefetched pages; 2 get used (accessed bit set). *)
+      for vpn = 1 to 4 do
+        Vmem.Page_table.set pt vpn (Vmem.Pte.make_local ~frame:vpn ~writable:true);
+        Dilos.Hit_tracker.note_prefetched tr vpn
+      done;
+      Vmem.Page_table.update pt 1 Vmem.Pte.set_accessed;
+      Vmem.Page_table.update pt 2 Vmem.Pte.set_accessed;
+      let r = Dilos.Hit_tracker.scan tr in
+      (* EWMA from 1.0 towards 0.5 with alpha 0.3 -> 0.85. *)
+      Alcotest.(check (float 0.001)) "ewma ratio" 0.85 r;
+      (* Scanned entries are retired: a second scan with nothing new
+         keeps the estimate. *)
+      Alcotest.(check (float 0.001)) "stable" 0.85 (Dilos.Hit_tracker.scan tr))
+
+let hit_tracker_counts_evicted_as_miss () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      Vmem.Page_table.set pt 9 (Vmem.Pte.make_remote ());
+      Dilos.Hit_tracker.note_prefetched tr 9;
+      let r = Dilos.Hit_tracker.scan tr in
+      Alcotest.(check (float 0.001)) "miss" 0.7 r)
+
+let hit_tracker_history_order () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      List.iter (Dilos.Hit_tracker.note_fault tr) [ 1; 2; 3 ];
+      Alcotest.(check (array int))
+        "most recent first" [| 3; 2; 1 |] (Dilos.Hit_tracker.history tr))
+
+let hit_tracker_history_wraps () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      for i = 1 to Dilos.Params.trend_history + 5 do
+        Dilos.Hit_tracker.note_fault tr i
+      done;
+      let h = Dilos.Hit_tracker.history tr in
+      check_int "bounded" Dilos.Params.trend_history (Array.length h);
+      check_int "newest kept" (Dilos.Params.trend_history + 5) h.(0))
+
+let suite =
+  [
+    quick "readahead grows on hits" readahead_sequential_growth;
+    quick "readahead shrinks on misses" readahead_shrinks_on_misses;
+    quick "trend detects stride" trend_detects_stride;
+    quick "trend negative stride" trend_negative_stride;
+    quick "trend falls back without majority" trend_falls_back_without_majority;
+    QCheck_alcotest.to_alcotest trend_majority_with_noise;
+    quick "hit tracker ratio" hit_tracker_ratio;
+    quick "hit tracker counts evicted as miss" hit_tracker_counts_evicted_as_miss;
+    quick "hit tracker history order" hit_tracker_history_order;
+    quick "hit tracker history wraps" hit_tracker_history_wraps;
+  ]

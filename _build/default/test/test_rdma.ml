@@ -1,0 +1,290 @@
+open Util
+
+let mk_fabric eng ?nic_config ?huge_pages ?extra_completion_delay ?stats () =
+  let store = Memnode.Page_store.create ~size:(Int64.of_int (1 lsl 24)) in
+  let fabric =
+    Rdma.Fabric.connect ~eng ?nic_config ?huge_pages ?extra_completion_delay
+      ?stats
+      ~target:(Memnode.Page_store.target store)
+      ~size:(Int64.of_int (1 lsl 24))
+      ()
+  in
+  (store, fabric)
+
+(* ------------------------------------------------------------------ *)
+(* NIC latency model *)
+
+let nic_monotone_in_size () =
+  let nic = Rdma.Nic.create () in
+  let lat n =
+    Rdma.Nic.latency nic Rdma.Nic.Read ~bytes_:n ~segments:1 ~huge_pages:true
+  in
+  check_bool "128B < 4K" true (Int64.compare (lat 128) (lat 4096) < 0);
+  check_bool "4K < 64K" true (Int64.compare (lat 4096) (lat 65536) < 0)
+
+let nic_fig2_calibration () =
+  (* Paper Fig. 2: a 4 KiB fetch costs only ~0.6 us more than 128 B. *)
+  let nic = Rdma.Nic.create () in
+  let lat n =
+    Sim.Time.to_us
+      (Rdma.Nic.latency nic Rdma.Nic.Read ~bytes_:n ~segments:1 ~huge_pages:true)
+  in
+  let gap = lat 4096 -. lat 128 in
+  check_bool (Printf.sprintf "gap=%.2fus in [0.4,0.8]" gap) true
+    (gap > 0.4 && gap < 0.8);
+  check_bool "4K read is 2-3us" true (lat 4096 > 2.0 && lat 4096 < 3.2)
+
+let nic_long_vector_penalty () =
+  let nic = Rdma.Nic.create () in
+  let lat segs =
+    Rdma.Nic.latency nic Rdma.Nic.Write ~bytes_:1024 ~segments:segs
+      ~huge_pages:true
+  in
+  let step23 = Int64.sub (lat 3) (lat 2) in
+  let step34 = Int64.sub (lat 4) (lat 3) in
+  check_bool "4th segment much more expensive" true
+    (Int64.compare step34 (Int64.mul step23 3L) > 0)
+
+let nic_huge_page_benefit () =
+  let nic = Rdma.Nic.create () in
+  let with_hp =
+    Rdma.Nic.latency nic Rdma.Nic.Read ~bytes_:4096 ~segments:1 ~huge_pages:true
+  in
+  let without =
+    Rdma.Nic.latency nic Rdma.Nic.Read ~bytes_:4096 ~segments:1 ~huge_pages:false
+  in
+  check_bool "huge pages faster" true (Int64.compare with_hp without < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Region protection *)
+
+let region_checks () =
+  let r = Rdma.Region.make ~rkey:42 ~base:0x1000L ~len:0x1000L in
+  Rdma.Region.check r ~rkey:42 ~addr:0x1000L ~len:4096;
+  Alcotest.check_raises "bad rkey"
+    (Rdma.Region.Protection_fault "bad rkey 7 (expected 42)") (fun () ->
+      Rdma.Region.check r ~rkey:7 ~addr:0x1000L ~len:8);
+  (try
+     Rdma.Region.check r ~rkey:42 ~addr:0x1FFFL ~len:2;
+     Alcotest.fail "expected protection fault"
+   with Rdma.Region.Protection_fault _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* QP data movement *)
+
+let qp_write_read_roundtrip () =
+  run_sim (fun eng ->
+      let store, fabric = mk_fabric eng () in
+      ignore store;
+      let qp = Rdma.Fabric.qp fabric ~name:"t" in
+      let src = Bytes.of_string "hello rdma world" in
+      Rdma.Qp.write qp ~raddr:0x2000L ~buf:src ~off:0 ~len:16;
+      let dst = Bytes.create 16 in
+      Rdma.Qp.read qp ~raddr:0x2000L ~buf:dst ~off:0 ~len:16;
+      Alcotest.(check string) "roundtrip" "hello rdma world" (Bytes.to_string dst))
+
+let qp_write_snapshot_semantics () =
+  (* The payload is captured at post time: mutating the buffer after
+     posting must not corrupt the transfer. *)
+  run_sim (fun eng ->
+      let _store, fabric = mk_fabric eng () in
+      let qp = Rdma.Fabric.qp fabric ~name:"t" in
+      let buf = Bytes.of_string "AAAA" in
+      Rdma.Qp.post_write qp
+        ~segs:[ { Rdma.Qp.raddr = 0L; loff = 0; len = 4 } ]
+        ~buf
+        ~on_complete:(fun () -> ());
+      Bytes.fill buf 0 4 'B';
+      Sim.Engine.sleep eng (Sim.Time.us 100);
+      let dst = Bytes.create 4 in
+      Rdma.Qp.read qp ~raddr:0L ~buf:dst ~off:0 ~len:4;
+      Alcotest.(check string) "snapshot" "AAAA" (Bytes.to_string dst))
+
+let qp_vector_ops () =
+  run_sim (fun eng ->
+      let _store, fabric = mk_fabric eng () in
+      let qp = Rdma.Fabric.qp fabric ~name:"t" in
+      let buf = Bytes.of_string "0123456789abcdef" in
+      Rdma.Qp.write_sync_v qp
+        ~segs:
+          [
+            { Rdma.Qp.raddr = 0x100L; loff = 0; len = 4 };
+            { Rdma.Qp.raddr = 0x200L; loff = 8; len = 4 };
+          ]
+        ~buf;
+      let dst = Bytes.make 16 '.' in
+      Rdma.Qp.read_sync_v qp
+        ~segs:
+          [
+            { Rdma.Qp.raddr = 0x100L; loff = 0; len = 4 };
+            { Rdma.Qp.raddr = 0x200L; loff = 8; len = 4 };
+          ]
+        ~buf:dst;
+      Alcotest.(check string) "scatter/gather" "0123....89ab...." (Bytes.to_string dst))
+
+let qp_single_read_latency () =
+  let elapsed =
+    run_sim (fun eng ->
+        let _store, fabric = mk_fabric eng () in
+        let qp = Rdma.Fabric.qp fabric ~name:"t" in
+        let t0 = Sim.Engine.now eng in
+        let dst = Bytes.create 4096 in
+        Rdma.Qp.read qp ~raddr:0L ~buf:dst ~off:0 ~len:4096;
+        Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t0))
+  in
+  check_bool (Printf.sprintf "4K read ~2.8us (got %.2f)" elapsed) true
+    (elapsed > 2.2 && elapsed < 3.4)
+
+let qp_pipelining () =
+  (* 16 outstanding 4K reads on one QP should take far less than 16x
+     a single read's latency (bandwidth-bound, not latency-bound). *)
+  let elapsed =
+    run_sim (fun eng ->
+        let _store, fabric = mk_fabric eng () in
+        let qp = Rdma.Fabric.qp fabric ~name:"t" in
+        let t0 = Sim.Engine.now eng in
+        let remaining = ref 16 in
+        let buf = Bytes.create 4096 in
+        for i = 0 to 15 do
+          Rdma.Qp.post_read qp
+            ~segs:
+              [
+                {
+                  Rdma.Qp.raddr = Int64.of_int (i * 4096);
+                  loff = 0;
+                  len = 4096;
+                };
+              ]
+            ~buf
+            ~on_complete:(fun () -> decr remaining)
+        done;
+        Sim.Engine.suspend eng (fun wake ->
+            let rec poll () =
+              if !remaining = 0 then wake ()
+              else Sim.Engine.after eng (Sim.Time.us 1) poll
+            in
+            poll ());
+        Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t0))
+  in
+  check_bool (Printf.sprintf "pipelined (%.1fus < 20us)" elapsed) true
+    (elapsed < 20.)
+
+let qp_tcp_emulation_delay () =
+  let base =
+    run_sim (fun eng ->
+        let _s, fabric = mk_fabric eng () in
+        let qp = Rdma.Fabric.qp fabric ~name:"t" in
+        let t0 = Sim.Engine.now eng in
+        let b = Bytes.create 4096 in
+        Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
+        Sim.Time.sub (Sim.Engine.now eng) t0)
+  in
+  let delayed =
+    run_sim (fun eng ->
+        let _s, fabric =
+          mk_fabric eng
+            ~extra_completion_delay:Dilos.Params.tcp_emulation_delay ()
+        in
+        let qp = Rdma.Fabric.qp fabric ~name:"t" in
+        let t0 = Sim.Engine.now eng in
+        let b = Bytes.create 4096 in
+        Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
+        Sim.Time.sub (Sim.Engine.now eng) t0)
+  in
+  let gap = Sim.Time.to_us (Sim.Time.sub delayed base) in
+  (* 14,000 cycles at 2.3 GHz is ~6.09 us. *)
+  check_bool (Printf.sprintf "tcp delay ~6us (got %.2f)" gap) true
+    (gap > 5.9 && gap < 6.3)
+
+let qp_protection_enforced () =
+  run_sim (fun eng ->
+      let _s, fabric = mk_fabric eng () in
+      let qp = Rdma.Fabric.qp fabric ~name:"t" in
+      let b = Bytes.create 8 in
+      try
+        Rdma.Qp.read qp ~raddr:(Int64.of_int ((1 lsl 24) - 4)) ~buf:b ~off:0 ~len:8;
+        Alcotest.fail "expected protection fault"
+      with Rdma.Region.Protection_fault _ -> ())
+
+let qp_stats_counted () =
+  run_sim (fun eng ->
+      let stats = Sim.Stats.create () in
+      let _s, fabric = mk_fabric eng ~stats () in
+      let qp = Rdma.Fabric.qp fabric ~name:"t" in
+      let b = Bytes.create 4096 in
+      Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
+      Rdma.Qp.write qp ~raddr:0L ~buf:b ~off:0 ~len:128;
+      check_int "reads" 1 (Sim.Stats.get stats "rdma_reads");
+      check_int "read bytes" 4096 (Sim.Stats.get stats "rdma_read_bytes");
+      check_int "writes" 1 (Sim.Stats.get stats "rdma_writes");
+      check_int "write bytes" 128 (Sim.Stats.get stats "rdma_write_bytes"))
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth meter *)
+
+let bandwidth_buckets () =
+  let eng = Sim.Engine.create () in
+  let bw = Rdma.Bandwidth.create ~bucket:(Sim.Time.us 10) eng in
+  Rdma.Bandwidth.record bw Rdma.Bandwidth.Rx 100;
+  Sim.Engine.at eng (Sim.Time.us 25) (fun () ->
+      Rdma.Bandwidth.record bw Rdma.Bandwidth.Tx 50);
+  Sim.Engine.run eng;
+  check_int "rx total" 100 (Rdma.Bandwidth.total bw Rdma.Bandwidth.Rx);
+  check_int "tx total" 50 (Rdma.Bandwidth.total bw Rdma.Bandwidth.Tx);
+  match Rdma.Bandwidth.series bw with
+  | [ (t1, rx1, tx1); (t2, rx2, tx2) ] ->
+      check_i64 "bucket 0" 0L t1;
+      check_int "bucket 0 rx" 100 rx1;
+      check_int "bucket 0 tx" 0 tx1;
+      check_i64 "bucket 2" (Sim.Time.us 20) t2;
+      check_int "bucket 2 rx" 0 rx2;
+      check_int "bucket 2 tx" 50 tx2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 buckets, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Page store *)
+
+let store_zero_fill () =
+  let s = Memnode.Page_store.create ~size:65536L in
+  let b = Bytes.make 16 'x' in
+  Memnode.Page_store.read s ~addr:100L ~dst:b ~off:0 ~len:16;
+  Alcotest.(check string) "never-written reads zero" (String.make 16 '\000')
+    (Bytes.to_string b)
+
+let store_cross_block () =
+  let s = Memnode.Page_store.create ~size:65536L in
+  let src = Bytes.init 100 (fun i -> Char.chr (i land 0xFF)) in
+  (* Write a range straddling the 4 KiB block boundary. *)
+  Memnode.Page_store.write s ~addr:4070L ~src ~off:0 ~len:100;
+  let dst = Bytes.create 100 in
+  Memnode.Page_store.read s ~addr:4070L ~dst ~off:0 ~len:100;
+  Alcotest.(check bytes) "cross-block roundtrip" src dst;
+  check_int "two blocks materialized" 2 (Memnode.Page_store.resident_blocks s)
+
+let store_bounds () =
+  let s = Memnode.Page_store.create ~size:4096L in
+  let b = Bytes.create 8 in
+  Alcotest.(check_raises) "oob"
+    (Invalid_argument "Page_store: range [0x1000,+8) out of bounds") (fun () ->
+      Memnode.Page_store.read s ~addr:4096L ~dst:b ~off:0 ~len:8)
+
+let suite =
+  [
+    quick "nic monotone in size" nic_monotone_in_size;
+    quick "nic fig2 calibration" nic_fig2_calibration;
+    quick "nic long vector penalty" nic_long_vector_penalty;
+    quick "nic huge page benefit" nic_huge_page_benefit;
+    quick "region protection checks" region_checks;
+    quick "qp write/read roundtrip" qp_write_read_roundtrip;
+    quick "qp write snapshots payload" qp_write_snapshot_semantics;
+    quick "qp vector ops" qp_vector_ops;
+    quick "qp single 4K read latency" qp_single_read_latency;
+    quick "qp pipelines outstanding reads" qp_pipelining;
+    quick "qp tcp emulation delay" qp_tcp_emulation_delay;
+    quick "qp protection enforced" qp_protection_enforced;
+    quick "qp stats counted" qp_stats_counted;
+    quick "bandwidth meter buckets" bandwidth_buckets;
+    quick "page store zero fill" store_zero_fill;
+    quick "page store cross-block" store_cross_block;
+    quick "page store bounds" store_bounds;
+  ]

@@ -1,0 +1,273 @@
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let heap_basic () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check_int "len" 6 (Sim.Heap.length h);
+  check_int "min" 1 (Sim.Heap.pop_exn h);
+  check_int "next" 2 (Sim.Heap.pop_exn h);
+  Sim.Heap.push h 0;
+  check_int "reinserted min" 0 (Sim.Heap.pop_exn h)
+
+let heap_empty () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "peek empty" None (Sim.Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Sim.Heap.pop h);
+  check_bool "is_empty" true (Sim.Heap.is_empty h)
+
+let heap_sorted_drain () =
+  let rng = Sim.Rng.create 42 in
+  let h = Sim.Heap.create ~cmp:compare in
+  let input = List.init 500 (fun _ -> Sim.Rng.int rng 10_000) in
+  List.iter (Sim.Heap.push h) input;
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  let out = drain [] in
+  Alcotest.(check (list int)) "heap sort" (List.sort compare input) out
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 7 and b = Sim.Rng.create 7 in
+  for _ = 1 to 100 do
+    check_i64 "same stream" (Sim.Rng.next64 a) (Sim.Rng.next64 b)
+  done
+
+let rng_bounds () =
+  let r = Sim.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let rng_float_range () =
+  let r = Sim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float r in
+    check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let rng_split_independent () =
+  let a = Sim.Rng.create 5 in
+  let b = Sim.Rng.split a in
+  check_bool "different streams" true (Sim.Rng.next64 a <> Sim.Rng.next64 b)
+
+let rng_shuffle_permutes () =
+  let r = Sim.Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Sim.Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let time_units () =
+  check_i64 "us" 1_000L (Sim.Time.us 1);
+  check_i64 "ms" 1_000_000L (Sim.Time.ms 1);
+  check_i64 "s" 1_000_000_000L (Sim.Time.s 1);
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Sim.Time.to_us 1_500L);
+  check_i64 "us_f rounds" 2_500L (Sim.Time.us_f 2.5)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let engine_ordering () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.at eng (Sim.Time.ns 30) (fun () -> log := 3 :: !log);
+  Sim.Engine.at eng (Sim.Time.ns 10) (fun () -> log := 1 :: !log);
+  Sim.Engine.at eng (Sim.Time.ns 20) (fun () -> log := 2 :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let engine_fifo_ties () =
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.at eng (Sim.Time.ns 10) (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let engine_sleep_advances_clock () =
+  let final =
+    run_sim (fun eng ->
+        Sim.Engine.sleep eng (Sim.Time.us 5);
+        Sim.Engine.sleep eng (Sim.Time.us 7);
+        Sim.Engine.now eng)
+  in
+  check_i64 "clock" (Sim.Time.us 12) final
+
+let engine_fibers_overlap () =
+  (* Two fibers sleeping 10us in parallel finish at t=10us, not 20. *)
+  let eng = Sim.Engine.create () in
+  let done_at = ref [] in
+  for _ = 1 to 2 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Engine.sleep eng (Sim.Time.us 10);
+        done_at := Sim.Engine.now eng :: !done_at)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int64))
+    "parallel sleeps" [ Sim.Time.us 10; Sim.Time.us 10 ] !done_at
+
+let engine_exception_propagates () =
+  let eng = Sim.Engine.create () in
+  Sim.Engine.spawn eng (fun () -> failwith "boom");
+  Alcotest.check_raises "fiber exception" (Failure "boom") (fun () ->
+      Sim.Engine.run eng)
+
+let engine_past_scheduling_rejected () =
+  let eng = Sim.Engine.create () in
+  Sim.Engine.at eng (Sim.Time.us 10) (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: scheduling in the past")
+        (fun () -> Sim.Engine.at eng (Sim.Time.us 5) (fun () -> ())));
+  Sim.Engine.run eng
+
+let engine_suspend_wake () =
+  let eng = Sim.Engine.create () in
+  let wake_fn = ref None in
+  let resumed_at = ref Sim.Time.zero in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.suspend eng (fun wake -> wake_fn := Some wake);
+      resumed_at := Sim.Engine.now eng);
+  Sim.Engine.at eng (Sim.Time.us 3) (fun () -> Option.get !wake_fn ());
+  Sim.Engine.run eng;
+  check_i64 "resumed when woken" (Sim.Time.us 3) !resumed_at
+
+let engine_run_until_idle () =
+  let eng = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.at eng (Sim.Time.us 1) (fun () -> incr fired);
+  Sim.Engine.at eng (Sim.Time.us 100) (fun () -> incr fired);
+  Sim.Engine.run_until_idle eng ~max_time:(Sim.Time.us 10);
+  check_int "only early event" 1 !fired;
+  check_int "late event still queued" 1 (Sim.Engine.pending eng)
+
+(* ------------------------------------------------------------------ *)
+(* Condvar *)
+
+let condvar_signal_order () =
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Condvar.wait cv;
+        log := i :: !log)
+  done;
+  Sim.Engine.at eng (Sim.Time.us 1) (fun () -> Sim.Condvar.signal cv);
+  Sim.Engine.at eng (Sim.Time.us 2) (fun () -> Sim.Condvar.broadcast cv);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "waiting order" [ 1; 2; 3 ] (List.rev !log)
+
+let condvar_wait_for () =
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  let flag = ref false in
+  let seen = ref false in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Condvar.wait_for cv (fun () -> !flag);
+      seen := true);
+  (* Spurious wake-up: predicate still false. *)
+  Sim.Engine.at eng (Sim.Time.us 1) (fun () -> Sim.Condvar.broadcast cv);
+  Sim.Engine.at eng (Sim.Time.us 2) (fun () ->
+      flag := true;
+      Sim.Condvar.broadcast cv);
+  Sim.Engine.run eng;
+  check_bool "woke after predicate" true !seen
+
+(* ------------------------------------------------------------------ *)
+(* Histogram / Stats *)
+
+let histogram_exact_small () =
+  let h = Sim.Histogram.create () in
+  List.iter (Sim.Histogram.add h) [ 1; 2; 3; 4; 5 ];
+  check_int "count" 5 (Sim.Histogram.count h);
+  check_int "min" 1 (Sim.Histogram.min_value h);
+  check_int "max" 5 (Sim.Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Sim.Histogram.mean h);
+  check_int "median" 3 (Sim.Histogram.quantile h 0.5)
+
+let histogram_quantile_accuracy () =
+  let h = Sim.Histogram.create () in
+  for v = 1 to 10_000 do
+    Sim.Histogram.add h v
+  done;
+  let p99 = Sim.Histogram.quantile h 0.99 in
+  let err = abs (p99 - 9_900) in
+  check_bool
+    (Printf.sprintf "p99 within 7%% (got %d)" p99)
+    true
+    (float_of_int err /. 9_900. < 0.07)
+
+let histogram_empty () =
+  let h = Sim.Histogram.create () in
+  check_int "quantile of empty" 0 (Sim.Histogram.quantile h 0.99);
+  check_int "min of empty" 0 (Sim.Histogram.min_value h)
+
+let histogram_merge () =
+  let a = Sim.Histogram.create () and b = Sim.Histogram.create () in
+  Sim.Histogram.add a 10;
+  Sim.Histogram.add b 1_000_000;
+  Sim.Histogram.merge_into ~dst:a b;
+  check_int "merged count" 2 (Sim.Histogram.count a);
+  check_int "merged max" 1_000_000 (Sim.Histogram.max_value a)
+
+let stats_counters () =
+  let s = Sim.Stats.create () in
+  check_int "missing reads 0" 0 (Sim.Stats.get s "x");
+  Sim.Stats.incr s "x";
+  Sim.Stats.add s "x" 4;
+  check_int "incr+add" 5 (Sim.Stats.get s "x");
+  Sim.Stats.record s "lat" 100;
+  check_int "histo count" 1 (Sim.Histogram.count (Sim.Stats.histogram s "lat"));
+  Sim.Stats.reset s;
+  check_int "reset" 0 (Sim.Stats.get s "x")
+
+let suite =
+  [
+    quick "heap basic" heap_basic;
+    quick "heap empty" heap_empty;
+    quick "heap sorted drain" heap_sorted_drain;
+    QCheck_alcotest.to_alcotest heap_qcheck;
+    quick "rng deterministic" rng_deterministic;
+    quick "rng bounds" rng_bounds;
+    quick "rng float range" rng_float_range;
+    quick "rng split independent" rng_split_independent;
+    quick "rng shuffle permutes" rng_shuffle_permutes;
+    quick "time units" time_units;
+    quick "engine ordering" engine_ordering;
+    quick "engine fifo ties" engine_fifo_ties;
+    quick "engine sleep advances clock" engine_sleep_advances_clock;
+    quick "engine fibers overlap" engine_fibers_overlap;
+    quick "engine exception propagates" engine_exception_propagates;
+    quick "engine rejects past scheduling" engine_past_scheduling_rejected;
+    quick "engine suspend/wake" engine_suspend_wake;
+    quick "engine run_until_idle" engine_run_until_idle;
+    quick "condvar signal order" condvar_signal_order;
+    quick "condvar wait_for" condvar_wait_for;
+    quick "histogram exact small" histogram_exact_small;
+    quick "histogram quantile accuracy" histogram_quantile_accuracy;
+    quick "histogram empty" histogram_empty;
+    quick "histogram merge" histogram_merge;
+    quick "stats counters" stats_counters;
+  ]

@@ -1,0 +1,57 @@
+(* Shared helpers for the test suites. *)
+
+let run_sim f =
+  let eng = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn eng (fun () -> result := Some (f eng));
+  Sim.Engine.run eng;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulation finished without producing a result"
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 name a b = Alcotest.(check int64) name a b
+
+(* Small DiLOS instance for kernel-level tests. *)
+let with_dilos ?(local_mem = 1024 * 1024) ?(prefetch = Dilos.Kernel.No_prefetch)
+    ?(guided = false) ?(cores = 1) f =
+  run_sim (fun eng ->
+      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) () in
+      let k =
+        Dilos.Kernel.boot ~eng ~server
+          {
+            Dilos.Kernel.local_mem_bytes = local_mem;
+            cores;
+            prefetch;
+            guided_paging = guided;
+            tcp_emulation = false;
+          }
+      in
+      let r = f eng k in
+      Dilos.Kernel.shutdown k;
+      r)
+
+let with_fastswap ?(local_mem = 1024 * 1024) ?(readahead = true) f =
+  run_sim (fun eng ->
+      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) () in
+      let k =
+        Fastswap.Kernel.boot ~eng ~server
+          { Fastswap.Kernel.local_mem_bytes = local_mem; cores = 1; readahead }
+      in
+      let r = f eng k in
+      Fastswap.Kernel.shutdown k;
+      r)
+
+let with_aifm ?(local_mem = 1024 * 1024) ?(tcp = false) f =
+  run_sim (fun eng ->
+      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) () in
+      let k =
+        Aifm.Runtime.boot ~eng ~server
+          { Aifm.Runtime.local_mem_bytes = local_mem; tcp; prefetch_window = 16 }
+      in
+      let r = f eng k in
+      Aifm.Runtime.shutdown k;
+      r)
