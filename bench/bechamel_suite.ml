@@ -43,13 +43,13 @@ let rng_next =
 let readahead_decide =
   let p = Dilos.Prefetcher.readahead () in
   fun () ->
-    ignore (p.Dilos.Prefetcher.decide ~fault_vpn:100 ~hit_ratio:0.8 ~history:[||])
+    ignore (p.Dilos.Prefetcher.decide ~fault_vpn:100 ~hit_ratio:0.8 ~history:(fun () -> [||]))
 
 let trend_decide =
   let p = Dilos.Prefetcher.trend_based () in
   let hist = Array.init 32 (fun i -> 1000 - (i * 3)) in
   fun () ->
-    ignore (p.Dilos.Prefetcher.decide ~fault_vpn:1000 ~hit_ratio:0.8 ~history:hist)
+    ignore (p.Dilos.Prefetcher.decide ~fault_vpn:1000 ~hit_ratio:0.8 ~history:(fun () -> hist))
 
 let snappy_block =
   let rng = Sim.Rng.create 3 in

@@ -4,14 +4,18 @@
      dune exec bench/main.exe              # every table and figure
      dune exec bench/main.exe fig7a fig12  # selected experiments
      dune exec bench/main.exe bechamel     # wall-clock primitive costs
-     dune exec bench/main.exe list         # what exists *)
+     dune exec bench/main.exe list         # what exists
+     dune exec bench/main.exe -- --json BENCH_tag.json [target...]
+                                           # wall-clock perf harness *)
 
 let list_experiments () =
   print_endline "available experiments:";
   List.iter
     (fun (key, desc, _) -> Printf.printf "  %-8s %s\n" key desc)
     Experiments.all;
-  print_endline "  bechamel wall-clock primitive-operation costs"
+  print_endline "  bechamel wall-clock primitive-operation costs";
+  print_endline "perf targets (--json FILE [target...]):";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.targets
 
 let run_one key =
   match List.find_opt (fun (k, _, _) -> k = key) Experiments.all with
@@ -31,5 +35,9 @@ let () =
       Bechamel_suite.run ()
   | _ :: [ "list" ] -> list_experiments ()
   | _ :: [ "bechamel" ] -> Bechamel_suite.run ()
+  | _ :: "--json" :: file :: keys -> Perf.run_json ~file keys
+  | _ :: [ "--json" ] ->
+      Printf.eprintf "--json needs an output file (e.g. BENCH_base.json)\n";
+      exit 1
   | _ :: keys -> List.iter run_one keys
   | [] -> assert false

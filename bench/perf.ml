@@ -1,0 +1,162 @@
+(* Wall-clock performance harness (`bench/main.exe --json FILE`).
+
+   Runs a fixed set of full-size experiments, measuring host wall-clock
+   seconds around each (boot + workload + teardown) together with the
+   run's simulated-time outputs. The JSON it writes is the repo's perf
+   trajectory: commit a BENCH_<tag>.json per milestone and compare
+   wall_s across commits — the sim_ms / counters columns must not move
+   (simulated time is part of the repro's correctness contract), only
+   wall_s may. *)
+
+module H = Apps.Harness
+
+type result = {
+  name : string;
+  wall_s : float;
+  sim_ms : float;
+  counters : (string * int) list;
+}
+
+let mb n = n * 1024 * 1024
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    name;
+    wall_s = wall;
+    sim_ms = Sim.Time.to_ms r.H.elapsed;
+    counters = Sim.Stats.counters r.H.run_stats;
+  }
+
+let seq_ws = mb 128
+
+let targets : (string * (unit -> result)) list =
+  [
+    ( "seqread_dilos_ra",
+      fun () ->
+        timed "seqread_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(seq_ws / 8)
+              (fun ctx -> Apps.Seq.run ctx ~size_bytes:seq_ws ~mode:Apps.Seq.Read))
+    );
+    ( "seqwrite_dilos_ra",
+      fun () ->
+        timed "seqwrite_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(seq_ws / 8)
+              (fun ctx -> Apps.Seq.run ctx ~size_bytes:seq_ws ~mode:Apps.Seq.Write))
+    );
+    ( "seqread_fastswap",
+      fun () ->
+        timed "seqread_fastswap" (fun () ->
+            H.run H.Fastswap ~local_mem:(seq_ws / 8) (fun ctx ->
+                Apps.Seq.run ctx ~size_bytes:seq_ws ~mode:Apps.Seq.Read)) );
+    ( "quicksort_dilos_ra",
+      fun () ->
+        let n = 2_000_000 in
+        timed "quicksort_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(n * 4 / 8)
+              (fun ctx -> Apps.Quicksort.run ctx ~n ~seed:42)) );
+    ( "dataframe_dilos_ra",
+      fun () ->
+        let rows = 1_000_000 in
+        timed "dataframe_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(rows * 40 / 8)
+              (fun ctx ->
+                let df = Apps.Dataframe.create ctx ~rows ~seed:17 in
+                Apps.Dataframe.run_workload df)) );
+    ( "pagerank_dilos_ra",
+      fun () ->
+        let n = 30_000 and deg = 32 in
+        let ws = (n * deg * 4) + (n * 24) in
+        timed "pagerank_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(ws / 8) ~cores:4
+              (fun ctx ->
+                let g = Apps.Graph.generate ctx ~n ~avg_deg:deg ~seed:23 in
+                Apps.Graph.pagerank ctx g ~iters:3 ~threads:4)) );
+    ( "redis_get64k_dilos_trend",
+      fun () ->
+        let keys = 768 in
+        timed "redis_get64k_dilos_trend" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Trend_based)
+              ~local_mem:(keys * 66_000 / 8) (fun ctx ->
+                Apps.Redis_bench.run_get ctx ~keys
+                  ~size:(Apps.Redis_bench.Fixed 65536) ~queries:keys ~seed:5))
+    );
+    ( "redis_lrange_guided",
+      fun () ->
+        let lists = 1024 and elements = 100_000 and elem = 512 in
+        let ws = elements * (elem + 40) in
+        timed "redis_lrange_guided" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(ws / 8)
+              (fun ctx ->
+                ignore (Apps.Redis_guide.install ctx);
+                Apps.Redis_bench.run_lrange ctx ~lists ~elements
+                  ~elem_size:elem ~queries:lists ~range:100 ~seed:5)) );
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~file ~tag results =
+  let oc = open_out file in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n  \"tag\": \"%s\",\n  \"experiments\": [\n" (json_escape tag);
+  List.iteri
+    (fun i r ->
+      p "    {\n      \"name\": \"%s\",\n" (json_escape r.name);
+      p "      \"wall_s\": %.3f,\n" r.wall_s;
+      p "      \"sim_ms\": %.6f,\n" r.sim_ms;
+      p "      \"counters\": {";
+      List.iteri
+        (fun j (k, v) ->
+          p "%s\"%s\": %d" (if j = 0 then "" else ", ") (json_escape k) v)
+        r.counters;
+      p "}\n    }%s\n" (if i = List.length results - 1 then "" else ",")
+    )
+    results;
+  p "  ]\n}\n";
+  close_out oc
+
+(* Derive the tag from a BENCH_<tag>.json filename, else use the
+   basename. *)
+let tag_of_file file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+    String.sub base 6 (String.length base - 6)
+  else base
+
+let run_json ~file keys =
+  let chosen =
+    match keys with
+    | [] -> targets
+    | ks ->
+        List.map
+          (fun k ->
+            match List.assoc_opt k targets with
+            | Some fn -> (k, fn)
+            | None ->
+                Printf.eprintf "unknown bench target %S; targets are:\n" k;
+                List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) targets;
+                exit 1)
+          ks
+  in
+  let results =
+    List.map
+      (fun (name, fn) ->
+        Printf.printf "bench %-28s %!" name;
+        let r = fn () in
+        Printf.printf "wall %6.2fs  sim %10.2fms\n%!" r.wall_s r.sim_ms;
+        r)
+      chosen
+  in
+  write_json ~file ~tag:(tag_of_file file) results;
+  Printf.printf "wrote %s\n" file

@@ -29,10 +29,20 @@ type obj = {
   mutable streak : int;
 }
 
+(* Deref/evacuation-path stats cells, resolved once at [boot]. *)
+type hot_stats = {
+  c_writebacks : Sim.Stats.counter;
+  c_evictions : Sim.Stats.counter;
+  c_prefetch_issued : Sim.Stats.counter;
+  c_fetch_waits : Sim.Stats.counter;
+  c_object_misses : Sim.Stats.counter;
+}
+
 type t = {
   eng : Sim.Engine.t;
   cfg : config;
   stats : Sim.Stats.t;
+  hot : hot_stats;
   fabric : Rdma.Fabric.t;
   deref_qp : Rdma.Qp.t;
   prefetch_qps : Rdma.Qp.t array;
@@ -85,11 +95,11 @@ let rec evacuate_one t =
                 if c.dirty then begin
                   Rdma.Qp.write t.evac_qp ~raddr:c.craddr ~buf:b ~off:0 ~len:c.len;
                   c.dirty <- false;
-                  Sim.Stats.incr t.stats "writebacks"
+                  Sim.Stats.cincr t.hot.c_writebacks
                 end;
                 c.data <- CRemote;
                 t.used <- t.used - c.len;
-                Sim.Stats.incr t.stats "evictions";
+                Sim.Stats.cincr t.hot.c_evictions;
                 true
               end))
 
@@ -117,6 +127,14 @@ let boot ~eng ~server (cfg : config) =
       eng;
       cfg;
       stats;
+      hot =
+        {
+          c_writebacks = Sim.Stats.counter stats "writebacks";
+          c_evictions = Sim.Stats.counter stats "evictions";
+          c_prefetch_issued = Sim.Stats.counter stats "prefetch_issued";
+          c_fetch_waits = Sim.Stats.counter stats "fetch_waits";
+          c_object_misses = Sim.Stats.counter stats "object_misses";
+        };
       fabric;
       deref_qp = Rdma.Fabric.qp fabric ~name:"aifm.deref";
       prefetch_qps =
@@ -236,7 +254,7 @@ let issue_prefetch t o ci =
         let buf = Bytes.create c.len in
         let qp = t.prefetch_qps.(t.prefetch_rr) in
         t.prefetch_rr <- (t.prefetch_rr + 1) mod Array.length t.prefetch_qps;
-        Sim.Stats.incr t.stats "prefetch_issued";
+        Sim.Stats.cincr t.hot.c_prefetch_issued;
         Rdma.Qp.post_read qp
           ~segs:[ { Rdma.Qp.raddr = c.craddr; loff = 0; len = c.len } ]
           ~buf
@@ -268,13 +286,13 @@ let rec chunk_bytes t o ci ~write =
       flush_pending t;
       (match c.data with
       | CFetching waiters ->
-          Sim.Stats.incr t.stats "fetch_waits";
+          Sim.Stats.cincr t.hot.c_fetch_waits;
           Sim.Engine.suspend t.eng (fun wake -> waiters := wake :: !waiters)
       | CLocal _ | CRemote -> ());
       chunk_bytes t o ci ~write
   | CRemote ->
       flush_pending t;
-      Sim.Stats.incr t.stats "object_misses";
+      Sim.Stats.cincr t.hot.c_object_misses;
       Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.aifm_object_fault_sw_ns);
       let waiters = ref [] in
       c.data <- CFetching waiters;

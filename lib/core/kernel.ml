@@ -34,10 +34,29 @@ type core_state = {
   mutable pending : int;
 }
 
+(* Stats cells the fault path touches, resolved once at [boot] so a
+   fault never hashes a counter name (see Sim.Stats handle API). *)
+type hot_stats = {
+  c_major_faults : Sim.Stats.counter;
+  c_fetch_waits : Sim.Stats.counter;
+  c_zero_fill : Sim.Stats.counter;
+  c_prefetch_issued : Sim.Stats.counter;
+  c_subpage_fetches : Sim.Stats.counter;
+  c_subpage_bytes : Sim.Stats.counter;
+  c_ph_exception : Sim.Stats.counter;
+  c_ph_pte : Sim.Stats.counter;
+  c_ph_alloc : Sim.Stats.counter;
+  c_ph_reclaim : Sim.Stats.counter;
+  c_ph_fetch : Sim.Stats.counter;
+  h_fault : Sim.Histogram.t;
+  h_fetch_wait : Sim.Histogram.t;
+}
+
 type t = {
   eng : Sim.Engine.t;
   cfg : config;
   stats : Sim.Stats.t;
+  hot : hot_stats;
   fabric : Rdma.Fabric.t;
   aspace : Vmem.Address_space.t;
   pt : Vmem.Page_table.t;
@@ -116,11 +135,29 @@ let boot ~eng ~server ?nic_config (cfg : config) =
     | Readahead -> Prefetcher.readahead ()
     | Trend_based -> Prefetcher.trend_based ()
   in
+  let hot =
+    {
+      c_major_faults = Sim.Stats.counter stats "major_faults";
+      c_fetch_waits = Sim.Stats.counter stats "fetch_waits";
+      c_zero_fill = Sim.Stats.counter stats "zero_fill_faults";
+      c_prefetch_issued = Sim.Stats.counter stats "prefetch_issued";
+      c_subpage_fetches = Sim.Stats.counter stats "subpage_fetches";
+      c_subpage_bytes = Sim.Stats.counter stats "subpage_bytes";
+      c_ph_exception = Sim.Stats.counter stats "ph_exception_ns";
+      c_ph_pte = Sim.Stats.counter stats "ph_pte_ns";
+      c_ph_alloc = Sim.Stats.counter stats "ph_alloc_ns";
+      c_ph_reclaim = Sim.Stats.counter stats "ph_reclaim_ns";
+      c_ph_fetch = Sim.Stats.counter stats "ph_fetch_ns";
+      h_fault = Sim.Stats.histo stats "fault_ns";
+      h_fetch_wait = Sim.Stats.histo stats "fetch_wait_ns";
+    }
+  in
   let t =
     {
       eng;
       cfg;
       stats;
+      hot;
       fabric;
       aspace;
       pt;
@@ -179,19 +216,22 @@ let map_fetched t vpn frame =
   Page_manager.note_mapped t.pm vpn;
   Sim.Condvar.broadcast t.mapping_changed
 
-(* Asynchronous page prefetch; also the guide's pf_prefetch. Sheds
-   work instead of blocking: skipped when memory is tight, when the
-   page is not remote, or when it lies outside DDC ranges. *)
-let issue_prefetch t ~core vpn =
+(* Checks and PTE transition for one prefetch candidate: skipped when
+   memory is tight, when the page is not remote, or when it lies
+   outside DDC ranges (shed work instead of blocking). Marks the page
+   Fetching and counts it immediately — before any posting — so later
+   candidates in the same batch observe the transition; returns the
+   work request still to be posted, if any. *)
+let prepare_prefetch t vpn =
   if Page_manager.free_frames t.pm > t.prefetch_low then begin
     let base = Vmem.Addr.base vpn in
     if Vmem.Address_space.is_ddc t.aspace base then begin
       let pte = Vmem.Page_table.get t.pt vpn in
       match Vmem.Pte.tag pte with
-      | Vmem.Pte.Local | Vmem.Pte.Fetching | Vmem.Pte.Unmapped -> ()
+      | Vmem.Pte.Local | Vmem.Pte.Fetching | Vmem.Pte.Unmapped -> None
       | (Vmem.Pte.Remote | Vmem.Pte.Action) as tag -> (
           match Page_manager.try_alloc_frame t.pm with
-          | None -> ()
+          | None -> None
           | Some frame ->
               let segs =
                 match tag with
@@ -200,20 +240,36 @@ let issue_prefetch t ~core vpn =
                 | _ -> full_page_segs base
               in
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_fetching ());
-              Sim.Stats.incr t.stats "prefetch_issued";
+              Sim.Stats.cincr t.hot.c_prefetch_issued;
               let finish () =
                 map_fetched t vpn frame;
                 Hit_tracker.note_prefetched t.tracker vpn
               in
-              if segs = [] then finish ()
+              if segs = [] then begin
+                finish ();
+                None
+              end
               else
-                Rdma.Qp.post_read
-                  (Comm.prefetch_qp t.comm ~core)
-                  ~segs
-                  ~buf:(Vmem.Frame.data t.frames frame)
-                  ~on_complete:finish)
+                Some
+                  {
+                    Rdma.Qp.r_segs = segs;
+                    r_buf = Vmem.Frame.data t.frames frame;
+                    r_on_complete = finish;
+                  })
     end
+    else None
   end
+  else None
+
+(* Asynchronous page prefetch; also the guide's pf_prefetch. *)
+let issue_prefetch t ~core vpn =
+  match prepare_prefetch t vpn with
+  | None -> ()
+  | Some wr ->
+      Rdma.Qp.post_read
+        (Comm.prefetch_qp t.comm ~core)
+        ~segs:wr.Rdma.Qp.r_segs ~buf:wr.Rdma.Qp.r_buf
+        ~on_complete:wr.Rdma.Qp.r_on_complete
 
 let prefetch_ops t ~core =
   {
@@ -230,8 +286,8 @@ let prefetch_ops t ~core =
           k (Bytes.sub b off len)
         end
         else begin
-          Sim.Stats.incr t.stats "subpage_fetches";
-          Sim.Stats.add t.stats "subpage_bytes" len;
+          Sim.Stats.cincr t.hot.c_subpage_fetches;
+          Sim.Stats.cadd t.hot.c_subpage_bytes len;
           let buf = Bytes.create len in
           Rdma.Qp.post_read
             (Comm.guide_qp t.comm ~core)
@@ -286,6 +342,17 @@ let major_fault t cs vpn pte =
   let ratio = Hit_tracker.scan t.tracker in
   Hit_tracker.note_fault t.tracker vpn;
   Sim.Engine.sleep t.eng (Hit_tracker.scan_cost 64);
+  (* One materialization of the fault history per fault, shared by the
+     guide and the prefetcher; the readahead path never forces it. *)
+  let history_memo = ref None in
+  let history () =
+    match !history_memo with
+    | Some h -> h
+    | None ->
+        let h = Hit_tracker.history t.tracker in
+        history_memo := Some h;
+        h
+  in
   let handled =
     match t.prefetch_guide with
     | Some g ->
@@ -294,30 +361,34 @@ let major_fault t cs vpn pte =
           {
             Guide.fi_addr = base;
             fi_hit_ratio = ratio;
-            fi_history = Hit_tracker.history t.tracker;
+            fi_history = history ();
           }
     | None -> false
   in
   if not handled then begin
     let wanted =
-      t.prefetcher.Prefetcher.decide ~fault_vpn:vpn ~hit_ratio:ratio
-        ~history:(Hit_tracker.history t.tracker)
+      t.prefetcher.Prefetcher.decide ~fault_vpn:vpn ~hit_ratio:ratio ~history
     in
     Sim.Engine.sleep t.eng (Prefetcher.decision_cost (List.length wanted));
-    List.iter (issue_prefetch t ~core:cs.core_id) wanted
+    (* All surviving candidates go out as one WR chain: one doorbell,
+       per-op service unchanged (see Qp.post_read_batch). *)
+    match List.filter_map (prepare_prefetch t) wanted with
+    | [] -> ()
+    | wrs ->
+        Rdma.Qp.post_read_batch (Comm.prefetch_qp t.comm ~core:cs.core_id) wrs
   end;
   if not !completed then Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
   let fetch_ns = elapsed_ns t fetch_t0 in
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_map_ns);
   map_fetched t vpn frame;
-  Sim.Stats.incr t.stats "major_faults";
-  Sim.Stats.record t.stats "fault_ns" (elapsed_ns t t_start);
-  Sim.Stats.add t.stats "ph_exception_ns" 570;
-  Sim.Stats.add t.stats "ph_pte_ns" (Params.dilos_pte_check_ns + Params.dilos_map_ns);
-  Sim.Stats.add t.stats "ph_alloc_ns" (Stdlib.min alloc_ns Params.dilos_page_alloc_ns);
-  Sim.Stats.add t.stats "ph_reclaim_ns"
+  Sim.Stats.cincr t.hot.c_major_faults;
+  Sim.Histogram.add t.hot.h_fault (elapsed_ns t t_start);
+  Sim.Stats.cadd t.hot.c_ph_exception 570;
+  Sim.Stats.cadd t.hot.c_ph_pte (Params.dilos_pte_check_ns + Params.dilos_map_ns);
+  Sim.Stats.cadd t.hot.c_ph_alloc (Stdlib.min alloc_ns Params.dilos_page_alloc_ns);
+  Sim.Stats.cadd t.hot.c_ph_reclaim
     (Stdlib.max 0 (alloc_ns - Params.dilos_page_alloc_ns));
-  Sim.Stats.add t.stats "ph_fetch_ns" fetch_ns
+  Sim.Stats.cadd t.hot.c_ph_fetch fetch_ns
 
 let handle_fault t cs vpn _pte_at_trap =
   Sim.Engine.sleep t.eng Vmem.Mmu.exception_cost;
@@ -330,7 +401,7 @@ let handle_fault t cs vpn _pte_at_trap =
       (* Another core (or the prefetcher) is already fetching this
          page: wait for the PTE to change instead of duplicating the
          request (§4.2). These are DiLOS's "minor faults". *)
-      Sim.Stats.incr t.stats "fetch_waits";
+      Sim.Stats.cincr t.hot.c_fetch_waits;
       (* These waits are accesses the swap path observed; the trend
          detector needs them to see the true access stride (Leap logs
          every swap-path access, not only misses). *)
@@ -339,7 +410,7 @@ let handle_fault t cs vpn _pte_at_trap =
       Sim.Condvar.wait_for t.mapping_changed (fun () ->
           Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) <> Vmem.Pte.Fetching);
       Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_fetch_wait_poll_ns);
-      Sim.Stats.record t.stats "fetch_wait_ns" (elapsed_ns t t0)
+      Sim.Histogram.add t.hot.h_fetch_wait (elapsed_ns t t0)
   | Vmem.Pte.Unmapped ->
       let addr = Vmem.Addr.base vpn in
       (match Vmem.Address_space.find t.aspace addr with
@@ -358,7 +429,7 @@ let handle_fault t cs vpn _pte_at_trap =
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
               if vma.Vmem.Address_space.ddc then Page_manager.note_mapped t.pm vpn;
               Sim.Condvar.broadcast t.mapping_changed;
-              Sim.Stats.incr t.stats "zero_fill_faults"
+              Sim.Stats.cincr t.hot.c_zero_fill
             end
           end)
   | Vmem.Pte.Remote | Vmem.Pte.Action -> major_fault t cs vpn pte

@@ -41,9 +41,20 @@ module Clock = struct
   let peek_nth t i = if i >= t.len then None else Some t.data.((t.head + i) mod Array.length t.data)
 end
 
+(* Reclaim-path stats cells, resolved once at [create]: eviction and
+   write-back run per page under memory pressure. *)
+type hot_stats = {
+  c_evictions : Sim.Stats.counter;
+  c_writebacks : Sim.Stats.counter;
+  c_reclaim_gave_up : Sim.Stats.counter;
+  c_reclaim_stalls : Sim.Stats.counter;
+  c_reclaim_stall_ns : Sim.Stats.counter;
+}
+
 type t = {
   eng : Sim.Engine.t;
   stats : Sim.Stats.t;
+  hot : hot_stats;
   pt : Vmem.Page_table.t;
   frames : Vmem.Frame.t;
   evict_qp : Rdma.Qp.t;
@@ -77,6 +88,14 @@ let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
   {
     eng;
     stats;
+    hot =
+      {
+        c_evictions = Sim.Stats.counter stats "evictions";
+        c_writebacks = Sim.Stats.counter stats "writebacks";
+        c_reclaim_gave_up = Sim.Stats.counter stats "reclaim_gave_up";
+        c_reclaim_stalls = Sim.Stats.counter stats "reclaim_stalls";
+        c_reclaim_stall_ns = Sim.Stats.counter stats "reclaim_stall_ns";
+      };
     pt;
     frames;
     evict_qp;
@@ -136,7 +155,7 @@ let drop_without_write t vpn pte =
   Vmem.Page_table.set t.pt vpn new_pte;
   t.invalidate vpn;
   Vmem.Frame.free t.frames frame;
-  Sim.Stats.incr t.stats "evictions";
+  Sim.Stats.cincr t.hot.c_evictions;
   Sim.Condvar.broadcast t.frames_avail
 
 (* Write a dirty page back. [then_evict] distinguishes the reclaimer's
@@ -171,7 +190,7 @@ let writeback t vpn pte ~then_evict =
     let buf = Vmem.Frame.data t.frames frame in
     Rdma.Qp.post_write t.evict_qp ~segs ~buf ~on_complete:(fun () ->
         Hashtbl.remove t.wb_inflight vpn;
-        Sim.Stats.incr t.stats "writebacks";
+        Sim.Stats.cincr t.hot.c_writebacks;
         (if then_evict then
            let pte' = Vmem.Page_table.get t.pt vpn in
            match Vmem.Pte.tag pte' with
@@ -184,7 +203,7 @@ let writeback t vpn pte ~then_evict =
                Vmem.Page_table.set t.pt vpn new_pte;
                t.invalidate vpn;
                Vmem.Frame.free t.frames (Vmem.Pte.frame pte');
-               Sim.Stats.incr t.stats "evictions";
+               Sim.Stats.cincr t.hot.c_evictions;
                Sim.Condvar.broadcast t.frames_avail
            | Vmem.Pte.Local ->
                (* Re-dirtied while in flight: keep it resident. *)
@@ -247,7 +266,7 @@ let reclaim_until t target =
           no_progress := 0
         end
         else begin
-          Sim.Stats.incr t.stats "reclaim_gave_up";
+          Sim.Stats.cincr t.hot.c_reclaim_gave_up;
           continue_ := false
         end
     end;
@@ -307,7 +326,7 @@ let alloc_frame t =
   match try_alloc_frame t with
   | Some f -> f
   | None ->
-      Sim.Stats.incr t.stats "reclaim_stalls";
+      Sim.Stats.cincr t.hot.c_reclaim_stalls;
       let started = Sim.Engine.now t.eng in
       let frame = ref None in
       Sim.Condvar.broadcast t.reclaim_work;
@@ -320,7 +339,7 @@ let alloc_frame t =
               Sim.Condvar.broadcast t.reclaim_work;
               false);
       let stalled = Sim.Time.sub (Sim.Engine.now t.eng) started in
-      Sim.Stats.add t.stats "reclaim_stall_ns" (Int64.to_int stalled);
+      Sim.Stats.cadd t.hot.c_reclaim_stall_ns (Int64.to_int stalled);
       (match !frame with Some f -> f | None -> assert false)
 
 let quiesce t =

@@ -1,6 +1,7 @@
 type t = {
   name : string;
-  decide : fault_vpn:int -> hit_ratio:float -> history:int array -> int list;
+  decide :
+    fault_vpn:int -> hit_ratio:float -> history:(unit -> int array) -> int list;
 }
 
 let none = { name = "no-prefetch"; decide = (fun ~fault_vpn:_ ~hit_ratio:_ ~history:_ -> []) }
@@ -48,7 +49,7 @@ let trend_based () =
   let window = ref Params.readahead_min_window in
   let decide ~fault_vpn ~hit_ratio ~history =
     window := adapt_window !window hit_ratio;
-    match majority_stride history with
+    match majority_stride (history ()) with
     | Some stride -> forward_pages fault_vpn stride !window
     | None -> forward_pages fault_vpn 1 Params.readahead_min_window
   in

@@ -7,8 +7,12 @@
 
 type t = {
   name : string;
-  decide : fault_vpn:int -> hit_ratio:float -> history:int array -> int list;
-      (** VPNs to prefetch, most valuable first. The caller filters
+  decide :
+    fault_vpn:int -> hit_ratio:float -> history:(unit -> int array) -> int list;
+      (** VPNs to prefetch, most valuable first. [history] is a thunk
+          so prefetchers that ignore the fault history (readahead, the
+          default) never pay for materializing it; callers may memoize
+          one materialization per fault. The caller filters
           already-local pages and sheds under memory pressure. *)
 }
 

@@ -18,10 +18,31 @@ type core_state = {
   mutable pending : int;
 }
 
+(* Fault/reclaim-path stats cells, resolved once at [boot]. *)
+type hot_stats = {
+  c_major_faults : Sim.Stats.counter;
+  c_minor_faults : Sim.Stats.counter;
+  c_evictions : Sim.Stats.counter;
+  c_writebacks : Sim.Stats.counter;
+  c_ra_dropped : Sim.Stats.counter;
+  c_readahead_pages : Sim.Stats.counter;
+  c_direct_reclaims : Sim.Stats.counter;
+  c_zero_fill : Sim.Stats.counter;
+  c_ph_exception : Sim.Stats.counter;
+  c_ph_swapcache : Sim.Stats.counter;
+  c_ph_alloc : Sim.Stats.counter;
+  c_ph_fetch : Sim.Stats.counter;
+  c_ph_other : Sim.Stats.counter;
+  c_ph_reclaim : Sim.Stats.counter;
+  h_fault : Sim.Histogram.t;
+  h_minor_fault : Sim.Histogram.t;
+}
+
 type t = {
   eng : Sim.Engine.t;
   cfg : config;
   stats : Sim.Stats.t;
+  hot : hot_stats;
   fabric : Rdma.Fabric.t;
   aspace : Vmem.Address_space.t;
   pt : Vmem.Page_table.t;
@@ -95,8 +116,8 @@ let rec evict_one t ~qp ~budget =
             (* Never-used readahead page: clean, just drop it. *)
             Swap_cache.remove t.cache vpn;
             Vmem.Frame.free t.frames e.Swap_cache.frame;
-            Sim.Stats.incr t.stats "evictions";
-            Sim.Stats.incr t.stats "ra_dropped";
+            Sim.Stats.cincr t.hot.c_evictions;
+            Sim.Stats.cincr t.hot.c_ra_dropped;
             t.ra_window <- Stdlib.max 1 (t.ra_window / 2);
             Sim.Condvar.broadcast t.frames_avail;
             true
@@ -125,13 +146,13 @@ let rec evict_one t ~qp ~budget =
                      let buf = Vmem.Frame.data t.frames frame in
                      Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf ~off:0
                        ~len:Vmem.Addr.page_size;
-                     Sim.Stats.incr t.stats "writebacks"
+                     Sim.Stats.cincr t.hot.c_writebacks
                    end);
                   Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
                   invalidate t vpn;
                   Hashtbl.remove t.swap_backed vpn;
                   Vmem.Frame.free t.frames frame;
-                  Sim.Stats.incr t.stats "evictions";
+                  Sim.Stats.cincr t.hot.c_evictions;
                   Sim.Condvar.broadcast t.frames_avail;
                   true
                 end))
@@ -163,11 +184,32 @@ let boot ~eng ~server (cfg : config) =
       ~frames:(Stdlib.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
   in
   let total = Vmem.Frame.total frames in
+  let hot =
+    {
+      c_major_faults = Sim.Stats.counter stats "major_faults";
+      c_minor_faults = Sim.Stats.counter stats "minor_faults";
+      c_evictions = Sim.Stats.counter stats "evictions";
+      c_writebacks = Sim.Stats.counter stats "writebacks";
+      c_ra_dropped = Sim.Stats.counter stats "ra_dropped";
+      c_readahead_pages = Sim.Stats.counter stats "readahead_pages";
+      c_direct_reclaims = Sim.Stats.counter stats "direct_reclaims";
+      c_zero_fill = Sim.Stats.counter stats "zero_fill_faults";
+      c_ph_exception = Sim.Stats.counter stats "ph_exception_ns";
+      c_ph_swapcache = Sim.Stats.counter stats "ph_swapcache_ns";
+      c_ph_alloc = Sim.Stats.counter stats "ph_alloc_ns";
+      c_ph_fetch = Sim.Stats.counter stats "ph_fetch_ns";
+      c_ph_other = Sim.Stats.counter stats "ph_other_ns";
+      c_ph_reclaim = Sim.Stats.counter stats "ph_reclaim_ns";
+      h_fault = Sim.Stats.histo stats "fault_ns";
+      h_minor_fault = Sim.Stats.histo stats "minor_fault_ns";
+    }
+  in
   let t =
     {
       eng;
       cfg;
       stats;
+      hot;
       fabric;
       aspace = Vmem.Address_space.create ();
       pt = Vmem.Page_table.create ();
@@ -227,8 +269,8 @@ let direct_or_offloaded t =
   >= Dilos.Params.fastswap_reclaim_offload_fraction
 
 let direct_reclaim t cs =
-  Sim.Stats.incr t.stats "direct_reclaims";
-  Sim.Stats.add t.stats "ph_reclaim_ns" Dilos.Params.fastswap_reclaim_direct_ns;
+  Sim.Stats.cincr t.hot.c_direct_reclaims;
+  Sim.Stats.cadd t.hot.c_ph_reclaim Dilos.Params.fastswap_reclaim_direct_ns;
   Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_reclaim_direct_ns);
   ignore (evict_one t ~qp:t.qps.(cs.core_id))
 
@@ -264,6 +306,10 @@ let swapin_cluster t cs vpn_fault =
   let qp = t.qps.(cs.core_id) in
   let win = t.ra_window in
   let start = vpn_fault land lnot (win - 1) in
+  (* Swap-cache insertion happens per page, up front; the surviving
+     fetches then go out as one WR chain (single doorbell, identical
+     per-op service — see Qp.post_read_batch). *)
+  let wrs = ref [] in
   let submit vpn =
     let pte = Vmem.Page_table.get t.pt vpn in
     if
@@ -278,26 +324,32 @@ let swapin_cluster t cs vpn_fault =
           let e = { Swap_cache.frame; io_inflight = true } in
           Swap_cache.insert t.cache vpn e;
           lru_push t vpn;
-          Sim.Stats.incr t.stats "readahead_pages";
-          Rdma.Qp.post_read qp
-            ~segs:
-              [
-                {
-                  Rdma.Qp.raddr = Vmem.Addr.base vpn;
-                  loff = 0;
-                  len = Vmem.Addr.page_size;
-                };
-              ]
-            ~buf:(Vmem.Frame.data t.frames frame)
-            ~on_complete:(fun () ->
-              e.Swap_cache.io_inflight <- false;
-              Sim.Condvar.broadcast t.io_done)
+          Sim.Stats.cincr t.hot.c_readahead_pages;
+          wrs :=
+            {
+              Rdma.Qp.r_segs =
+                [
+                  {
+                    Rdma.Qp.raddr = Vmem.Addr.base vpn;
+                    loff = 0;
+                    len = Vmem.Addr.page_size;
+                  };
+                ];
+              r_buf = Vmem.Frame.data t.frames frame;
+              r_on_complete =
+                (fun () ->
+                  e.Swap_cache.io_inflight <- false;
+                  Sim.Condvar.broadcast t.io_done);
+            }
+            :: !wrs
     end
   in
-  if t.cfg.readahead && win > 1 then
+  if t.cfg.readahead && win > 1 then begin
     for v = start to start + win - 1 do
       submit v
-    done
+    done;
+    Rdma.Qp.post_read_batch qp (List.rev !wrs)
+  end
 
 (* Map a swap-cache entry whose IO has finished. *)
 let map_from_cache t vpn entry =
@@ -309,7 +361,7 @@ let map_from_cache t vpn entry =
 
 let rec major_fault t cs vpn =
   let t_start = Sim.Engine.now t.eng in
-  Sim.Stats.incr t.stats "major_faults";
+  Sim.Stats.cincr t.hot.c_major_faults;
   (* Swap-cache management: radix tree insertion, swap slot lookup,
      cgroup charging... *)
   Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_swapcache_ns);
@@ -350,14 +402,14 @@ let rec major_fault t cs vpn =
   (match Swap_cache.find t.cache vpn with
   | Some e' when e' == e -> map_from_cache t vpn e
   | Some _ | None -> ());
-  Sim.Stats.record t.stats "fault_ns"
+  Sim.Histogram.add t.hot.h_fault
     (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t_start));
-  Sim.Stats.add t.stats "ph_exception_ns" 570;
-  Sim.Stats.add t.stats "ph_swapcache_ns" Dilos.Params.fastswap_swapcache_ns;
-  Sim.Stats.add t.stats "ph_alloc_ns"
+  Sim.Stats.cadd t.hot.c_ph_exception 570;
+  Sim.Stats.cadd t.hot.c_ph_swapcache Dilos.Params.fastswap_swapcache_ns;
+  Sim.Stats.cadd t.hot.c_ph_alloc
     (Stdlib.min alloc_spent Dilos.Params.fastswap_page_alloc_ns);
-  Sim.Stats.add t.stats "ph_fetch_ns" fetch_ns;
-  Sim.Stats.add t.stats "ph_other_ns" Dilos.Params.fastswap_other_ns
+  Sim.Stats.cadd t.hot.c_ph_fetch fetch_ns;
+  Sim.Stats.cadd t.hot.c_ph_other Dilos.Params.fastswap_other_ns
   end
 
 and handle_fault t cs vpn _pte_at_trap =
@@ -380,13 +432,13 @@ and handle_fault_inner t cs vpn =
           else begin
             Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
             lru_push t vpn;
-            Sim.Stats.incr t.stats "zero_fill_faults"
+            Sim.Stats.cincr t.hot.c_zero_fill
           end)
   | Vmem.Pte.Remote -> (
       match Swap_cache.find t.cache vpn with
       | Some e ->
           (* Minor fault: page already in the swap cache. *)
-          Sim.Stats.incr t.stats "minor_faults";
+          Sim.Stats.cincr t.hot.c_minor_faults;
           t.ra_window <- Stdlib.min cluster (t.ra_window * 2);
           let t0 = Sim.Engine.now t.eng in
           Sim.Engine.sleep t.eng
@@ -400,7 +452,7 @@ and handle_fault_inner t cs vpn =
           (match Swap_cache.find t.cache vpn with
           | Some e' when e' == e -> map_from_cache t vpn e
           | Some _ | None -> ());
-          Sim.Stats.record t.stats "minor_fault_ns"
+          Sim.Histogram.add t.hot.h_minor_fault
             (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0) + 570)
       | None -> major_fault t cs vpn)
 

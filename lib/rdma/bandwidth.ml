@@ -4,23 +4,41 @@ type t = {
   eng : Sim.Engine.t;
   bucket : Sim.Time.t;
   tbl : (int, int array) Hashtbl.t; (* bucket index -> [|rx; tx|] *)
+  mutable last_idx : int; (* bucket cache: records cluster in time *)
+  mutable last_cell : int array;
   mutable total_rx : int;
   mutable total_tx : int;
 }
 
 let create ?(bucket = Sim.Time.ms 1) eng =
   if Int64.compare bucket 0L <= 0 then invalid_arg "Bandwidth.create: bucket <= 0";
-  { eng; bucket; tbl = Hashtbl.create 64; total_rx = 0; total_tx = 0 }
+  {
+    eng;
+    bucket;
+    tbl = Hashtbl.create 64;
+    last_idx = min_int;
+    last_cell = [| 0; 0 |];
+    total_rx = 0;
+    total_tx = 0;
+  }
 
 let record t dir bytes_ =
   let idx = Int64.to_int (Int64.div (Sim.Engine.now t.eng) t.bucket) in
   let cell =
-    match Hashtbl.find_opt t.tbl idx with
-    | Some c -> c
-    | None ->
-        let c = [| 0; 0 |] in
-        Hashtbl.add t.tbl idx c;
-        c
+    if idx = t.last_idx then t.last_cell
+    else begin
+      let c =
+        match Hashtbl.find_opt t.tbl idx with
+        | Some c -> c
+        | None ->
+            let c = [| 0; 0 |] in
+            Hashtbl.add t.tbl idx c;
+            c
+      in
+      t.last_idx <- idx;
+      t.last_cell <- c;
+      c
+    end
   in
   (match dir with
   | Rx ->
@@ -40,5 +58,7 @@ let series t =
 
 let reset t =
   Hashtbl.reset t.tbl;
+  t.last_idx <- min_int;
+  t.last_cell <- [| 0; 0 |];
   t.total_rx <- 0;
   t.total_tx <- 0

@@ -51,6 +51,20 @@ val post_write :
 (** Asynchronous one-sided WRITE. The payload is snapshotted when
     posted. *)
 
+type read_wr = {
+  r_segs : seg list;
+  r_buf : bytes;
+  r_on_complete : unit -> unit;
+}
+
+val post_read_batch : t -> read_wr list -> unit
+(** Post a chain of READ work requests with a single doorbell.
+    Simulated timing is identical to posting each WR with {!post_read}
+    at the same instant — each WR still pays its own occupancy and
+    latency, and completions fire per WR in order — but the host-side
+    cost is paid once per chain. Increments [rdma_read_batches] once
+    (and the per-op counters per WR). Empty list is a no-op. *)
+
 val read : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
 (** Synchronous single-segment READ (blocks the calling fiber). *)
 

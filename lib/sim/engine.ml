@@ -1,26 +1,159 @@
 type event = { time : Time.t; seq : int; fn : unit -> unit }
 
+(* Event min-heap specialized to the [event] record: the comparison
+   (Int64 time, then sequence number) is inlined instead of going
+   through a closure per sift step. The generic [Sim.Heap] stays for
+   other users; this copy exists because the event queue is the
+   simulator's single hottest structure. *)
+module Eheap = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let dummy = { time = 0L; seq = 0; fn = ignore }
+  let create () = { data = [||]; size = 0 }
+  let length h = h.size
+
+  (* Strict "a fires before b": earlier time, or same time and
+     scheduled earlier. Matches the old closure comparator exactly. *)
+  let before a b =
+    let c = Int64.compare a.time b.time in
+    c < 0 || (c = 0 && a.seq < b.seq)
+
+  let grow h =
+    let cap = Array.length h.data in
+    if h.size = cap then begin
+      let nd = Array.make (if cap = 0 then 16 else cap * 2) dummy in
+      Array.blit h.data 0 nd 0 h.size;
+      h.data <- nd
+    end
+
+  let push h x =
+    grow h;
+    let d = h.data in
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    (* Sift up with a hole instead of pairwise swaps. *)
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if before x d.(parent) then begin
+        d.(!i) <- d.(parent);
+        i := parent
+      end
+      else continue_ := false
+    done;
+    d.(!i) <- x
+
+  let sift_down h =
+    let d = h.data and n = h.size in
+    let x = d.(0) in
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      let sm = ref x in
+      if l < n && before d.(l) !sm then begin
+        smallest := l;
+        sm := d.(l)
+      end;
+      if r < n && before d.(r) !sm then begin
+        smallest := r;
+        sm := d.(r)
+      end;
+      if !smallest <> !i then begin
+        d.(!i) <- !sm;
+        i := !smallest
+      end
+      else continue_ := false
+    done;
+    d.(!i) <- x
+
+  let pop_exn h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
+      sift_down h
+    end
+    else h.data.(0) <- dummy;
+    top
+end
+
+(* FIFO ring of thunks ready to run at the current time. Events
+   scheduled at [t.now] — every fiber wake, [yield], zero-delay [at] —
+   land here in O(1) instead of paying a heap sift. *)
+module Ring = struct
+  type t = {
+    mutable data : (unit -> unit) array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 16 ignore; head = 0; len = 0 }
+  let length r = r.len
+
+  let push r fn =
+    let cap = Array.length r.data in
+    if r.len = cap then begin
+      let nd = Array.make (cap * 2) ignore in
+      for i = 0 to r.len - 1 do
+        nd.(i) <- r.data.((r.head + i) land (cap - 1))
+      done;
+      r.data <- nd;
+      r.head <- 0
+    end;
+    let cap = Array.length r.data in
+    r.data.((r.head + r.len) land (cap - 1)) <- fn;
+    r.len <- r.len + 1
+
+  let pop_exn r =
+    let mask = Array.length r.data - 1 in
+    let fn = r.data.(r.head land mask) in
+    r.data.(r.head land mask) <- ignore;
+    r.head <- (r.head + 1) land mask;
+    r.len <- r.len - 1;
+    fn
+end
+
 type t = {
   mutable now : Time.t;
   mutable seq : int;
-  queue : event Heap.t;
+  queue : Eheap.t;
+  ready : Ring.t;
   mutable failure : (exn * Printexc.raw_backtrace) option;
 }
 
-let cmp_event a b =
-  let c = Int64.compare a.time b.time in
-  if c <> 0 then c else Stdlib.compare a.seq b.seq
-
 let create () =
-  { now = Time.zero; seq = 0; queue = Heap.create ~cmp:cmp_event; failure = None }
+  {
+    now = Time.zero;
+    seq = 0;
+    queue = Eheap.create ();
+    ready = Ring.create ();
+    failure = None;
+  }
 
 let now t = t.now
 
+(* Ordering invariants (equal-time events fire in scheduling order, as
+   before the ready ring existed):
+
+   - an event can only enter the heap with [time > now], so every heap
+     event at time [T] was scheduled before the clock reached [T] and
+     therefore precedes every ring entry (which was scheduled at
+     [now = T]);
+   - the ring is FIFO, which equals sequence-number order among
+     same-time entries;
+   - the clock only advances when the ring is empty and no heap event
+     remains at [now]. *)
 let at t time fn =
-  if Int64.compare time t.now < 0 then
-    invalid_arg "Engine.at: scheduling in the past";
-  t.seq <- t.seq + 1;
-  Heap.push t.queue { time; seq = t.seq; fn }
+  let c = Int64.compare time t.now in
+  if c < 0 then invalid_arg "Engine.at: scheduling in the past"
+  else if c = 0 then Ring.push t.ready fn
+  else begin
+    t.seq <- t.seq + 1;
+    Eheap.push t.queue { time; seq = t.seq; fn }
+  end
 
 let after t delay fn = at t (Time.add t.now delay) fn
 
@@ -48,7 +181,7 @@ let fiber_handler t (f : unit -> unit) () =
                   let wake () =
                     if !woken then invalid_arg "Engine: double wake of a fiber";
                     woken := true;
-                    at t t.now (fun () -> continue k ())
+                    Ring.push t.ready (fun () -> continue k ())
                   in
                   (* An exception inside [register] belongs to the
                      suspending fiber, not to the engine loop. *)
@@ -58,7 +191,7 @@ let fiber_handler t (f : unit -> unit) () =
           | _ -> None);
     }
 
-let spawn t ?name:_ f = at t t.now (fiber_handler t f)
+let spawn t ?name:_ f = Ring.push t.ready (fiber_handler t f)
 let suspend _t register = Effect.perform (Suspend register)
 
 let sleep_until t time =
@@ -68,13 +201,25 @@ let sleep_until t time =
 let sleep t delay = sleep_until t (Time.add t.now delay)
 let yield t = Effect.perform (Suspend (fun wake -> at t t.now wake))
 
+(* Heap events at [t.now] precede the ring (see [at]); the ring drains
+   before the clock may advance. *)
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.now <- ev.time;
-      (ev.fn ());
-      true
+  if t.queue.Eheap.size > 0 && Int64.equal t.queue.Eheap.data.(0).time t.now
+  then begin
+    (Eheap.pop_exn t.queue).fn ();
+    true
+  end
+  else if t.ready.Ring.len > 0 then begin
+    (Ring.pop_exn t.ready) ();
+    true
+  end
+  else if t.queue.Eheap.size > 0 then begin
+    let ev = Eheap.pop_exn t.queue in
+    t.now <- ev.time;
+    ev.fn ();
+    true
+  end
+  else false
 
 let check_failure t =
   match t.failure with
@@ -89,13 +234,21 @@ let run t =
   done;
   check_failure t
 
+(* Time of the next event, honouring the same precedence as [step]. *)
+let next_time t =
+  if t.ready.Ring.len > 0 || (t.queue.Eheap.size > 0
+                              && Int64.equal t.queue.Eheap.data.(0).time t.now)
+  then Some t.now
+  else if t.queue.Eheap.size > 0 then Some t.queue.Eheap.data.(0).time
+  else None
+
 let run_until_idle t ~max_time =
   let continue_ = ref true in
   while !continue_ && t.failure = None do
-    match Heap.peek t.queue with
-    | Some ev when Int64.compare ev.time max_time <= 0 -> ignore (step t)
+    match next_time t with
+    | Some time when Int64.compare time max_time <= 0 -> ignore (step t)
     | Some _ | None -> continue_ := false
   done;
   check_failure t
 
-let pending t = Heap.length t.queue
+let pending t = Eheap.length t.queue + Ring.length t.ready

@@ -8,8 +8,13 @@
     time.
 
     Determinism: events at equal timestamps fire in the order they were
-    scheduled (a monotonically increasing sequence number breaks
-    ties). *)
+    scheduled. Internally, events in the future sit in a binary heap
+    ordered by (time, sequence number); events scheduled at the current
+    instant — fiber wakes, {!yield}, zero-delay {!at} — go to a FIFO
+    ready ring in O(1). The split preserves the global order: a heap
+    event at time [T] was necessarily scheduled before the clock
+    reached [T], so it precedes every ring entry, and the ring's FIFO
+    order equals sequence order among same-instant events. *)
 
 type t
 

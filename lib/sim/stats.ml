@@ -1,5 +1,7 @@
+type counter = int ref
+
 type t = {
-  counters : (string, int ref) Hashtbl.t;
+  counters : (string, counter) Hashtbl.t;
   histos : (string, Histogram.t) Hashtbl.t;
 }
 
@@ -13,8 +15,20 @@ let cell t name =
       Hashtbl.add t.counters name r;
       r
 
+(* Handle API: resolve the name once (boot time), bump an int ref per
+   event. The hot paths (fault handlers, RDMA post) go through these;
+   the string API below stays for cold paths and reporting. *)
+let counter = cell
+let cincr (c : counter) = Stdlib.incr c
+let cadd (c : counter) n = c := !c + n
+let cget (c : counter) = !c
+
 let incr t name = Stdlib.incr (cell t name)
-let add t name n = cell t name := !(cell t name) + n
+
+let add t name n =
+  let c = cell t name in
+  c := !c + n
+
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 let set t name v = cell t name := v
 
@@ -26,15 +40,18 @@ let histogram t name =
       Hashtbl.add t.histos name h;
       h
 
+let histo = histogram
 let record t name v = Histogram.add (histogram t name) v
 
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Zero in place rather than dropping the tables: handles resolved
+   before a reset must keep pointing at the live cells. *)
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.histos
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histos
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t)

@@ -3,11 +3,39 @@
     Components increment shared counters ("major_faults",
     "bytes_fetched", ...) and record latency samples into named
     histograms; the experiment harness reads them back at the end of
-    the run. *)
+    the run.
+
+    Two APIs share the same cells:
+
+    - the string API ([incr], [add], [record], ...) hashes the name on
+      every call — fine for cold paths, setup and reporting;
+    - the handle API resolves a name once ([counter] / [histo], e.g.
+      at boot) and then updates through the handle ([cincr], [cadd],
+      [Histogram.add]) with no hashing — required on per-fault /
+      per-RDMA-op hot paths. *)
 
 type t
 
 val create : unit -> t
+
+(** {2 Handle API (hot paths)} *)
+
+type counter
+(** A pre-resolved counter cell. Stays valid across {!reset} (reset
+    zeroes cells in place). *)
+
+val counter : t -> string -> counter
+(** [counter t name] resolves (creating if needed) the named cell. *)
+
+val cincr : counter -> unit
+val cadd : counter -> int -> unit
+val cget : counter -> int
+
+val histo : t -> string -> Histogram.t
+(** Alias of {!histogram}, named for symmetry with {!counter}: resolve
+    once, then record via [Histogram.add]. *)
+
+(** {2 String API (cold paths, reporting)} *)
 
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
@@ -26,5 +54,7 @@ val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
 val reset : t -> unit
+(** Zero every counter and histogram in place; handles stay valid.
+    Names stay registered (they subsequently read as 0). *)
 
 val pp : Format.formatter -> t -> unit

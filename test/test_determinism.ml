@@ -1,0 +1,151 @@
+(* Golden-value regression tests for the hot-path overhaul.
+
+   The constants below were captured from the simulator BEFORE the
+   handle-based stats / ready-ring / monomorphic-heap / batched-posting
+   changes landed. Wall-clock optimizations must never move a simulated
+   result: if one of these fails, an "optimization" changed event
+   ordering or timing and is a bug, however plausible its numbers.
+
+   Run-twice tests additionally pin down run-to-run determinism
+   independent of the goldens. *)
+
+open Util
+module H = Apps.Harness
+
+let check_counters name expected (r : _ H.result) =
+  List.iter
+    (fun (k, v) ->
+      check_int (Printf.sprintf "%s: %s" name k) v (Sim.Stats.get r.H.run_stats k))
+    expected
+
+let check_fault_histo name ~count ~p50 ~mean (r : _ H.result) =
+  let h = Sim.Stats.histogram r.H.run_stats "fault_ns" in
+  check_int (name ^ ": fault_ns count") count (Sim.Histogram.count h);
+  check_int (name ^ ": fault_ns p50") p50 (Sim.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-6)) (name ^ ": fault_ns mean") mean
+    (Sim.Histogram.mean h)
+
+let quicksort system =
+  H.run system ~local_mem:(256 * 1024) (fun ctx ->
+      Apps.Quicksort.run ctx ~n:500_000 ~seed:42)
+
+let dilos_quicksort_golden () =
+  let r = quicksort (H.Dilos Dilos.Kernel.Readahead) in
+  check_i64 "sort_time" 37_862_001L r.H.value.Apps.Quicksort.sort_time;
+  check_i64 "elapsed" 39_403_136L r.H.elapsed;
+  check_int "rx_bytes" 18_927_616 r.H.rx_bytes;
+  check_int "tx_bytes" 34_283_520 r.H.tx_bytes;
+  check_counters "dilos"
+    [
+      ("evictions", 5073);
+      ("fetch_waits", 2);
+      ("major_faults", 823);
+      ("ph_alloc_ns", 74_070);
+      ("ph_exception_ns", 469_110);
+      ("ph_fetch_ns", 2_368_594);
+      ("ph_pte_ns", 82_300);
+      ("ph_reclaim_ns", 0);
+      ("prefetch_issued", 3798);
+      ("rdma_reads", 4621);
+      ("rdma_read_bytes", 18_927_616);
+      ("rdma_writes", 8370);
+      ("rdma_write_bytes", 34_283_520);
+      ("writebacks", 8370);
+      ("zero_fill_faults", 489);
+    ]
+    r;
+  check_fault_histo "dilos" ~count:823 ~p50:3068 ~mean:3068.0 r;
+  (* Not part of the golden (the counter postdates it): prefetches go
+     out in chains, so there are strictly fewer doorbells than READs. *)
+  let batches = Sim.Stats.get r.H.run_stats "rdma_read_batches" in
+  check_bool "prefetches were batched" true
+    (batches > 0 && batches < Sim.Stats.get r.H.run_stats "rdma_reads")
+
+let fastswap_quicksort_golden () =
+  let r = quicksort H.Fastswap in
+  check_i64 "sort_time" 68_634_973L r.H.value.Apps.Quicksort.sort_time;
+  check_i64 "elapsed" 74_294_443L r.H.elapsed;
+  check_int "rx_bytes" 16_130_048 r.H.rx_bytes;
+  check_int "tx_bytes" 16_113_664 r.H.tx_bytes;
+  check_counters "fastswap"
+    [
+      ("direct_reclaims", 2860);
+      ("evictions", 4369);
+      ("major_faults", 3937);
+      ("ph_alloc_ns", 1_023_620);
+      ("ph_exception_ns", 2_244_090);
+      ("ph_fetch_ns", 11_392_921);
+      ("ph_other_ns", 748_030);
+      ("ph_reclaim_ns", 5_090_800);
+      ("ph_swapcache_ns", 2_047_240);
+      ("ra_dropped", 1);
+      ("rdma_reads", 3938);
+      ("rdma_read_bytes", 16_130_048);
+      ("rdma_writes", 3934);
+      ("rdma_write_bytes", 16_113_664);
+      ("readahead_pages", 1);
+      ("writebacks", 3934);
+      ("zero_fill_faults", 489);
+    ]
+    r;
+  check_fault_histo "fastswap" ~count:3937 ~p50:8448 ~mean:6609.196850394 r
+
+let guided_redis () =
+  let keys = 512 in
+  H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(keys * 66_000 / 8)
+    (fun ctx ->
+      ignore (Apps.Redis_guide.install ctx);
+      Apps.Redis_bench.run_get ctx ~keys ~size:(Apps.Redis_bench.Fixed 65_536)
+        ~queries:keys ~seed:5)
+
+let guided_redis_golden () =
+  let r = guided_redis () in
+  Alcotest.(check (float 1e-6)) "throughput_rps" 61_248.649419430
+    r.H.value.Apps.Redis_bench.throughput_rps;
+  check_i64 "elapsed" 15_558_606L r.H.elapsed;
+  check_int "rx_bytes" 33_148_440 r.H.rx_bytes;
+  check_int "tx_bytes" 37_314_560 r.H.tx_bytes;
+  check_counters "guided-redis"
+    [
+      ("evictions", 15_836);
+      ("fetch_waits", 6408);
+      ("major_faults", 651);
+      ("prefetch_issued", 7441);
+      ("rdma_reads", 8543);
+      ("rdma_read_bytes", 33_148_440);
+      ("rdma_writes", 9110);
+      ("rdma_write_bytes", 37_314_560);
+      ("reclaim_stall_ns", 628_440);
+      ("reclaim_stalls", 9);
+      ("subpage_bytes", 3608);
+      ("subpage_fetches", 451);
+      ("writebacks", 9110);
+      ("zero_fill_faults", 8715);
+    ]
+    r;
+  check_fault_histo "guided-redis" ~count:651 ~p50:3068 ~mean:3068.0 r
+
+let same_seed_same_everything () =
+  (* Two identical runs must agree on every counter, not just the ones
+     pinned by the goldens. *)
+  let a = guided_redis () and b = guided_redis () in
+  check_i64 "elapsed" a.H.elapsed b.H.elapsed;
+  Alcotest.(check (list (pair string int)))
+    "all counters identical"
+    (Sim.Stats.counters a.H.run_stats)
+    (Sim.Stats.counters b.H.run_stats);
+  let ha = Sim.Stats.histogram a.H.run_stats "fault_ns" in
+  let hb = Sim.Stats.histogram b.H.run_stats "fault_ns" in
+  check_int "histo count" (Sim.Histogram.count ha) (Sim.Histogram.count hb);
+  check_int "histo p99"
+    (Sim.Histogram.quantile ha 0.99)
+    (Sim.Histogram.quantile hb 0.99)
+
+let suite =
+  [
+    quick "dilos quicksort matches pre-overhaul golden" dilos_quicksort_golden;
+    quick "fastswap quicksort matches pre-overhaul golden"
+      fastswap_quicksort_golden;
+    quick "guided redis matches pre-overhaul golden" guided_redis_golden;
+    quick "same seed, same counters" same_seed_same_everything;
+  ]

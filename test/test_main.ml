@@ -12,4 +12,5 @@ let () =
       ("apps", Test_apps.suite);
       ("redis", Test_redis.suite);
       ("misc", Test_misc.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -1,6 +1,6 @@
 open Util
 
-let no_hist = [||]
+let no_hist () = [||]
 
 let readahead_sequential_growth () =
   let p = Dilos.Prefetcher.readahead () in
@@ -27,7 +27,7 @@ let trend_detects_stride () =
   let p = Dilos.Prefetcher.trend_based () in
   (* History most-recent-first with a stride of 3. *)
   let history = [| 112; 109; 106; 103; 100 |] in
-  let d = p.Dilos.Prefetcher.decide ~fault_vpn:112 ~hit_ratio:1.0 ~history in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:112 ~hit_ratio:1.0 ~history:(fun () -> history) in
   (match d with
   | a :: b :: _ ->
       check_int "first prediction" 115 a;
@@ -38,7 +38,7 @@ let trend_detects_stride () =
 let trend_negative_stride () =
   let p = Dilos.Prefetcher.trend_based () in
   let history = [| 88; 90; 92; 94 |] in
-  let d = p.Dilos.Prefetcher.decide ~fault_vpn:88 ~hit_ratio:1.0 ~history in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:88 ~hit_ratio:1.0 ~history:(fun () -> history) in
   match d with
   | a :: _ -> check_int "walks backwards" 86 a
   | [] -> Alcotest.fail "expected predictions"
@@ -47,7 +47,7 @@ let trend_falls_back_without_majority () =
   let p = Dilos.Prefetcher.trend_based () in
   (* No majority stride in this noise. *)
   let history = [| 5; 100; 7; 64; 31; 900; 2 |] in
-  let d = p.Dilos.Prefetcher.decide ~fault_vpn:5 ~hit_ratio:0.5 ~history in
+  let d = p.Dilos.Prefetcher.decide ~fault_vpn:5 ~hit_ratio:0.5 ~history:(fun () -> history) in
   Alcotest.(check (list int)) "minimal next-page fallback" [ 6 ] d
 
 let trend_majority_with_noise =
@@ -61,7 +61,7 @@ let trend_majority_with_noise =
       in
       hist.(noise_pos) <- hist.(noise_pos) + 1;
       let p = Dilos.Prefetcher.trend_based () in
-      match p.Dilos.Prefetcher.decide ~fault_vpn:hist.(0) ~hit_ratio:1.0 ~history:hist with
+      match p.Dilos.Prefetcher.decide ~fault_vpn:hist.(0) ~hit_ratio:1.0 ~history:(fun () -> hist) with
       | a :: _ -> a = hist.(0) + stride
       | [] -> false)
 

@@ -153,6 +153,56 @@ let engine_suspend_wake () =
   Sim.Engine.run eng;
   check_i64 "resumed when woken" (Sim.Time.us 3) !resumed_at
 
+let engine_heap_precedes_ring_at_same_time () =
+  (* An event scheduled EARLIER for absolute time T (it sits in the
+     heap) must fire before events scheduled once the clock already
+     reached T (they sit in the ready ring): heap seq < any same-time
+     ring entry by construction. *)
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.at eng (Sim.Time.ns 10) (fun () ->
+      log := "A" :: !log;
+      (* now = 10ns: this goes to the ready ring... *)
+      Sim.Engine.at eng (Sim.Time.ns 10) (fun () -> log := "C" :: !log));
+  (* ...but B was scheduled for 10ns before the clock got there. *)
+  Sim.Engine.at eng (Sim.Time.ns 10) (fun () -> log := "B" :: !log);
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "heap first, then ring" [ "A"; "B"; "C" ]
+    (List.rev !log)
+
+let engine_ready_ring_fifo_growth () =
+  (* Zero-delay events keep FIFO order across ring growth (past the
+     initial capacity) and nested scheduling. *)
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 100 do
+    Sim.Engine.at eng Sim.Time.zero (fun () ->
+        log := i :: !log;
+        if i <= 50 then
+          Sim.Engine.at eng Sim.Time.zero (fun () -> log := (100 + i) :: !log))
+  done;
+  Sim.Engine.run eng;
+  let expect = List.init 100 (fun i -> i + 1) @ List.init 50 (fun i -> 101 + i) in
+  Alcotest.(check (list int)) "fifo through growth and nesting" expect
+    (List.rev !log)
+
+let engine_yield_round_robin () =
+  (* Yielding fibers interleave in spawn order — the ring pops heads
+     while re-pushed continuations queue at the tail (wrap-around). *)
+  let eng = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn eng (fun () ->
+        for r = 1 to 3 do
+          log := (10 * i) + r :: !log;
+          Sim.Engine.yield eng
+        done)
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "round robin"
+    [ 11; 21; 31; 12; 22; 32; 13; 23; 33 ]
+    (List.rev !log)
+
 let engine_run_until_idle () =
   let eng = Sim.Engine.create () in
   let fired = ref 0 in
@@ -243,6 +293,33 @@ let stats_counters () =
   Sim.Stats.reset s;
   check_int "reset" 0 (Sim.Stats.get s "x")
 
+let stats_handles_share_cells_with_string_api () =
+  let s = Sim.Stats.create () in
+  let c = Sim.Stats.counter s "x" in
+  Sim.Stats.cincr c;
+  Sim.Stats.cadd c 4;
+  check_int "handle updates visible to string API" 5 (Sim.Stats.get s "x");
+  Sim.Stats.incr s "x";
+  check_int "string updates visible through handle" 6 (Sim.Stats.cget c);
+  let c' = Sim.Stats.counter s "x" in
+  Sim.Stats.cincr c';
+  check_int "re-resolving yields the same cell" 7 (Sim.Stats.cget c)
+
+let stats_reset_keeps_handles_valid () =
+  let s = Sim.Stats.create () in
+  let c = Sim.Stats.counter s "x" in
+  Sim.Stats.cadd c 7;
+  let h = Sim.Stats.histo s "lat" in
+  Sim.Histogram.add h 42;
+  Sim.Stats.reset s;
+  check_int "counter zeroed in place" 0 (Sim.Stats.cget c);
+  check_int "histogram zeroed in place" 0 (Sim.Histogram.count h);
+  Sim.Stats.cincr c;
+  Sim.Histogram.add h 9;
+  check_int "handle still wired to table" 1 (Sim.Stats.get s "x");
+  check_int "histo still wired to table" 1
+    (Sim.Histogram.count (Sim.Stats.histogram s "lat"))
+
 let suite =
   [
     quick "heap basic" heap_basic;
@@ -262,6 +339,10 @@ let suite =
     quick "engine exception propagates" engine_exception_propagates;
     quick "engine rejects past scheduling" engine_past_scheduling_rejected;
     quick "engine suspend/wake" engine_suspend_wake;
+    quick "engine heap precedes ring at same time"
+      engine_heap_precedes_ring_at_same_time;
+    quick "engine ready ring fifo growth" engine_ready_ring_fifo_growth;
+    quick "engine yield round robin" engine_yield_round_robin;
     quick "engine run_until_idle" engine_run_until_idle;
     quick "condvar signal order" condvar_signal_order;
     quick "condvar wait_for" condvar_wait_for;
@@ -270,4 +351,6 @@ let suite =
     quick "histogram empty" histogram_empty;
     quick "histogram merge" histogram_merge;
     quick "stats counters" stats_counters;
+    quick "stats handles share cells" stats_handles_share_cells_with_string_api;
+    quick "stats reset keeps handles valid" stats_reset_keeps_handles_valid;
   ]
