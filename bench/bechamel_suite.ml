@@ -22,7 +22,7 @@ let page_table_update =
     ignore (Vmem.Page_table.get pt vpn)
 
 let heap_churn =
-  let h = Sim.Heap.create ~cmp:compare in
+  let h = Sim.Heap.create ~cmp:Int.compare in
   let i = ref 0 in
   fun () ->
     incr i;
@@ -92,6 +92,6 @@ let run () =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   List.iter (fun (name, ns) -> Printf.printf "  %-32s %10.1f ns/op\n" name ns) rows

@@ -11,7 +11,7 @@ let fractions_all = [ 0.125; 0.25; 0.5; 1.0 ]
 let pct f = Printf.sprintf "%.1f%%" (f *. 100.)
 
 let local_of ws frac =
-  Stdlib.max (kb 256) (int_of_float (float_of_int ws *. frac))
+  Int.max (kb 256) (int_of_float (float_of_int ws *. frac))
 
 let dilos_ra = H.Dilos Dilos.Kernel.Readahead
 let dilos_none = H.Dilos Dilos.Kernel.No_prefetch
@@ -57,7 +57,7 @@ let run_seq system ~frac ~mode =
       Apps.Seq.run ctx ~size_bytes:seq_ws ~mode)
 
 let breakdown_row name (st : Sim.Stats.t) =
-  let majors = Stdlib.max 1 (Sim.Stats.get st "major_faults") in
+  let majors = Int.max 1 (Sim.Stats.get st "major_faults") in
   let ph key = float_of_int (Sim.Stats.get st key) /. float_of_int majors /. 1000. in
   let exc = ph "ph_exception_ns" in
   let cache = ph "ph_swapcache_ns" +. ph "ph_pte_ns" in
@@ -93,7 +93,7 @@ let fig1 () =
   let avg, total = breakdown_row "Fastswap (average)" r.H.run_stats in
   (* The paper's "no reclamation" bar: the same fault path when no
      eviction work lands in fault context. *)
-  let majors = Stdlib.max 1 (Sim.Stats.get r.H.run_stats "major_faults") in
+  let majors = Int.max 1 (Sim.Stats.get r.H.run_stats "major_faults") in
   let reclaim =
     float_of_int (Sim.Stats.get r.H.run_stats "ph_reclaim_ns")
     /. float_of_int majors /. 1000.
@@ -561,7 +561,7 @@ let fig12 () =
         Hashtbl.replace tbl b (fst cur + rx, snd cur + tx))
       series;
     Hashtbl.fold (fun b v acc -> (b, v) :: acc) tbl []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   let show name r =
     Printf.printf "  %-24s" name;

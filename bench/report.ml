@@ -10,7 +10,7 @@ let section ~id ~title ~paper =
 let table ~header rows =
   let widths =
     List.fold_left
-      (fun acc row -> List.map2 (fun w c -> Stdlib.max w (String.length c)) acc row)
+      (fun acc row -> List.map2 (fun w c -> Int.max w (String.length c)) acc row)
       (List.map String.length header)
       rows
   in

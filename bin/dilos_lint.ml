@@ -1,0 +1,55 @@
+(* dilos-lint: AST-level determinism & hot-path discipline checker.
+
+   Usage: dilos_lint [--json] [--rules] PATH...
+
+   Parses every .ml under the given paths (default: lib bin bench) and
+   applies the rule set in lib/lint/. Prints one `file:line:col rule-id
+   message` per unsuppressed finding (or a JSON report with --json,
+   mirroring bench/main.exe --json's shape) and exits 1 when anything
+   fires — which is how `dune build @lint` and the test suite gate the
+   tree. *)
+
+let usage () =
+  print_endline "usage: dilos_lint [--json] [--rules] PATH...";
+  print_endline "";
+  print_endline "  --json    machine-readable findings on stdout";
+  print_endline "  --rules   list the rule set and exit";
+  print_endline "";
+  print_endline "Suppress a single site with [@lint.allow \"rule-id\"] (expression)";
+  print_endline "or [@@lint.allow \"rule-id\"] (let binding), plus a justification";
+  print_endline "comment."
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint.Rule.t) -> Printf.printf "%-16s %s\n" r.Lint.Rule.id r.Lint.Rule.doc)
+    Lint.Rules.all
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.exists (String.equal "--json") args in
+  let rules = List.exists (String.equal "--rules") args in
+  let help = List.exists (fun a -> String.equal a "--help" || String.equal a "-h") args in
+  let paths =
+    List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args
+  in
+  if help then usage ()
+  else if rules then list_rules ()
+  else begin
+    let paths = match paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+    (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+    | Some p ->
+        Printf.eprintf "dilos_lint: no such path: %s\n" p;
+        exit 2
+    | None -> ());
+    let findings = Lint.Driver.lint_paths paths in
+    if json then print_endline (Lint.Finding.json_of_list findings)
+    else
+      List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    match findings with
+    | [] ->
+        if not json then
+          Printf.eprintf "dilos_lint: clean (%d rules)\n" (List.length Lint.Rules.all)
+    | fs ->
+        if not json then Printf.eprintf "dilos_lint: %d finding(s)\n" (List.length fs);
+        exit 1
+  end

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo-wide gate: build, static analysis, tests — in that order, so a
+# lint finding points at its file:line before a golden diff ever has to.
+set -e
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune build @lint"
+dune build @lint
+
+echo "== dune runtest"
+dune runtest
+
+echo "== OK"

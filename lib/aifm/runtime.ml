@@ -196,7 +196,7 @@ let malloc t ~core:_ size =
   let n_chunks = (size + chunk_size - 1) / chunk_size in
   let chunks =
     Array.init n_chunks (fun i ->
-        let len = Stdlib.min chunk_size (size - (i * chunk_size)) in
+        let len = Int.min chunk_size (size - (i * chunk_size)) in
         {
           len;
           craddr = Int64.add t.next_raddr (Int64.of_int (i * chunk_size));
@@ -397,7 +397,7 @@ let bulk t addr buf off len ~write =
     let ci = !pos / chunk_size in
     let coff = !pos mod chunk_size in
     let c = o.chunks.(ci) in
-    let n = Stdlib.min (len - !done_) (c.len - coff) in
+    let n = Int.min (len - !done_) (c.len - coff) in
     let b =
       if write && coff = 0 && n = c.len then chunk_full_write t o ci
       else chunk_bytes t o ci ~write

@@ -28,7 +28,7 @@ let generate (ctx : Harness.ctx) ~n ~avg_deg ~seed =
     out_deg_host.(src) <- out_deg_host.(src) + 1
   done;
   let offsets = mem.Memif.malloc ((n + 1) * 4) in
-  let edges = mem.Memif.malloc (Stdlib.max 4 (m * 4)) in
+  let edges = mem.Memif.malloc (Int.max 4 (m * 4)) in
   let out_deg = mem.Memif.malloc (n * 4) in
   let pos = ref 0 in
   for v = 0 to n - 1 do
@@ -81,7 +81,7 @@ let pagerank (ctx : Harness.ctx) g ~iters ~threads =
   let chunk = (n + threads - 1) / threads in
   run_threads ctx.Harness.eng threads (fun tid ->
       let mem = ctx.Harness.mem ~core:(tid mod ctx.Harness.cores) in
-      let lo = tid * chunk and hi = Stdlib.min n ((tid + 1) * chunk) - 1 in
+      let lo = tid * chunk and hi = Int.min n ((tid + 1) * chunk) - 1 in
       for _ = 1 to iters do
         let cur_a = !cur in
         for v = lo to hi do

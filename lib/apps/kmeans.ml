@@ -68,7 +68,7 @@ let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
     inertia := 0.;
     let base = ref 0 in
     while !base < n do
-      let m = Stdlib.min chunk_points (n - !base) in
+      let m = Int.min chunk_points (n - !base) in
       let dist = alloc_chunk_buf (m * k * 8) in
       (* Pass 1: materialize the chunk's distance matrix. *)
       for i = 0 to m - 1 do

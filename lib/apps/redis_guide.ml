@@ -15,7 +15,7 @@ type state = {
 
 let prefetch_span (ops : Dilos.Guide.prefetch_ops) addr len =
   let first = Vmem.Addr.vpn addr in
-  let last = Vmem.Addr.vpn (Int64.add addr (Int64.of_int (Stdlib.max 0 (len - 1)))) in
+  let last = Vmem.Addr.vpn (Int64.add addr (Int64.of_int (Int.max 0 (len - 1)))) in
   for vpn = first to last do
     ops.Dilos.Guide.pf_prefetch (Vmem.Addr.base vpn)
   done

@@ -25,7 +25,7 @@ let compress_block src slen dst doff0 =
     (* [lo, hi) literal range, chunked to u16. *)
     let pos = ref lo in
     while !pos < hi do
-      let n = Stdlib.min (hi - !pos) 0xFFFF in
+      let n = Int.min (hi - !pos) 0xFFFF in
       Bytes.set dst !doff '\000';
       Bytes.set_uint16_le dst (!doff + 1) n;
       Bytes.blit src !pos dst (!doff + 3) n;
@@ -102,7 +102,7 @@ let compress_bytes src =
   let pos = ref 0 in
   let tmp = Bytes.create (max_compressed_len block_size) in
   while !pos < n do
-    let blen = Stdlib.min block_size (n - !pos) in
+    let blen = Int.min block_size (n - !pos) in
     let block = Bytes.sub src !pos blen in
     let clen = compress_block block blen tmp 0 in
     let hdr = Bytes.create 8 in
@@ -148,7 +148,7 @@ let compress (ctx : Harness.ctx) ~src ~len ~dst =
   let outbuf = Bytes.create (max_compressed_len block_size + 8) in
   let pos = ref 0 and dpos = ref 0 in
   while !pos < len do
-    let blen = Stdlib.min block_size (len - !pos) in
+    let blen = Int.min block_size (len - !pos) in
     mem.Memif.read_bytes (Int64.add src (Int64.of_int !pos)) inbuf 0 blen;
     let clen = compress_block inbuf blen outbuf 8 in
     Bytes.set_int32_le outbuf 0 (Int32.of_int blen);

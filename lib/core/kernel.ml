@@ -114,7 +114,7 @@ let boot ~eng ~server ?nic_config (cfg : config) =
   let pt = Vmem.Page_table.create () in
   let frames =
     Vmem.Frame.create
-      ~frames:(Stdlib.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
+      ~frames:(Int.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
   in
   let comm = Comm.create ~fabric ~cores:cfg.cores in
   let alloc =
@@ -172,8 +172,8 @@ let boot ~eng ~server ?nic_config (cfg : config) =
       mapping_changed = Sim.Condvar.create eng;
       cores = Array.init cfg.cores make_core;
       prefetch_low =
-        Stdlib.max 2
-          (Stdlib.min Params.prefetch_low_frames (Vmem.Frame.total frames / 64));
+        Int.max 2
+          (Int.min Params.prefetch_low_frames (Vmem.Frame.total frames / 64));
     }
   in
   Page_manager.set_invalidate pm (invalidate t);
@@ -385,9 +385,9 @@ let major_fault t cs vpn pte =
   Sim.Histogram.add t.hot.h_fault (elapsed_ns t t_start);
   Sim.Stats.cadd t.hot.c_ph_exception 570;
   Sim.Stats.cadd t.hot.c_ph_pte (Params.dilos_pte_check_ns + Params.dilos_map_ns);
-  Sim.Stats.cadd t.hot.c_ph_alloc (Stdlib.min alloc_ns Params.dilos_page_alloc_ns);
+  Sim.Stats.cadd t.hot.c_ph_alloc (Int.min alloc_ns Params.dilos_page_alloc_ns);
   Sim.Stats.cadd t.hot.c_ph_reclaim
-    (Stdlib.max 0 (alloc_ns - Params.dilos_page_alloc_ns));
+    (Int.max 0 (alloc_ns - Params.dilos_page_alloc_ns));
   Sim.Stats.cadd t.hot.c_ph_fetch fetch_ns
 
 let handle_fault t cs vpn _pte_at_trap =
@@ -537,7 +537,7 @@ let bulk t ~core addr buf off len ~write =
   let pos = ref addr and done_ = ref 0 in
   while !done_ < len do
     let vpn, poff = split !pos in
-    let n = Stdlib.min (len - !done_) (Vmem.Addr.page_size - poff) in
+    let n = Int.min (len - !done_) (Vmem.Addr.page_size - poff) in
     let page =
       if write then page_for_write t cs vpn else page_for_read t cs vpn
     in

@@ -25,7 +25,7 @@ let resolve t name =
 
 let patched t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.symbols []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let register_hook t name fn =
   let existing = Option.value ~default:[] (Hashtbl.find_opt t.hooks name) in

@@ -77,12 +77,12 @@ let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
   (* The free pool must absorb a demand fetch plus a full prefetch
      window between reclaimer wake-ups, or prefetching starves. *)
   let low =
-    Stdlib.max
+    Int.max
       (2 + Params.readahead_max_window)
       (int_of_float (Params.free_low_watermark *. float_of_int total))
   in
   let high =
-    Stdlib.max (3 * low)
+    Int.max (3 * low)
       (int_of_float (Params.free_high_watermark *. float_of_int total))
   in
   {

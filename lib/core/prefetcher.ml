@@ -7,7 +7,7 @@ type t = {
 let none = { name = "no-prefetch"; decide = (fun ~fault_vpn:_ ~hit_ratio:_ ~history:_ -> []) }
 
 let clamp_window w =
-  Stdlib.max Params.readahead_min_window (Stdlib.min Params.readahead_max_window w)
+  Int.max Params.readahead_min_window (Int.min Params.readahead_max_window w)
 
 let adapt_window w hit_ratio =
   clamp_window (if hit_ratio >= 0.5 then w * 2 else w / 2)

@@ -118,7 +118,7 @@ let rec evict_one t ~qp ~budget =
             Vmem.Frame.free t.frames e.Swap_cache.frame;
             Sim.Stats.cincr t.hot.c_evictions;
             Sim.Stats.cincr t.hot.c_ra_dropped;
-            t.ra_window <- Stdlib.max 1 (t.ra_window / 2);
+            t.ra_window <- Int.max 1 (t.ra_window / 2);
             Sim.Condvar.broadcast t.frames_avail;
             true
         | Some _ ->
@@ -181,7 +181,7 @@ let boot ~eng ~server (cfg : config) =
   let fabric = Memnode.Server.connect server ~stats () in
   let frames =
     Vmem.Frame.create
-      ~frames:(Stdlib.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
+      ~frames:(Int.max 32 (cfg.local_mem_bytes / Vmem.Addr.page_size))
   in
   let total = Vmem.Frame.total frames in
   let hot =
@@ -229,8 +229,8 @@ let boot ~eng ~server (cfg : config) =
       reclaim_counter = 0;
       ra_window = 2;
       heap = None;
-      low = Stdlib.max 4 (total / 50);
-      high = Stdlib.max 24 (total / 25);
+      low = Int.max 4 (total / 50);
+      high = Int.max 24 (total / 25);
     }
   in
   Sim.Engine.spawn eng ~name:"fastswap.offload" (offload_fiber t);
@@ -407,7 +407,7 @@ let rec major_fault t cs vpn =
   Sim.Stats.cadd t.hot.c_ph_exception 570;
   Sim.Stats.cadd t.hot.c_ph_swapcache Dilos.Params.fastswap_swapcache_ns;
   Sim.Stats.cadd t.hot.c_ph_alloc
-    (Stdlib.min alloc_spent Dilos.Params.fastswap_page_alloc_ns);
+    (Int.min alloc_spent Dilos.Params.fastswap_page_alloc_ns);
   Sim.Stats.cadd t.hot.c_ph_fetch fetch_ns;
   Sim.Stats.cadd t.hot.c_ph_other Dilos.Params.fastswap_other_ns
   end
@@ -439,7 +439,7 @@ and handle_fault_inner t cs vpn =
       | Some e ->
           (* Minor fault: page already in the swap cache. *)
           Sim.Stats.cincr t.hot.c_minor_faults;
-          t.ra_window <- Stdlib.min cluster (t.ra_window * 2);
+          t.ra_window <- Int.min cluster (t.ra_window * 2);
           let t0 = Sim.Engine.now t.eng in
           Sim.Engine.sleep t.eng
             (Sim.Time.ns (Dilos.Params.fastswap_minor_fault_ns - 570));
@@ -567,7 +567,7 @@ let bulk t ~core addr buf off len ~write =
   let pos = ref addr and done_ = ref 0 in
   while !done_ < len do
     let vpn, poff = split !pos in
-    let n = Stdlib.min (len - !done_) (Vmem.Addr.page_size - poff) in
+    let n = Int.min (len - !done_) (Vmem.Addr.page_size - poff) in
     let page = if write then page_for_write t cs vpn else page_for_read t cs vpn in
     if write then Bytes.blit buf (off + !done_) page poff n
     else Bytes.blit page poff buf (off + !done_) n;

@@ -37,4 +37,15 @@ let pop_idle t =
   in
   go 0
 
-let iter t f = Hashtbl.iter f t.tbl
+(* Iterate in ascending-vpn order, not bucket order: callers must see
+   the same sequence whatever the insertion history, or sim decisions
+   driven by a sweep (writeback scans, shutdown flushes) would drift
+   run to run. *)
+let iter t f =
+  Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.tbl []
+  |> List.sort Int.compare
+  |> List.iter (fun vpn ->
+         (* Re-look-up: [f] on an earlier key may have removed this one. *)
+         match Hashtbl.find_opt t.tbl vpn with
+         | Some e -> f vpn e
+         | None -> ())

@@ -1,0 +1,64 @@
+(* Where a file sits in the tree decides which rules apply to it.
+
+   The linter is invoked on the three source roots (lib/, bin/, bench/);
+   classification is by path segment so it works whether paths arrive as
+   "lib/sim/engine.ml", "./lib/sim/engine.ml" or "../lib/sim/engine.ml"
+   (the test suite runs from _build/default/test). *)
+
+type root = Lib | Bin | Bench
+
+type ctx = {
+  root : root;
+  rel : string; (* path below the root, e.g. "sim/engine.ml" *)
+}
+
+let root_to_string = function Lib -> "lib" | Bin -> "bin" | Bench -> "bench"
+
+let split_path p =
+  String.split_on_char '/' p |> List.filter (fun s -> String.length s > 0)
+
+(* Classify by the LAST lib/bin/bench segment so nested copies (say a
+   fixture tree) classify by the innermost root. Unknown layouts default
+   to Lib: the strictest rule set. *)
+let classify path =
+  let segs = split_path path in
+  let rec last_root acc = function
+    | [] -> acc
+    | s :: rest ->
+        let acc =
+          match s with
+          | "lib" -> Some (Lib, rest)
+          | "bin" -> Some (Bin, rest)
+          | "bench" -> Some (Bench, rest)
+          | _ -> acc
+        in
+        last_root acc rest
+  in
+  match last_root None segs with
+  | Some (root, rel) -> { root; rel = String.concat "/" rel }
+  | None -> { root = Lib; rel = String.concat "/" segs }
+
+(* R4: modules on the fault / RDMA hot paths. The string-keyed Stats API
+   hashes its key on every call; these modules must use the boot-time
+   handle API (Stats.counter + cincr/cadd) instead. *)
+let hot_modules =
+  [
+    "core/kernel.ml";
+    "core/page_manager.ml";
+    "fastswap/kernel.ml";
+    "aifm/runtime.ml";
+    "rdma/qp.ml";
+  ]
+
+let is_hot ctx = ctx.root = Lib && List.mem ctx.rel hot_modules
+
+(* R1: bench/ legitimately measures host wall-clock (that is its job);
+   everything else must take time only from the simulated clock. *)
+let wallclock_checked ctx = match ctx.root with Bench -> false | Lib | Bin -> true
+
+(* R5: effect handlers implement the DES fibers and live in lib/sim/
+   only; anywhere else they bypass the engine's deterministic
+   scheduling. *)
+let effect_allowed ctx =
+  ctx.root = Lib
+  && (String.length ctx.rel >= 4 && String.equal (String.sub ctx.rel 0 4) "sim/")

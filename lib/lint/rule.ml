@@ -1,0 +1,25 @@
+(* Shared vocabulary for the rule modules.
+
+   A rule reports sites as (id, loc, message); the driver decides
+   whether a suppression is in scope. Rules match identifier *paths*
+   (flattened longidents, with a leading Stdlib stripped), so
+   `Stdlib.compare`, `compare`, `Sim.Stats.incr` and `Stats.incr` all
+   normalize predictably. *)
+
+open Ppxlib
+
+type site = string * Location.t * string (* rule id, site, message *)
+
+type t = { id : string; doc : string }
+
+let flatten (lid : Longident.t) : string list =
+  try Longident.flatten_exn lid with _ -> [] (* Lapply: not a value path *)
+
+let norm = function "Stdlib" :: rest -> rest | p -> p
+
+(* The normalized path of an identifier expression, [] otherwise. *)
+let path_of_expr (e : expression) : string list =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> norm (flatten txt) | _ -> []
+
+let path_is p parts = List.equal String.equal p parts
+let head_is p m = match p with s :: _ -> String.equal s m | [] -> false

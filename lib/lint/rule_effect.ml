@@ -1,0 +1,34 @@
+(* R5 effect-hygiene: effect handlers ARE the scheduler. All
+   Effect.perform / Effect.Deep machinery lives in lib/sim/ (the engine
+   and its fibers); a perform anywhere else either escapes the engine's
+   handler (runtime Unhandled) or, worse, installs a second scheduler
+   whose interleaving the determinism goldens know nothing about.
+
+   Checked on every longident — expressions, module paths
+   (`let open Effect.Deep`), type references (`type _ Effect.t += ...`)
+   — so the rule catches declarations as well as uses. *)
+
+(* Bind our sibling Config before Ppxlib shadows it with its own. *)
+module Cfg = Config
+open Ppxlib
+
+let id = "effect-hygiene"
+
+let doc =
+  "Effect.* (perform, Deep, Shallow, handlers, effect declarations) may appear \
+   only under lib/sim/ — everything else schedules through the engine"
+
+let check ~(ctx : Cfg.ctx) (lid : longident_loc) : Rule.site list =
+  if Cfg.effect_allowed ctx then []
+  else
+    let p = Rule.norm (Rule.flatten lid.txt) in
+    if Rule.head_is p "Effect" then
+      [
+        ( id,
+          lid.loc,
+          Printf.sprintf
+            "`%s` outside lib/sim/: effects bypass the engine's deterministic \
+             scheduling; use Sim.Engine.suspend/spawn"
+            (String.concat "." p) );
+      ]
+    else []

@@ -1,0 +1,48 @@
+(* R2 no-poly-compare: polymorphic structural comparison walks values by
+   runtime representation. On the records and tuples this codebase sorts
+   (stats rows, bandwidth buckets, event keys) that is slow on a hot
+   path and fragile under refactoring — adding a mutable or functional
+   field changes or breaks the order, which then changes iteration-
+   dependent sim behaviour. Require a monomorphic compare
+   (Int.compare, String.compare, a hand-written one). Hashtbl.hash is
+   banned for the same reason: its value depends on representation
+   details that refactors silently change.
+
+   min/max: flagged only in application position with at least one
+   non-literal operand — `min 0 n` over ints is a polymorphic call; two
+   literals would be constant-foldable and harmless. *)
+
+(* Bind our sibling Config before Ppxlib shadows it with its own. *)
+module Cfg = Config
+open Ppxlib
+
+let id = "no-poly-compare"
+
+let doc =
+  "ban Stdlib.compare / bare compare / Hashtbl.hash and polymorphic min/max on \
+   non-literal operands; use monomorphic comparisons (Int.compare, ...)"
+
+let is_literal (e : expression) =
+  match e.pexp_desc with Pexp_constant _ -> true | _ -> false
+
+let check ~ctx:(_ : Cfg.ctx) (e : expression) : Rule.site list =
+  let p = Rule.path_of_expr e in
+  if Rule.path_is p [ "compare" ] then
+    [ (id, e.pexp_loc, "polymorphic `compare`; use Int.compare/String.compare or a monomorphic compare") ]
+  else if Rule.path_is p [ "Hashtbl"; "hash" ] then
+    [ (id, e.pexp_loc, "`Hashtbl.hash` depends on runtime representation; hash a stable key instead") ]
+  else
+    match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+        match Rule.path_of_expr f with
+        | [ ("min" | "max") ] as mp
+          when List.exists (fun (_, a) -> not (is_literal a)) args ->
+            [
+              ( id,
+                f.pexp_loc,
+                Printf.sprintf
+                  "polymorphic `%s` on non-literal operands; use Int.%s / Int64.%s / Float.%s"
+                  (List.hd mp) (List.hd mp) (List.hd mp) (List.hd mp) );
+            ]
+        | _ -> [])
+    | _ -> []

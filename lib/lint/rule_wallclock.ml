@@ -1,0 +1,40 @@
+(* R1 no-wallclock: the DES must take time and randomness only from the
+   simulation (Sim.Engine.now, Sim.Rng). Host clocks, the global Random
+   state, Domain-based parallelism and Gc.stat-as-a-timer all produce
+   values that vary run to run and, if they feed any sim decision,
+   silently break bit-identical replay. bench/ is exempt: measuring host
+   wall-clock is exactly its job. *)
+
+(* Bind our sibling Config before Ppxlib shadows it with its own. *)
+module Cfg = Config
+open Ppxlib
+
+let id = "no-wallclock"
+
+let doc =
+  "ban Sys.time, Unix.*, Stdlib.Random, Domain and Gc.stat outside bench/; \
+   simulated code takes time from Sim.Engine and randomness from Sim.Rng"
+
+let banned p =
+  if Rule.path_is p [ "Sys"; "time" ] then
+    Some "`Sys.time` reads the host CPU clock"
+  else if Rule.head_is p "Unix" then
+    Some (Printf.sprintf "`%s` reaches the host OS" (String.concat "." p))
+  else if Rule.head_is p "Random" then
+    Some
+      (Printf.sprintf "`%s` uses the global nondeterministic RNG; use Sim.Rng"
+         (String.concat "." p))
+  else if Rule.head_is p "Domain" then
+    Some
+      (Printf.sprintf "`%s` introduces host parallelism; fibers must run on the DES engine"
+         (String.concat "." p))
+  else if Rule.path_is p [ "Gc"; "stat" ] || Rule.path_is p [ "Gc"; "quick_stat" ] then
+    Some "`Gc.stat` observes host allocation behaviour"
+  else None
+
+let check ~(ctx : Cfg.ctx) (e : expression) : Rule.site list =
+  if not (Cfg.wallclock_checked ctx) then []
+  else
+    match banned (Rule.path_of_expr e) with
+    | Some why -> [ (id, e.pexp_loc, why ^ "; banned outside bench/") ]
+    | None -> []

@@ -1,0 +1,28 @@
+(* The rule registry: what `dilos_lint --rules` prints and what the
+   driver runs. Adding a rule = new Rule_x module + one line in each
+   list below. *)
+
+let all : Rule.t list =
+  [
+    { Rule.id = Rule_wallclock.id; doc = Rule_wallclock.doc };
+    { Rule.id = Rule_poly_compare.id; doc = Rule_poly_compare.doc };
+    { Rule.id = Rule_hashtbl_order.id; doc = Rule_hashtbl_order.doc };
+    { Rule.id = Rule_stats_handle.id; doc = Rule_stats_handle.doc };
+    { Rule.id = Rule_effect.id; doc = Rule_effect.doc };
+  ]
+
+let ids = List.map (fun r -> r.Rule.id) all
+
+(* Expression-position checks (R1, R2, R3, R4). *)
+let check_expression ~ctx ~sort_in_scope e : Rule.site list =
+  List.concat
+    [
+      Rule_wallclock.check ~ctx e;
+      Rule_poly_compare.check ~ctx e;
+      Rule_hashtbl_order.check ~ctx ~sort_in_scope e;
+      Rule_stats_handle.check ~ctx e;
+    ]
+
+(* Longident-position checks (R5): catches module opens and type
+   references, not just value uses. *)
+let check_longident ~ctx lid : Rule.site list = Rule_effect.check ~ctx lid

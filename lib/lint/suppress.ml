@@ -1,0 +1,37 @@
+(* Per-site suppression: [@lint.allow "rule-id"] on an expression or
+   [@@lint.allow "rule-id"] on a value binding / structure item silences
+   that rule for the whole subtree underneath. Suppressions are expected
+   to carry a justification comment next to them; test_lint.ml budgets
+   how many the tree may carry in total. *)
+
+open Ppxlib
+
+let attr_name = "lint.allow"
+
+let payload_strings = function
+  | PStr items ->
+      List.concat_map
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_eval (e, _) -> (
+              match e.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+              | Pexp_tuple es ->
+                  List.filter_map
+                    (fun e ->
+                      match e.pexp_desc with
+                      | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+                      | _ -> None)
+                    es
+              | _ -> [])
+          | _ -> [])
+        items
+  | _ -> []
+
+(* Rule ids allowed by this attribute list. *)
+let allows (attrs : attribute list) : string list =
+  List.concat_map
+    (fun (a : attribute) ->
+      if String.equal a.attr_name.txt attr_name then payload_strings a.attr_payload
+      else [])
+    attrs

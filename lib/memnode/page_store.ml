@@ -31,7 +31,7 @@ let iter_span addr len f =
   while !remaining > 0 do
     let idx = Int64.to_int (Int64.shift_right_logical !pos block_shift) in
     let boff = Int64.to_int (Int64.logand !pos (Int64.of_int (block_size - 1))) in
-    let n = Stdlib.min !remaining (block_size - boff) in
+    let n = Int.min !remaining (block_size - boff) in
     f idx boff !done_ n;
     pos := Int64.add !pos (Int64.of_int n);
     remaining := !remaining - n;

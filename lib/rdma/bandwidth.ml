@@ -52,7 +52,7 @@ let total t = function Rx -> t.total_rx | Tx -> t.total_tx
 
 let series t =
   Hashtbl.fold (fun idx c acc -> (idx, c) :: acc) t.tbl []
-  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map (fun (idx, c) ->
          (Int64.mul (Int64.of_int idx) t.bucket, c.(0), c.(1)))
 

@@ -63,7 +63,7 @@ let quantile t q =
        done
      with Exit -> ());
     (* Clamp to observed extremes so tiny histograms report exactly. *)
-    Stdlib.min (Stdlib.max !result t.minv) t.maxv
+    Int.min (Int.max !result t.minv) t.maxv
   end
 
 let merge_into ~dst src =

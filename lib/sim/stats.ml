@@ -47,11 +47,20 @@ let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Reporting view of the histogram table, name-sorted like [counters]
+   so dumps are deterministically ordered. *)
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histos []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* Zero in place rather than dropping the tables: handles resolved
-   before a reset must keep pointing at the live cells. *)
+   before a reset must keep pointing at the live cells.
+   Suppression justified: zeroing is per-cell and commutative — no
+   output can observe the bucket order the reset walked. *)
 let reset t =
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.iter (fun _ h -> Histogram.reset h) t.histos
+[@@lint.allow "hashtbl-order"]
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t)

@@ -53,6 +53,10 @@ val record : t -> string -> int -> unit
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val histograms : t -> (string * Histogram.t) list
+(** All histograms, sorted by name — like {!counters}, the reporting
+    view is deterministically ordered. *)
+
 val reset : t -> unit
 (** Zero every counter and histogram in place; handles stay valid.
     Names stay registered (they subsequently read as 0). *)

@@ -68,14 +68,14 @@ let iter_range t ~vpn ~count f =
     | None ->
         (* Skip to the next leaf boundary. *)
         let next = ((!v lsr 9) + 1) lsl 9 in
-        let upto = Stdlib.min next stop in
+        let upto = Int.min next stop in
         for u = !v to upto - 1 do
           f u Pte.zero
         done;
         v := upto
     | Some a ->
         let next = ((!v lsr 9) + 1) lsl 9 in
-        let upto = Stdlib.min next stop in
+        let upto = Int.min next stop in
         for u = !v to upto - 1 do
           f u a.(u land (fanout - 1))
         done;

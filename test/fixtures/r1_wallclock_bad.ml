@@ -1,0 +1,8 @@
+(* Lint fixture (never compiled): every R1 nondeterminism source.
+   Expected findings are pinned by test_lint.ml — update both together. *)
+
+let cpu () = Sys.time ()                           (* line 4: Sys.time *)
+let wall () = Unix.gettimeofday ()                 (* line 5: Unix.* *)
+let dice () = Random.int 6                         (* line 6: global Random *)
+let par f = Domain.spawn f                         (* line 7: Domain *)
+let words () = (Gc.stat ()).Gc.minor_words         (* line 8: Gc.stat *)

@@ -1,0 +1,6 @@
+(* Lint fixture (never compiled): the fixed version of
+   r1_wallclock_bad.ml — time and randomness come from the sim. *)
+
+let now eng = Sim.Engine.now eng
+let dice rng = Sim.Rng.int rng 6
+let par eng f = Sim.Engine.spawn eng f

@@ -1,0 +1,8 @@
+(* Lint fixture (never compiled): every R2 polymorphic-comparison form.
+   Expected findings are pinned by test_lint.ml — update both together. *)
+
+let sorted xs = List.sort compare xs               (* line 4: bare compare *)
+let cmp a b = Stdlib.compare a b                   (* line 5: Stdlib.compare *)
+let bucket k n = Hashtbl.hash k mod n              (* line 6: Hashtbl.hash *)
+let clamp lo x = max lo x                          (* line 7: poly max, non-literal *)
+let cap x = min x 4096                             (* line 8: poly min, non-literal *)

@@ -1,0 +1,10 @@
+(* Lint fixture (never compiled): the fixed version of
+   r2_poly_compare_bad.ml — monomorphic comparisons throughout. A
+   min/max over two literals is also fine (constant-foldable). *)
+
+let sorted xs = List.sort Int.compare xs
+let cmp a b = String.compare a b
+let bucket k n = String.length k mod n
+let clamp lo x = Int.max lo x
+let cap x = Int.min x 4096
+let const = min 1 2

@@ -1,0 +1,7 @@
+(* Lint fixture (never compiled): R4 — string-keyed Stats on a hot
+   path. test_lint.ml lints this as if it were lib/core/kernel.ml
+   (a Config.hot_modules entry). Expected findings pinned there. *)
+
+let fault stats =
+  Sim.Stats.incr stats "major_faults";             (* line 6 *)
+  Sim.Stats.add stats "rdma_read_bytes" 4096       (* line 7 *)

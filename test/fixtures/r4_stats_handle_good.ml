@@ -1,0 +1,15 @@
+(* Lint fixture (never compiled): the fixed version of
+   r4_stats_handle_bad.ml — handles resolved once at boot, bumped on
+   the hot path with no per-call hashing. *)
+
+type hot = { c_faults : Sim.Stats.counter; c_read_bytes : Sim.Stats.counter }
+
+let boot stats =
+  {
+    c_faults = Sim.Stats.counter stats "major_faults";
+    c_read_bytes = Sim.Stats.counter stats "rdma_read_bytes";
+  }
+
+let fault hot =
+  Sim.Stats.cincr hot.c_faults;
+  Sim.Stats.cadd hot.c_read_bytes 4096

@@ -1,0 +1,12 @@
+(* Lint fixture (never compiled): R5 — effect machinery outside
+   lib/sim/. All three forms must fire: the effect declaration, the
+   handler module path, and the perform. Pinned by test_lint.ml. *)
+
+type _ Effect.t += Stop : unit Effect.t            (* line 5: declaration *)
+
+let handle f =
+  let open Effect.Deep in                          (* line 8: handler module *)
+  ignore try_with;
+  f ()
+
+let stop () = Effect.perform Stop                  (* line 12: perform *)

@@ -1,0 +1,13 @@
+(* Lint fixture (never compiled): the fixed version of
+   r5_effect_bad.ml — blocking and scheduling go through the engine's
+   fiber API; no effect machinery outside lib/sim/. *)
+
+let stop_requested = ref false
+
+let handle eng f =
+  Sim.Engine.spawn eng f;
+  Sim.Engine.run eng
+
+let stop eng =
+  stop_requested := true;
+  Sim.Engine.yield eng

@@ -1,0 +1,17 @@
+(* Lint fixture (never compiled): the same known-bad patterns as the
+   bad fixtures, each silenced by [@lint.allow] at the expression or
+   binding level with the justification the real tree would carry.
+   test_lint.ml asserts this file produces ZERO findings. *)
+
+(* Justified: fixture pretends this wall-clock read feeds a log line,
+   not a sim decision. *)
+let wall () = (Unix.gettimeofday () [@lint.allow "no-wallclock"])
+
+(* Justified: binding-level suppression covers both sites below. *)
+let zero_all tbl =
+  Hashtbl.iter (fun _ r -> r := 0) tbl;
+  Hashtbl.iter (fun _ r -> r := 0) tbl
+[@@lint.allow "hashtbl-order"]
+
+(* Justified: fixture pretends these keys are single constructors. *)
+let cmp a b = (compare [@lint.allow "no-poly-compare"]) a b

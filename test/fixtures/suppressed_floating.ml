@@ -1,0 +1,10 @@
+(* Lint fixture (never compiled): a floating [@@@lint.allow] covers the
+   rest of the file. The first finding (before the attribute) fires;
+   the one after it is silenced. Pinned by test_lint.ml. *)
+
+let early xs = List.sort compare xs                (* line 5: fires *)
+
+[@@@lint.allow "no-poly-compare"]
+(* Justified: fixture demonstrates file-scope suppression. *)
+
+let late xs = List.sort compare xs                 (* quiet *)

@@ -1,0 +1,5 @@
+(* Lint fixture (never compiled): a suppression naming the WRONG rule
+   id must not silence the finding — test_lint.ml asserts the
+   no-poly-compare finding below still fires. *)
+
+let sorted xs = (List.sort compare xs [@lint.allow "no-wallclock"]) (* line 5 *)

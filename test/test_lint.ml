@@ -1,0 +1,209 @@
+(* Golden tests for dilos-lint (lib/lint + bin/dilos_lint.exe).
+
+   Every rule R1-R5 must (a) fire on its known-bad fixture at pinned
+   file:line sites, (b) stay quiet on the fixed version, and (c) respect
+   its path scoping (bench/ wall-clock exemption, hot-module list,
+   lib/sim/ effect allowance). On top of that the tree itself must be
+   lint-clean, and the [@lint.allow] budget (acceptance criterion: at
+   most 5 tree-wide, each with a justification) is enforced here so a
+   sixth suppression fails CI rather than slipping in silently.
+
+   Fixtures live in test/fixtures/ (no dune stanza: parsed by the
+   linter, never compiled). Paths are relative to _build/default/test. *)
+
+open Util
+
+let fx name = Filename.concat "fixtures" name
+let lib_ctx rel = { Lint.Config.root = Lint.Config.Lib; rel }
+let bench_ctx rel = { Lint.Config.root = Lint.Config.Bench; rel }
+let source_roots = [ "../lib"; "../bin"; "../bench" ]
+
+let sites fs = List.map (fun f -> (f.Lint.Finding.line, f.Lint.Finding.rule)) fs
+
+let check_sites name expected findings =
+  Alcotest.(check (list (pair int string))) name expected (sites findings)
+
+let r1 = "no-wallclock"
+let r2 = "no-poly-compare"
+let r3 = "hashtbl-order"
+let r4 = "stats-handle"
+let r5 = "effect-hygiene"
+
+(* ------------------------------------------------------------------ *)
+(* R1 no-wallclock *)
+
+let r1_fires () =
+  check_sites "every nondeterminism source"
+    [ (4, r1); (5, r1); (6, r1); (7, r1); (8, r1) ]
+    (Lint.Driver.lint_file (fx "r1_wallclock_bad.ml"))
+
+let r1_fixed_quiet () =
+  check_sites "fixed version" [] (Lint.Driver.lint_file (fx "r1_wallclock_good.ml"))
+
+let r1_bench_exempt () =
+  (* The same bad file, linted as if it sat under bench/: wall-clock
+     measurement is bench's job, so R1 must not fire there. *)
+  check_sites "bench/ may read wall clock" []
+    (Lint.Driver.lint_file ~ctx:(bench_ctx "perf.ml") (fx "r1_wallclock_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R2 no-poly-compare *)
+
+let r2_fires () =
+  check_sites "every polymorphic comparison form"
+    [ (4, r2); (5, r2); (6, r2); (7, r2); (8, r2) ]
+    (Lint.Driver.lint_file (fx "r2_poly_compare_bad.ml"))
+
+let r2_fixed_quiet () =
+  check_sites "fixed version (incl. min of two literals)" []
+    (Lint.Driver.lint_file (fx "r2_poly_compare_good.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R3 hashtbl-order *)
+
+let r3_fires () =
+  check_sites "unsorted iter and fold"
+    [ (4, r3); (5, r3) ]
+    (Lint.Driver.lint_file (fx "r3_hashtbl_order_bad.ml"))
+
+let r3_fixed_quiet () =
+  check_sites "fold |> sort in the same function" []
+    (Lint.Driver.lint_file (fx "r3_hashtbl_order_good.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R4 stats-handle *)
+
+let r4_fires_in_hot_module () =
+  check_sites "string Stats API in a hot module"
+    [ (6, r4); (7, r4) ]
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r4_stats_handle_bad.ml"))
+
+let r4_fixed_quiet () =
+  check_sites "handle API in the same hot module" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r4_stats_handle_good.ml"))
+
+let r4_cold_module_exempt () =
+  (* The string API is legal off the hot paths — reporting code reads
+     better with it. *)
+  check_sites "string Stats API in a cold module" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/guide.ml")
+       (fx "r4_stats_handle_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R5 effect-hygiene *)
+
+let r5_fires () =
+  (* Line 5 carries two Effect longidents: the extended type path and
+     the constructor's result type. *)
+  check_sites "declaration, handler open, perform"
+    [ (5, r5); (5, r5); (8, r5); (12, r5) ]
+    (Lint.Driver.lint_file (fx "r5_effect_bad.ml"))
+
+let r5_fixed_quiet () =
+  check_sites "engine API instead of effects" []
+    (Lint.Driver.lint_file (fx "r5_effect_good.ml"))
+
+let r5_sim_exempt () =
+  check_sites "lib/sim/ may use effects" []
+    (Lint.Driver.lint_file ~ctx:(lib_ctx "sim/engine.ml") (fx "r5_effect_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression *)
+
+let suppressions_silence () =
+  check_sites "expression- and binding-level [@lint.allow]" []
+    (Lint.Driver.lint_file (fx "suppressed.ml"))
+
+let wrong_id_does_not_silence () =
+  check_sites "suppression naming another rule"
+    [ (5, r2) ]
+    (Lint.Driver.lint_file (fx "suppressed_wrong_id.ml"))
+
+let floating_covers_rest_of_file () =
+  check_sites "finding before the floating attribute fires; after is quiet"
+    [ (5, r2) ]
+    (Lint.Driver.lint_file (fx "suppressed_floating.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* Path classification *)
+
+let classification () =
+  let open Lint.Config in
+  let c = classify "lib/sim/engine.ml" in
+  check_bool "lib root" true (c.root = Lib);
+  Alcotest.(check string) "lib rel" "sim/engine.ml" c.rel;
+  check_bool "bench root" true ((classify "../bench/main.ml").root = Bench);
+  check_bool "bin root" true ((classify "./bin/dilos_sim.ml").root = Bin);
+  check_bool "hot module" true (is_hot (classify "lib/core/kernel.ml"));
+  check_bool "cold module" false (is_hot (classify "lib/core/guide.ml"));
+  check_bool "sim effects ok" true (effect_allowed (classify "lib/sim/engine.ml"));
+  check_bool "apps effects not ok" false
+    (effect_allowed (classify "lib/apps/harness.ml"));
+  check_bool "unknown layout is strict" true
+    ((classify "scratch/foo.ml").root = Lib)
+
+(* ------------------------------------------------------------------ *)
+(* Output formats *)
+
+let rendering () =
+  let f =
+    Lint.Finding.make ~file:"lib/x.ml" ~line:3 ~col:7 ~rule:"no-wallclock"
+      ~msg:"bad \"thing\""
+  in
+  Alcotest.(check string)
+    "text line" "lib/x.ml:3:7 no-wallclock bad \"thing\""
+    (Lint.Finding.to_string f);
+  Alcotest.(check string)
+    "json record"
+    "{\"file\": \"lib/x.ml\", \"line\": 3, \"col\": 7, \"rule\": \
+     \"no-wallclock\", \"message\": \"bad \\\"thing\\\"\"}"
+    (Lint.Finding.to_json f)
+
+(* ------------------------------------------------------------------ *)
+(* The tree itself *)
+
+let tree_is_clean () =
+  match Lint.Driver.lint_paths source_roots with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "tree has %d lint finding(s); first: %s" (List.length fs)
+        (Lint.Finding.to_string (List.hd fs))
+
+let suppression_budget () =
+  let n = Lint.Driver.suppression_count source_roots in
+  if n > 5 then
+    Alcotest.failf
+      "%d [@lint.allow] suppressions in the tree; the budget is 5 — fix the \
+       code instead, or argue the budget up in test_lint.ml with the same \
+       scrutiny as a golden change"
+      n
+
+let suite =
+  [
+    quick "R1 fires on known-bad wall-clock uses" r1_fires;
+    quick "R1 quiet on the fixed version" r1_fixed_quiet;
+    quick "R1 exempts bench/" r1_bench_exempt;
+    quick "R2 fires on known-bad poly-compare uses" r2_fires;
+    quick "R2 quiet on the fixed version" r2_fixed_quiet;
+    quick "R3 fires on unsorted Hashtbl enumeration" r3_fires;
+    quick "R3 quiet when sorted in the same function" r3_fixed_quiet;
+    quick "R4 fires on string Stats API in hot modules" r4_fires_in_hot_module;
+    quick "R4 quiet on the handle API" r4_fixed_quiet;
+    quick "R4 exempts cold modules" r4_cold_module_exempt;
+    quick "R5 fires on effects outside lib/sim" r5_fires;
+    quick "R5 quiet on the fixed version" r5_fixed_quiet;
+    quick "R5 exempts lib/sim" r5_sim_exempt;
+    quick "lint.allow silences exactly its rule" suppressions_silence;
+    quick "lint.allow with wrong id does not silence" wrong_id_does_not_silence;
+    quick "floating lint.allow covers the rest of the file"
+      floating_covers_rest_of_file;
+    quick "path classification" classification;
+    quick "finding rendering (text + json)" rendering;
+    quick "the tree is lint-clean" tree_is_clean;
+    quick "suppression budget (<= 5 tree-wide)" suppression_budget;
+  ]

@@ -12,5 +12,6 @@ let () =
       ("apps", Test_apps.suite);
       ("redis", Test_redis.suite);
       ("misc", Test_misc.suite);
+      ("lint", Test_lint.suite);
       ("determinism", Test_determinism.suite);
     ]

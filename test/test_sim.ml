@@ -68,6 +68,81 @@ let rng_split_independent () =
   let b = Sim.Rng.split a in
   check_bool "different streams" true (Sim.Rng.next64 a <> Sim.Rng.next64 b)
 
+(* Golden splitmix64 streams. Every experiment's event trace descends
+   from these bits: if an "optimization" of Rng moves any value below,
+   every golden in test_determinism.ml silently re-seeds. Seed 0's first
+   output equals the published splitmix64 test vector (0xE220A8397B1DCDAF
+   as a signed int64), pinning the algorithm, not just self-consistency. *)
+let rng_splitmix64_reference_streams () =
+  let check_stream seed expected =
+    let r = Sim.Rng.create seed in
+    List.iteri
+      (fun i v ->
+        check_i64 (Printf.sprintf "seed %d draw %d" seed i) v (Sim.Rng.next64 r))
+      expected
+  in
+  check_stream 0
+    [
+      -2152535657050944081L;
+      7960286522194355700L;
+      487617019471545679L;
+      -537132696929009172L;
+      1961750202426094747L;
+    ];
+  check_stream 1
+    [
+      -4616330145664149646L;
+      6869446166584666695L;
+      8084911050856847527L;
+      -846397198931878612L;
+      3727343498630883515L;
+    ];
+  check_stream 42
+    [
+      -7450291807549245335L;
+      2958219263312191191L;
+      3069497704473277141L;
+      885919558081284366L;
+      -353919125003956057L;
+    ]
+
+let rng_split_stream_stability () =
+  (* split derives the child from the parent's next draw and must
+     neither disturb the parent stream nor itself drift. *)
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.split a in
+  check_i64 "parent continues its stream" 5573481420429128725L (Sim.Rng.next64 a);
+  check_i64 "child first" (-4873906296908388014L) (Sim.Rng.next64 b);
+  check_i64 "child second" (-1315055668846156530L) (Sim.Rng.next64 b)
+
+let rng_derived_draws_stable () =
+  (* int/float/bool are fixed functions of the raw stream; pin them so a
+     "harmless" rounding or masking change cannot slip through. Draws
+     are collected with an explicit in-order loop — List.init's effect
+     order is not a documented guarantee, and the draw order IS the
+     thing under test. *)
+  let draws n f =
+    let acc = ref [] in
+    for _ = 1 to n do
+      acc := f () :: !acc
+    done;
+    List.rev !acc
+  in
+  let r = Sim.Rng.create 42 in
+  Alcotest.(check (list int)) "int 1000"
+    [ 140; 595; 570; 183; 779 ]
+    (draws 5 (fun () -> Sim.Rng.int r 1000));
+  let r = Sim.Rng.create 42 in
+  Alcotest.(check (list (float 0.)))
+    "float"
+    [ 0.59611887183020762; 0.16036538759857721; 0.16639780398145976 ]
+    (draws 3 (fun () -> Sim.Rng.float r));
+  let r = Sim.Rng.create 42 in
+  Alcotest.(check (list bool))
+    "bool"
+    [ true; true; true; false; true; true; true; false ]
+    (draws 8 (fun () -> Sim.Rng.bool r))
+
 let rng_shuffle_permutes () =
   let r = Sim.Rng.create 11 in
   let arr = Array.init 50 Fun.id in
@@ -229,6 +304,77 @@ let condvar_signal_order () =
   Sim.Engine.run eng;
   Alcotest.(check (list int)) "waiting order" [ 1; 2; 3 ] (List.rev !log)
 
+let condvar_signal_wakes_one_fifo () =
+  (* signal wakes exactly the OLDEST waiter; the queue stays FIFO across
+     repeated signals. Determinism-load-bearing: fault handlers block on
+     condvars, so wake order decides which fiber's RDMA goes out first. *)
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Condvar.wait cv;
+        log := i :: !log)
+  done;
+  Sim.Engine.at eng (Sim.Time.us 1) (fun () ->
+      Sim.Condvar.signal cv;
+      check_int "two still waiting" 2 (Sim.Condvar.waiters cv));
+  Sim.Engine.at eng (Sim.Time.us 2) (fun () ->
+      check_int "only the oldest woke" 1 (List.length !log);
+      check_int "and it was the first waiter" 1 (List.hd !log);
+      Sim.Condvar.signal cv);
+  Sim.Engine.at eng (Sim.Time.us 3) (fun () ->
+      Alcotest.(check (list int)) "second signal woke the second waiter"
+        [ 1; 2 ] (List.rev !log));
+  Sim.Engine.run eng;
+  check_int "third never signalled" 1 (Sim.Condvar.waiters cv)
+
+let condvar_broadcast_wakes_all_fifo () =
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  let log = ref [] in
+  for i = 1 to 4 do
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Condvar.wait cv;
+        log := (i, Sim.Engine.now eng) :: !log)
+  done;
+  Sim.Engine.at eng (Sim.Time.us 5) (fun () -> Sim.Condvar.broadcast cv);
+  Sim.Engine.run eng;
+  Alcotest.(check (list (pair int int64)))
+    "all woken, in waiting order, at the broadcast instant"
+    [ (1, Sim.Time.us 5); (2, Sim.Time.us 5); (3, Sim.Time.us 5); (4, Sim.Time.us 5) ]
+    (List.rev !log);
+  check_int "queue drained" 0 (Sim.Condvar.waiters cv)
+
+let condvar_empty_ops_are_noops () =
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  Sim.Condvar.signal cv;
+  Sim.Condvar.broadcast cv;
+  check_int "still no waiters" 0 (Sim.Condvar.waiters cv)
+
+let condvar_late_waiter_queues_behind () =
+  (* A fiber that starts waiting after a signal consumed the queue goes
+     to the back: the next signal wakes it, not anyone else, and order
+     among the survivors is preserved. *)
+  let eng = Sim.Engine.create () in
+  let cv = Sim.Condvar.create eng in
+  let log = ref [] in
+  let waiter i =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Condvar.wait cv;
+        log := i :: !log)
+  in
+  waiter 1;
+  waiter 2;
+  Sim.Engine.at eng (Sim.Time.us 1) (fun () -> Sim.Condvar.signal cv);
+  Sim.Engine.at eng (Sim.Time.us 2) (fun () -> waiter 3);
+  Sim.Engine.at eng (Sim.Time.us 3) (fun () -> Sim.Condvar.signal cv);
+  Sim.Engine.at eng (Sim.Time.us 4) (fun () -> Sim.Condvar.signal cv);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo across a late arrival" [ 1; 2; 3 ]
+    (List.rev !log)
+
 let condvar_wait_for () =
   let eng = Sim.Engine.create () in
   let cv = Sim.Condvar.create eng in
@@ -330,6 +476,9 @@ let suite =
     quick "rng bounds" rng_bounds;
     quick "rng float range" rng_float_range;
     quick "rng split independent" rng_split_independent;
+    quick "rng splitmix64 reference streams" rng_splitmix64_reference_streams;
+    quick "rng split stream stability" rng_split_stream_stability;
+    quick "rng derived draws stable" rng_derived_draws_stable;
     quick "rng shuffle permutes" rng_shuffle_permutes;
     quick "time units" time_units;
     quick "engine ordering" engine_ordering;
@@ -345,6 +494,10 @@ let suite =
     quick "engine yield round robin" engine_yield_round_robin;
     quick "engine run_until_idle" engine_run_until_idle;
     quick "condvar signal order" condvar_signal_order;
+    quick "condvar signal wakes one, fifo" condvar_signal_wakes_one_fifo;
+    quick "condvar broadcast wakes all, fifo" condvar_broadcast_wakes_all_fifo;
+    quick "condvar empty signal/broadcast are noops" condvar_empty_ops_are_noops;
+    quick "condvar late waiter queues behind" condvar_late_waiter_queues_behind;
     quick "condvar wait_for" condvar_wait_for;
     quick "histogram exact small" histogram_exact_small;
     quick "histogram quantile accuracy" histogram_quantile_accuracy;
