@@ -74,9 +74,22 @@ let to_system sys prefetch =
   | S_aifm_rdma -> H.Aifm_rdma
 
 let run_workload workload sys prefetch local_mb scale app_aware cores seed
-    verbose =
+    faults fault_seed verbose =
   let system = to_system sys prefetch in
   let local_mem = local_mb * 1024 * 1024 in
+  let fault_spec =
+    match faults with
+    | None -> None
+    | Some s -> (
+        match Faults.Spec.parse s with
+        | Ok spec -> Some spec
+        | Error msg ->
+            Printf.eprintf "dilos_sim: bad --faults spec: %s\n" msg;
+            exit 2)
+  in
+  let h_run ?cores system ~local_mem f =
+    H.run system ~local_mem ?cores ?fault_spec ~fault_seed f
+  in
   let with_guide ctx =
     if app_aware then ignore (Apps.Redis_guide.install ctx)
   in
@@ -84,27 +97,27 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
     match workload with
     | W_seq_read ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               Apps.Seq.run ctx ~size_bytes:(scale * 4096) ~mode:Apps.Seq.Read)
         in
         ( Printf.sprintf "%.2f GB/s" r.H.value.Apps.Seq.gbps,
           H.{ r with value = () } )
     | W_seq_write ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               Apps.Seq.run ctx ~size_bytes:(scale * 4096) ~mode:Apps.Seq.Write)
         in
         (Printf.sprintf "%.2f GB/s" r.H.value.Apps.Seq.gbps, H.{ r with value = () })
     | W_quicksort ->
         let r =
-          H.run system ~local_mem (fun ctx -> Apps.Quicksort.run ctx ~n:scale ~seed)
+          h_run system ~local_mem (fun ctx -> Apps.Quicksort.run ctx ~n:scale ~seed)
         in
         ( Printf.sprintf "sorted=%b in %.2f ms" r.H.value.Apps.Quicksort.checked
             (Sim.Time.to_ms r.H.value.Apps.Quicksort.sort_time),
           H.{ r with value = () } )
     | W_kmeans ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               Apps.Kmeans.run ctx ~n:scale ~k:10 ~iters:3 ~seed)
         in
         ( Printf.sprintf "%.2f ms (inertia %.3g)"
@@ -113,7 +126,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_snappy ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               Apps.Snappy.run_compress ctx ~files:4 ~file_bytes:(scale * 1024) ~seed)
         in
         ( Printf.sprintf "%.2f ms (%d -> %d bytes)"
@@ -122,7 +135,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_dataframe ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               let df = Apps.Dataframe.create ctx ~rows:scale ~seed in
               Apps.Dataframe.run_workload df)
         in
@@ -130,7 +143,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_pagerank ->
         let r =
-          H.run system ~local_mem ~cores (fun ctx ->
+          h_run system ~local_mem ~cores (fun ctx ->
               let g = Apps.Graph.generate ctx ~n:scale ~avg_deg:16 ~seed in
               Apps.Graph.pagerank ctx g ~iters:5 ~threads:cores)
         in
@@ -140,7 +153,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_bc ->
         let r =
-          H.run system ~local_mem ~cores (fun ctx ->
+          h_run system ~local_mem ~cores (fun ctx ->
               let g = Apps.Graph.generate ctx ~n:scale ~avg_deg:16 ~seed in
               Apps.Graph.betweenness ctx g ~sources:8 ~threads:cores ~seed)
         in
@@ -150,7 +163,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_redis_get ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               with_guide ctx;
               Apps.Redis_bench.run_get ctx ~keys:scale
                 ~size:(Apps.Redis_bench.Fixed 4096) ~queries:scale ~seed)
@@ -160,7 +173,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
           H.{ r with value = () } )
     | W_redis_lrange ->
         let r =
-          H.run system ~local_mem (fun ctx ->
+          h_run system ~local_mem (fun ctx ->
               with_guide ctx;
               Apps.Redis_bench.run_lrange ctx ~lists:(scale / 100)
                 ~elements:scale ~elem_size:256 ~queries:(scale / 100) ~range:100
@@ -178,6 +191,19 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
   Printf.printf "traffic:   rx %.2f MB, tx %.2f MB\n"
     (float_of_int result.H.rx_bytes /. 1e6)
     (float_of_int result.H.tx_bytes /. 1e6);
+  (match fault_spec with
+  | None -> ()
+  | Some spec ->
+      let g k = Sim.Stats.get result.H.run_stats k in
+      Printf.printf "faults:    %s (seed %d)\n"
+        (Format.asprintf "%a" Faults.Spec.pp spec)
+        fault_seed;
+      Printf.printf
+        "           comp-errors %d, timeouts %d, retries %d, nack-delays %d, \
+         dup-cqes %d, perm-failures %d\n"
+        (g "rdma_comp_errors") (g "rdma_timeouts") (g "rdma_retries")
+        (g "rdma_retrans_delays") (g "rdma_dup_completions")
+        (g "rdma_perm_failures"));
   if verbose then begin
     print_endline "counters:";
     List.iter
@@ -216,12 +242,33 @@ let run_cmd =
   in
   let cores = Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Simulated cores.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ]
+          ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault-injection scenario for the RDMA data path. \
+             A comma-separated list of presets (flaky|lossy|blackout|meltdown) \
+             and key=value settings: err=RATE, nack=RATE, dup=RATE, \
+             nack-delay=DUR, timeout=DUR, retries=N, backoff=DUR, \
+             backoff-max=DUR, blackout=LEN\\@START, blackout-every=DUR, \
+             blackout-len=DUR. Durations take ns/us/ms/s suffixes. Example: \
+             --faults flaky,err=0.05,blackout-every=10ms.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ]
+          ~doc:"Seed for the fault campaign RNG (same seed, same faults).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump counters.") in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload on one system")
     Term.(
       const run_workload $ workload $ system $ prefetch $ local_mb $ scale
-      $ app_aware $ cores $ seed $ verbose)
+      $ app_aware $ cores $ seed $ faults $ fault_seed $ verbose)
 
 let () =
   let doc = "DiLOS memory-disaggregation simulator" in

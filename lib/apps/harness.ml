@@ -161,10 +161,14 @@ let instance_shutdown = function
   | I_fastswap k -> Fastswap.Kernel.shutdown k
   | I_aifm k -> Aifm.Runtime.shutdown k
 
-let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ f =
+let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ ?fault_spec
+    ?(fault_seed = 1) f =
   let eng = Sim.Engine.create () in
   let size = Option.value ~default:(Int64.shift_left 1L 36) remote_size in
-  let server = Memnode.Server.create ~eng ~size () in
+  let faults =
+    Option.map (fun spec -> Faults.Plan.make ~seed:fault_seed spec) fault_spec
+  in
+  let server = Memnode.Server.create ~eng ~size ?faults () in
   let instance = boot system ~eng ~server ~local_mem ~cores in
   let stats = instance_stats instance in
   let bw = Rdma.Fabric.bandwidth (instance_fabric instance) in

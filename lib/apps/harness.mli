@@ -42,10 +42,15 @@ val run :
   ?cores:int ->
   ?remote_size:int64 ->
   ?bw_bucket:Sim.Time.t ->
+  ?fault_spec:Faults.Spec.t ->
+  ?fault_seed:int ->
   (ctx -> 'a) ->
   'a result
 (** Boot the system on a fresh engine, run the workload in a fiber,
-    shut down, and report. [elapsed] excludes boot. *)
+    shut down, and report. [elapsed] excludes boot. [fault_spec] (with
+    [fault_seed], default 1) attaches a deterministic fault-injection
+    campaign to the fabric — see {!Faults.Spec.parse} for the scenario
+    language. *)
 
 val set_redis_guide : ctx -> Dilos.Guide.prefetch_guide -> unit
 (** Install an app-aware prefetch guide if (and only if) the instance

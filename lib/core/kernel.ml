@@ -43,6 +43,8 @@ type hot_stats = {
   c_prefetch_issued : Sim.Stats.counter;
   c_subpage_fetches : Sim.Stats.counter;
   c_subpage_bytes : Sim.Stats.counter;
+  c_fetch_retries : Sim.Stats.counter;
+  c_prefetch_aborted : Sim.Stats.counter;
   c_ph_exception : Sim.Stats.counter;
   c_ph_pte : Sim.Stats.counter;
   c_ph_alloc : Sim.Stats.counter;
@@ -143,6 +145,8 @@ let boot ~eng ~server ?nic_config (cfg : config) =
       c_prefetch_issued = Sim.Stats.counter stats "prefetch_issued";
       c_subpage_fetches = Sim.Stats.counter stats "subpage_fetches";
       c_subpage_bytes = Sim.Stats.counter stats "subpage_bytes";
+      c_fetch_retries = Sim.Stats.counter stats "fault_fetch_retries";
+      c_prefetch_aborted = Sim.Stats.counter stats "prefetch_aborted";
       c_ph_exception = Sim.Stats.counter stats "ph_exception_ns";
       c_ph_pte = Sim.Stats.counter stats "ph_pte_ns";
       c_ph_alloc = Sim.Stats.counter stats "ph_alloc_ns";
@@ -249,13 +253,33 @@ let prepare_prefetch t vpn =
                 finish ();
                 None
               end
-              else
+              else begin
+                (* Prefetch is opportunistic: on permanent RDMA failure
+                   just undo the transition — Fetching goes back to a
+                   plain Remote (a full-page refetch is always correct;
+                   any consumed Action vector only skipped bytes the app
+                   never reads) and the frame returns to the pool so
+                   nobody deadlocks waiting on it. A later demand fault
+                   fetches the page for real. *)
+                let abort () =
+                  Sim.Stats.cincr t.hot.c_prefetch_aborted;
+                  (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
+                  | Vmem.Pte.Fetching ->
+                      Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ())
+                  | Vmem.Pte.Local | Vmem.Pte.Remote | Vmem.Pte.Unmapped
+                  | Vmem.Pte.Action ->
+                      ());
+                  Page_manager.release_frame t.pm frame;
+                  Sim.Condvar.broadcast t.mapping_changed
+                in
                 Some
                   {
                     Rdma.Qp.r_segs = segs;
                     r_buf = Vmem.Frame.data t.frames frame;
                     r_on_complete = finish;
-                  })
+                    r_on_error = Some abort;
+                  }
+              end)
     end
     else None
   end
@@ -267,6 +291,7 @@ let issue_prefetch t ~core vpn =
   | None -> ()
   | Some wr ->
       Rdma.Qp.post_read
+        ?on_error:wr.Rdma.Qp.r_on_error
         (Comm.prefetch_qp t.comm ~core)
         ~segs:wr.Rdma.Qp.r_segs ~buf:wr.Rdma.Qp.r_buf
         ~on_complete:wr.Rdma.Qp.r_on_complete
@@ -325,16 +350,30 @@ let major_fault t cs vpn pte =
   let alloc_ns = elapsed_ns t alloc_t0 in
   let fetch_t0 = Sim.Engine.now t.eng in
   let completed = ref false in
+  let failed = ref false in
   let waiter = ref None in
-  (if segs = [] then completed := true
-   else
-     Rdma.Qp.post_read
-       (Comm.fault_qp t.comm ~core:cs.core_id)
-       ~segs
-       ~buf:(Vmem.Frame.data t.frames frame)
-       ~on_complete:(fun () ->
-         completed := true;
-         match !waiter with Some wake -> wake () | None -> ()));
+  let wake_fault () =
+    match !waiter with Some wake -> wake () | None -> ()
+  in
+  (* The demand fetch must eventually succeed — the page stays Fetching
+     and every other core queues behind it — so a permanent RDMA
+     failure is answered by re-posting the same WR after a short pause
+     (the segs were decoded from the PTE once; an Action vector entry
+     is consumed by that decode and must not be re-decoded). *)
+  let post_fetch () =
+    Rdma.Qp.post_read
+      ~on_error:(fun () ->
+        failed := true;
+        completed := true;
+        wake_fault ())
+      (Comm.fault_qp t.comm ~core:cs.core_id)
+      ~segs
+      ~buf:(Vmem.Frame.data t.frames frame)
+      ~on_complete:(fun () ->
+        completed := true;
+        wake_fault ())
+  in
+  (if segs = [] then completed := true else post_fetch ());
   (* Work hidden inside the fetch window (§4.3): hit tracking and
      prefetch issue happen while the 4 KiB READ is in flight. *)
   (* Scan first: used prefetches are older accesses than this fault
@@ -377,7 +416,20 @@ let major_fault t cs vpn pte =
     | wrs ->
         Rdma.Qp.post_read_batch (Comm.prefetch_qp t.comm ~core:cs.core_id) wrs
   end;
-  if not !completed then Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
+  let rec await () =
+    if not !completed then
+      Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
+    waiter := None;
+    if !failed then begin
+      Sim.Stats.cincr t.hot.c_fetch_retries;
+      failed := false;
+      completed := false;
+      Sim.Engine.sleep t.eng (Sim.Time.ns Params.fault_refetch_delay_ns);
+      post_fetch ();
+      await ()
+    end
+  in
+  await ();
   let fetch_ns = elapsed_ns t fetch_t0 in
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_map_ns);
   map_fetched t vpn frame;

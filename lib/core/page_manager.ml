@@ -46,6 +46,7 @@ end
 type hot_stats = {
   c_evictions : Sim.Stats.counter;
   c_writebacks : Sim.Stats.counter;
+  c_wb_failures : Sim.Stats.counter;
   c_reclaim_gave_up : Sim.Stats.counter;
   c_reclaim_stalls : Sim.Stats.counter;
   c_reclaim_stall_ns : Sim.Stats.counter;
@@ -92,6 +93,7 @@ let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
       {
         c_evictions = Sim.Stats.counter stats "evictions";
         c_writebacks = Sim.Stats.counter stats "writebacks";
+        c_wb_failures = Sim.Stats.counter stats "writeback_failures";
         c_reclaim_gave_up = Sim.Stats.counter stats "reclaim_gave_up";
         c_reclaim_stalls = Sim.Stats.counter stats "reclaim_stalls";
         c_reclaim_stall_ns = Sim.Stats.counter stats "reclaim_stall_ns";
@@ -188,7 +190,25 @@ let writeback t vpn pte ~then_evict =
       | None -> [ { Rdma.Qp.raddr = base; loff = 0; len = Vmem.Addr.page_size } ]
     in
     let buf = Vmem.Frame.data t.frames frame in
-    Rdma.Qp.post_write t.evict_qp ~segs ~buf ~on_complete:(fun () ->
+    (* Permanent write failure: nothing reached the memory node (the
+       transfer only applies on success), so the remote copy is the
+       consistent pre-write page. Re-dirty the PTE — clear_dirty above
+       promised a write-back that never happened — and put the page
+       back on the clock for a later attempt. Reclaim skips wb_inflight
+       pages, so nobody can have dropped the frame meanwhile. *)
+    let on_error () =
+      Hashtbl.remove t.wb_inflight vpn;
+      Sim.Stats.cincr t.hot.c_wb_failures;
+      (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
+      | Vmem.Pte.Local ->
+          Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
+          Clock.push t.clock vpn
+      | Vmem.Pte.Unmapped | Vmem.Pte.Remote | Vmem.Pte.Fetching
+      | Vmem.Pte.Action ->
+          ());
+      Sim.Condvar.broadcast t.wb_done
+    in
+    Rdma.Qp.post_write ~on_error t.evict_qp ~segs ~buf ~on_complete:(fun () ->
         Hashtbl.remove t.wb_inflight vpn;
         Sim.Stats.cincr t.hot.c_writebacks;
         (if then_evict then
@@ -341,6 +361,10 @@ let alloc_frame t =
       let stalled = Sim.Time.sub (Sim.Engine.now t.eng) started in
       Sim.Stats.cadd t.hot.c_reclaim_stall_ns (Int64.to_int stalled);
       (match !frame with Some f -> f | None -> assert false)
+
+let release_frame t frame =
+  Vmem.Frame.free t.frames frame;
+  Sim.Condvar.broadcast t.frames_avail
 
 let quiesce t =
   Sim.Condvar.wait_for t.wb_done (fun () -> Hashtbl.length t.wb_inflight = 0)

@@ -48,6 +48,11 @@ val try_alloc_frame : t -> int option
 (** Non-blocking variant used by the prefetcher, which sheds load
     instead of stalling. *)
 
+val release_frame : t -> int -> unit
+(** Return an allocated-but-never-mapped frame to the pool and wake
+    fibers blocked in {!alloc_frame} (used when an aborted prefetch
+    unwinds). *)
+
 val note_mapped : t -> int -> unit
 (** Tell the LRU clock a page just became [Local] at [vpn]. *)
 

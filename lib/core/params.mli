@@ -104,6 +104,12 @@ val free_high_watermark : float
 val evict_page_cost_ns : int
 (** Software cost to unmap + free one page during eviction. *)
 
+(** {1 Fault handling (lib/faults campaigns)} *)
+
+val fault_refetch_delay_ns : int
+(** Pause before a kernel re-posts a demand fetch whose RDMA work
+    request failed permanently (exhausted the QP retry budget). *)
+
 (** {1 Compatibility / baselines} *)
 
 val tcp_emulation_delay : Sim.Time.t

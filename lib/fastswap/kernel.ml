@@ -25,7 +25,9 @@ type hot_stats = {
   c_evictions : Sim.Stats.counter;
   c_writebacks : Sim.Stats.counter;
   c_ra_dropped : Sim.Stats.counter;
+  c_ra_aborted : Sim.Stats.counter;
   c_readahead_pages : Sim.Stats.counter;
+  c_fetch_retries : Sim.Stats.counter;
   c_direct_reclaims : Sim.Stats.counter;
   c_zero_fill : Sim.Stats.counter;
   c_ph_exception : Sim.Stats.counter;
@@ -142,19 +144,38 @@ let rec evict_one t ~qp ~budget =
                 else begin
                   let frame = Vmem.Pte.frame pte in
                   (if Vmem.Pte.dirty pte then begin
-                     (* Swap-out: synchronous frontswap store. *)
+                     (* Swap-out: synchronous frontswap store. Clear
+                        dirty and shoot down the TLB before the store
+                        snapshots the page, so a store racing with the
+                        swap-out re-dirties the PTE and is noticed
+                        below instead of silently lost. *)
+                     Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_dirty;
+                     invalidate t vpn;
                      let buf = Vmem.Frame.data t.frames frame in
                      Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf ~off:0
                        ~len:Vmem.Addr.page_size;
                      Sim.Stats.cincr t.hot.c_writebacks
                    end);
-                  Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
-                  invalidate t vpn;
-                  Hashtbl.remove t.swap_backed vpn;
-                  Vmem.Frame.free t.frames frame;
-                  Sim.Stats.cincr t.hot.c_evictions;
-                  Sim.Condvar.broadcast t.frames_avail;
-                  true
+                  let pte' = Vmem.Page_table.get t.pt vpn in
+                  if
+                    Vmem.Pte.tag pte' = Vmem.Pte.Local
+                    && not (Vmem.Pte.dirty pte')
+                  then begin
+                    Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
+                    invalidate t vpn;
+                    Hashtbl.remove t.swap_backed vpn;
+                    Vmem.Frame.free t.frames frame;
+                    Sim.Stats.cincr t.hot.c_evictions;
+                    Sim.Condvar.broadcast t.frames_avail;
+                    true
+                  end
+                  else begin
+                    (* Re-dirtied while the store was on the wire: the
+                       remote copy is already stale, keep the page
+                       resident and move on. *)
+                    lru_push t vpn;
+                    evict_one t ~qp ~budget:(budget - 1)
+                  end
                 end))
 
 let evict_one t ~qp = evict_one t ~qp ~budget:(Queue.length t.lru + 1)
@@ -191,7 +212,9 @@ let boot ~eng ~server (cfg : config) =
       c_evictions = Sim.Stats.counter stats "evictions";
       c_writebacks = Sim.Stats.counter stats "writebacks";
       c_ra_dropped = Sim.Stats.counter stats "ra_dropped";
+      c_ra_aborted = Sim.Stats.counter stats "ra_aborted";
       c_readahead_pages = Sim.Stats.counter stats "readahead_pages";
+      c_fetch_retries = Sim.Stats.counter stats "fault_fetch_retries";
       c_direct_reclaims = Sim.Stats.counter stats "direct_reclaims";
       c_zero_fill = Sim.Stats.counter stats "zero_fill_faults";
       c_ph_exception = Sim.Stats.counter stats "ph_exception_ns";
@@ -340,6 +363,22 @@ let swapin_cluster t cs vpn_fault =
                 (fun () ->
                   e.Swap_cache.io_inflight <- false;
                   Sim.Condvar.broadcast t.io_done);
+              r_on_error =
+                (* Readahead is speculative: on permanent failure drop
+                   the swap-cache entry (inside the callback, before
+                   any waiter runs, so nobody maps a garbage frame)
+                   and let a demand fault refetch the page. *)
+                Some
+                  (fun () ->
+                    e.Swap_cache.io_inflight <- false;
+                    (match Swap_cache.find t.cache vpn with
+                    | Some e' when e' == e ->
+                        Swap_cache.remove t.cache vpn;
+                        Vmem.Frame.free t.frames e.Swap_cache.frame;
+                        Sim.Stats.cincr t.hot.c_ra_aborted;
+                        Sim.Condvar.broadcast t.frames_avail
+                    | Some _ | None -> ());
+                    Sim.Condvar.broadcast t.io_done);
             }
             :: !wrs
     end
@@ -384,7 +423,25 @@ let rec major_fault t cs vpn =
   Swap_cache.insert t.cache vpn e;
   let fetch_t0 = Sim.Engine.now t.eng in
   let waiter = ref None in
-  Rdma.Qp.post_read t.qps.(cs.core_id)
+  let failed = ref false in
+  Rdma.Qp.post_read
+    ~on_error:(fun () ->
+      (* Permanent fetch failure: tear the swap-cache entry down inside
+         the callback — before any waiter runs — so no minor fault can
+         map the garbage frame. This fault (and any minor-fault
+         waiters) then re-enter the dispatch and fault the page again
+         from scratch. *)
+      failed := true;
+      e.Swap_cache.io_inflight <- false;
+      (match Swap_cache.find t.cache vpn with
+      | Some e' when e' == e ->
+          Swap_cache.remove t.cache vpn;
+          Vmem.Frame.free t.frames frame;
+          Sim.Condvar.broadcast t.frames_avail
+      | Some _ | None -> ());
+      (match !waiter with Some wake -> wake () | None -> ());
+      Sim.Condvar.broadcast t.io_done)
+    t.qps.(cs.core_id)
     ~segs:
       [ { Rdma.Qp.raddr = Vmem.Addr.base vpn; loff = 0; len = Vmem.Addr.page_size } ]
     ~buf:(Vmem.Frame.data t.frames frame)
@@ -395,6 +452,12 @@ let rec major_fault t cs vpn =
   swapin_cluster t cs vpn;
   if e.Swap_cache.io_inflight then
     Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
+  if !failed then begin
+    Sim.Stats.cincr t.hot.c_fetch_retries;
+    Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fault_refetch_delay_ns);
+    handle_fault_inner t cs vpn
+  end
+  else begin
   let fetch_ns = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) fetch_t0) in
   Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_other_ns);
   (* Re-find the entry: while we slept it may have been consumed by a
@@ -410,6 +473,7 @@ let rec major_fault t cs vpn =
     (Int.min alloc_spent Dilos.Params.fastswap_page_alloc_ns);
   Sim.Stats.cadd t.hot.c_ph_fetch fetch_ns;
   Sim.Stats.cadd t.hot.c_ph_other Dilos.Params.fastswap_other_ns
+  end
   end
 
 and handle_fault t cs vpn _pte_at_trap =

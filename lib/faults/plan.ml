@@ -1,0 +1,80 @@
+type t = { spec : Spec.t; rng : Sim.Rng.t }
+
+let make ~seed spec = { spec; rng = Sim.Rng.create seed }
+let spec t = t.spec
+let passthrough t = Spec.is_zero t.spec
+let timeout t = Sim.Time.ns t.spec.Spec.timeout_ns
+let max_retries t = t.spec.Spec.max_retries
+
+(* End of the stall window containing [time], if any. One-shot windows
+   and the periodic schedule are both pure functions of [time]: no
+   mutable per-window state, so replay is exact. *)
+let stall_end_at t (time : Sim.Time.t) =
+  let s = t.spec in
+  let best = ref Int64.min_int in
+  List.iter
+    (fun (w_start, w_len) ->
+      let ws = Int64.of_int w_start in
+      let we = Int64.add ws (Int64.of_int w_len) in
+      if
+        Int64.compare time ws >= 0
+        && Int64.compare time we < 0
+        && Int64.compare we !best > 0
+      then best := we)
+    s.Spec.blackouts;
+  if s.Spec.blackout_period_ns > 0 then begin
+    let p = Int64.of_int s.Spec.blackout_period_ns in
+    let off = Int64.rem time p in
+    if Int64.compare off (Int64.of_int s.Spec.blackout_len_ns) < 0 then begin
+      let we = Int64.add (Int64.sub time off) (Int64.of_int s.Spec.blackout_len_ns)
+      in
+      if Int64.compare we !best > 0 then best := we
+    end
+  end;
+  if Int64.compare !best Int64.min_int > 0 then Some !best else None
+
+(* Defer a completion out of any stall window it lands in. The
+   response is served the instant the memory node comes back; a
+   deferred completion can land in the next window, so iterate (the
+   QP's retransmission timeout bounds how long anyone actually
+   waits). *)
+let defer_through_stalls t completion =
+  let rec go completion n =
+    if n = 0 then completion
+    else
+      match stall_end_at t completion with
+      | None -> completion
+      | Some we -> go we (n - 1)
+  in
+  go completion 16
+
+type wire = {
+  w_completion : Sim.Time.t;
+  w_error : bool;
+  w_duplicate : bool;
+  w_retransmitted : bool;
+}
+
+let wire t ~start:_ ~completion =
+  let s = t.spec in
+  (* Fixed draw order — error, nack, dup — regardless of outcome, so
+     the RNG stream stays aligned across attempts. *)
+  let error = Sim.Rng.float t.rng < s.Spec.error_rate in
+  let nacked = Sim.Rng.float t.rng < s.Spec.nack_rate in
+  let duplicate = Sim.Rng.float t.rng < s.Spec.duplicate_rate in
+  let completion =
+    if nacked then Sim.Time.add completion (Sim.Time.ns s.Spec.nack_delay_ns)
+    else completion
+  in
+  let completion = defer_through_stalls t completion in
+  { w_completion = completion; w_error = error; w_duplicate = duplicate;
+    w_retransmitted = nacked }
+
+let backoff t ~attempt =
+  let s = t.spec in
+  let shift = Int.min 16 (Int.max 0 (attempt - 1)) in
+  let base = Int.min s.Spec.backoff_max_ns (s.Spec.backoff_ns * (1 lsl shift)) in
+  (* Deterministic jitter from the plan RNG: up to half the base,
+     decorrelating retries that would otherwise re-collide. *)
+  let jitter = Sim.Rng.int t.rng (Int.max 1 (base / 2)) in
+  Sim.Time.ns (base + jitter)

@@ -1,0 +1,42 @@
+(** A deterministic fault campaign: a {!Spec} bound to a seeded
+    {!Sim.Rng}.
+
+    One plan is shared by every QP of a fabric — wire outcomes are
+    drawn in simulated-event order, which the engine makes
+    deterministic, so the same (spec, seed) pair replays bit-identical
+    counters and traces. A zero-rate plan is recognised up front
+    ({!passthrough}) and the QP then takes its legacy code path,
+    guaranteeing no happy-path perturbation. *)
+
+type t
+
+val make : seed:int -> Spec.t -> t
+val spec : t -> Spec.t
+
+val passthrough : t -> bool
+(** The plan can never inject anything; callers skip it entirely. *)
+
+type wire = {
+  w_completion : Sim.Time.t;  (** possibly NACK-delayed / stall-deferred *)
+  w_error : bool;  (** completion arrives, but in error *)
+  w_duplicate : bool;  (** a duplicate CQE also arrives (accounting only) *)
+  w_retransmitted : bool;  (** a NACK delayed this attempt *)
+}
+
+val wire : t -> start:Sim.Time.t -> completion:Sim.Time.t -> wire
+(** Draw the wire outcome of one service attempt whose fault-free
+    completion would be at [completion]. Consumes exactly three RNG
+    draws regardless of outcome. *)
+
+val backoff : t -> attempt:int -> Sim.Time.t
+(** Bounded exponential backoff before retry number [attempt] (+
+    deterministic jitter drawn from the plan RNG). *)
+
+val timeout : t -> Sim.Time.t
+(** Per-attempt retransmission timeout. *)
+
+val max_retries : t -> int
+
+val stall_end_at : t -> Sim.Time.t -> Sim.Time.t option
+(** End of the memory-node stall window covering the given instant, if
+    one is configured there (exposed for tests). *)

@@ -2,14 +2,16 @@ type t = {
   eng : Sim.Engine.t;
   store : Page_store.t;
   huge_pages : bool;
+  faults : Faults.Plan.t option;
 }
 
-let create ~eng ~size ?(huge_pages = true) () =
-  { eng; store = Page_store.create ~size; huge_pages }
+let create ~eng ~size ?(huge_pages = true) ?faults () =
+  { eng; store = Page_store.create ~size; huge_pages; faults }
 
 let connect t ?nic_config ?extra_completion_delay ?stats ?bw_bucket () =
   let fabric =
-    Rdma.Fabric.connect ~eng:t.eng ?nic_config ~huge_pages:t.huge_pages
+    Rdma.Fabric.connect ~eng:t.eng ?nic_config ?faults:t.faults
+      ~huge_pages:t.huge_pages
       ?extra_completion_delay ?stats ?bw_bucket
       ~target:(Page_store.target t.store) ~size:(Page_store.size t.store) ()
   in

@@ -9,8 +9,16 @@
 
 type t
 
-val create : eng:Sim.Engine.t -> size:int64 -> ?huge_pages:bool -> unit -> t
-(** [size] is the amount of remote memory exported, in bytes. *)
+val create :
+  eng:Sim.Engine.t ->
+  size:int64 ->
+  ?huge_pages:bool ->
+  ?faults:Faults.Plan.t ->
+  unit ->
+  t
+(** [size] is the amount of remote memory exported, in bytes.
+    [faults] attaches a deterministic fault campaign to every fabric
+    this server hands out (see {!Faults.Plan}). *)
 
 val connect :
   t ->

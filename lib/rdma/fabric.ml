@@ -14,10 +14,10 @@ type t = {
    only paid at connection establishment (§5). *)
 let setup_cost = Sim.Time.us 350
 
-let connect ~eng ?nic_config ?(huge_pages = true)
+let connect ~eng ?nic_config ?faults ?(huge_pages = true)
     ?(extra_completion_delay = Sim.Time.zero) ?stats
     ?bw_bucket ~target ~size () =
-  let nic = Nic.create ?config:nic_config () in
+  let nic = Nic.create ?config:nic_config ?faults () in
   let stats = match stats with Some s -> s | None -> Sim.Stats.create () in
   let bw = Bandwidth.create ?bucket:bw_bucket eng in
   let rkey = 0x1EAF in

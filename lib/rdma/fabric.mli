@@ -13,6 +13,7 @@ type t
 val connect :
   eng:Sim.Engine.t ->
   ?nic_config:Nic.config ->
+  ?faults:Faults.Plan.t ->
   ?huge_pages:bool ->
   ?extra_completion_delay:Sim.Time.t ->
   ?stats:Sim.Stats.t ->

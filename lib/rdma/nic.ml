@@ -20,10 +20,11 @@ let default =
     no_huge_page_walk_ns = 250;
   }
 
-type t = { cfg : config }
+type t = { cfg : config; faults : Faults.Plan.t option }
 
-let create ?(config = default) () = { cfg = config }
+let create ?(config = default) ?faults () = { cfg = config; faults }
 let config t = t.cfg
+let faults t = t.faults
 
 type op = Read | Write
 

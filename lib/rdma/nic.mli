@@ -30,8 +30,14 @@ val default : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?faults:Faults.Plan.t -> unit -> t
+(** [faults] attaches a fault-injection plan: QPs minted over this NIC
+    then draw per-attempt wire outcomes from it (see {!Qp}). Absent —
+    or a passthrough plan — means the pristine fabric the paper
+    assumes. *)
+
 val config : t -> config
+val faults : t -> Faults.Plan.t option
 
 type op = Read | Write
 

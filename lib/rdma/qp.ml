@@ -13,6 +13,13 @@ type hstats = {
   c_writes : Sim.Stats.counter;
   c_write_bytes : Sim.Stats.counter;
   c_read_batches : Sim.Stats.counter;
+  (* Fault-injection visibility (all zero on a healthy fabric). *)
+  c_comp_errors : Sim.Stats.counter;
+  c_timeouts : Sim.Stats.counter;
+  c_retries : Sim.Stats.counter;
+  c_retrans : Sim.Stats.counter;
+  c_dups : Sim.Stats.counter;
+  c_perm_failures : Sim.Stats.counter;
 }
 
 type t = {
@@ -25,6 +32,9 @@ type t = {
   hstats : hstats option;
   huge_pages : bool;
   extra_completion_delay : Sim.Time.t;
+  faults : Faults.Plan.t option;
+      (* non-passthrough plan from the NIC, cached so the healthy path
+         costs one physical-equality test *)
   name : string;
   mutable next_free : Sim.Time.t;
   mutable inflight : int;
@@ -41,8 +51,19 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
           c_writes = Sim.Stats.counter st "rdma_writes";
           c_write_bytes = Sim.Stats.counter st "rdma_write_bytes";
           c_read_batches = Sim.Stats.counter st "rdma_read_batches";
+          c_comp_errors = Sim.Stats.counter st "rdma_comp_errors";
+          c_timeouts = Sim.Stats.counter st "rdma_timeouts";
+          c_retries = Sim.Stats.counter st "rdma_retries";
+          c_retrans = Sim.Stats.counter st "rdma_retrans_delays";
+          c_dups = Sim.Stats.counter st "rdma_dup_completions";
+          c_perm_failures = Sim.Stats.counter st "rdma_perm_failures";
         })
       stats
+  in
+  let faults =
+    match Nic.faults nic with
+    | Some p when not (Faults.Plan.passthrough p) -> Some p
+    | Some _ | None -> None
   in
   {
     eng;
@@ -54,6 +75,7 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     hstats;
     huge_pages;
     extra_completion_delay;
+    faults;
     name;
     next_free = Sim.Time.zero;
     inflight = 0;
@@ -107,36 +129,108 @@ let meter t op bytes_ =
       | Nic.Read -> Bandwidth.record bw Bandwidth.Rx bytes_
       | Nic.Write -> Bandwidth.record bw Bandwidth.Tx bytes_)
 
-let post t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
-  validate t segs buf;
-  let bytes_ = total_len segs in
-  let segments = List.length segs in
-  let now = Sim.Engine.now t.eng in
-  let posted = Sim.Time.add now (Nic.doorbell t.nic) in
+let fcount t sel =
+  match t.hstats with None -> () | Some h -> Sim.Stats.cincr (sel h)
+
+(* One service attempt of a work request under a fault plan. Each
+   attempt re-arms the send engine (doorbell + occupancy) and draws
+   its wire outcome from the plan; a retransmission timer races the
+   (possibly NACK-delayed, stall-deferred) completion through
+   cancellable engine timers. A timed-out attempt's late completion is
+   dropped — the NIC ignores stale responses — so a retried READ never
+   lands twice. Retries back off exponentially (with plan-RNG jitter);
+   after [max_retries] attempts the failure surfaces through
+   [on_error], or, when the caller gave none, the QP keeps
+   retransmitting at the backoff ceiling (sync wrappers and background
+   prefetchers rely on this transparent mode). *)
+let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
+    ~posted ~try_no =
   let start = Sim.Time.max posted t.next_free in
   t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
   let latency = Nic.latency t.nic op ~bytes_ ~segments ~huge_pages:t.huge_pages in
   let completion =
     Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
   in
-  t.inflight <- t.inflight + 1;
   count t op bytes_;
-  Sim.Engine.at t.eng completion (fun () ->
-      t.inflight <- t.inflight - 1;
-      meter t op bytes_;
-      transfer ();
-      on_complete ())
+  let w = Faults.Plan.wire plan ~start ~completion in
+  if w.Faults.Plan.w_retransmitted then fcount t (fun h -> h.c_retrans);
+  if w.Faults.Plan.w_duplicate then fcount t (fun h -> h.c_dups);
+  let retry () =
+    match on_error with
+    | Some fail when try_no >= Faults.Plan.max_retries plan ->
+        fcount t (fun h -> h.c_perm_failures);
+        t.inflight <- t.inflight - 1;
+        fail ()
+    | Some _ | None ->
+        fcount t (fun h -> h.c_retries);
+        Sim.Engine.after t.eng (Faults.Plan.backoff plan ~attempt:try_no)
+          (fun () ->
+            let posted =
+              Sim.Time.add (Sim.Engine.now t.eng) (Nic.doorbell t.nic)
+            in
+            attempt t plan op ~bytes_ ~segments ~transfer ~on_complete
+              ~on_error ~posted ~try_no:(try_no + 1))
+  in
+  let comp =
+    Sim.Engine.timer_at t.eng w.Faults.Plan.w_completion (fun () ->
+        if w.Faults.Plan.w_error then begin
+          fcount t (fun h -> h.c_comp_errors);
+          retry ()
+        end
+        else begin
+          t.inflight <- t.inflight - 1;
+          meter t op bytes_;
+          transfer ();
+          on_complete ()
+        end)
+  in
+  let timeout_at = Sim.Time.add start (Faults.Plan.timeout plan) in
+  if Sim.Time.compare timeout_at w.Faults.Plan.w_completion < 0 then
+    ignore
+      (Sim.Engine.timer_at t.eng timeout_at (fun () ->
+           Sim.Engine.cancel comp;
+           fcount t (fun h -> h.c_timeouts);
+           retry ()))
 
-let post_read t ~segs ~buf ~on_complete =
+let post ?on_error t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
+  validate t segs buf;
+  let bytes_ = total_len segs in
+  let segments = List.length segs in
+  let now = Sim.Engine.now t.eng in
+  let posted = Sim.Time.add now (Nic.doorbell t.nic) in
+  match t.faults with
+  | Some plan ->
+      t.inflight <- t.inflight + 1;
+      attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
+        ~posted ~try_no:1
+  | None ->
+      let start = Sim.Time.max posted t.next_free in
+      t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
+      let latency =
+        Nic.latency t.nic op ~bytes_ ~segments ~huge_pages:t.huge_pages
+      in
+      let completion =
+        Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
+      in
+      t.inflight <- t.inflight + 1;
+      count t op bytes_;
+      Sim.Engine.at t.eng completion (fun () ->
+          t.inflight <- t.inflight - 1;
+          meter t op bytes_;
+          transfer ();
+          on_complete ())
+
+let post_read ?on_error t ~segs ~buf ~on_complete =
   let transfer () =
     List.iter (fun s -> t.target.t_read s.raddr buf s.loff s.len) segs
   in
-  post t Nic.Read ~segs ~buf ~transfer ~on_complete
+  post ?on_error t Nic.Read ~segs ~buf ~transfer ~on_complete
 
 type read_wr = {
   r_segs : seg list;
   r_buf : bytes;
   r_on_complete : unit -> unit;
+  r_on_error : (unit -> unit) option;
 }
 
 (* One doorbell for the whole chain. Per-WR service is unchanged:
@@ -145,53 +239,82 @@ type read_wr = {
    instant (only the first WR of a back-to-back run can ever be
    doorbell-limited; the rest start at [next_free] either way). What
    batching saves is host work per WR — here, wall-clock — which the
-   [rdma_read_batches] counter makes visible next to [rdma_reads]. *)
+   [rdma_read_batches] counter makes visible next to [rdma_reads].
+   Under a fault plan each WR retries independently: a dead link does
+   not take its chain siblings down with it (only its own [r_on_error]
+   fires). *)
 let post_read_batch t wrs =
   if wrs <> [] then begin
     (match t.hstats with
     | Some h -> Sim.Stats.cincr h.c_read_batches
     | None -> ());
     let posted = Sim.Time.add (Sim.Engine.now t.eng) (Nic.doorbell t.nic) in
-    List.iter
-      (fun wr ->
-        validate t wr.r_segs wr.r_buf;
-        let bytes_ = total_len wr.r_segs in
-        let segments = List.length wr.r_segs in
-        let start = Sim.Time.max posted t.next_free in
-        t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
-        let latency =
-          Nic.latency t.nic Nic.Read ~bytes_ ~segments ~huge_pages:t.huge_pages
-        in
-        let completion =
-          Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
-        in
-        t.inflight <- t.inflight + 1;
-        count t Nic.Read bytes_;
-        Sim.Engine.at t.eng completion (fun () ->
-            t.inflight <- t.inflight - 1;
-            meter t Nic.Read bytes_;
-            List.iter
-              (fun s -> t.target.t_read s.raddr wr.r_buf s.loff s.len)
-              wr.r_segs;
-            wr.r_on_complete ()))
-      wrs
+    match t.faults with
+    | Some plan ->
+        List.iter
+          (fun wr ->
+            validate t wr.r_segs wr.r_buf;
+            let bytes_ = total_len wr.r_segs in
+            let segments = List.length wr.r_segs in
+            let transfer () =
+              List.iter
+                (fun s -> t.target.t_read s.raddr wr.r_buf s.loff s.len)
+                wr.r_segs
+            in
+            t.inflight <- t.inflight + 1;
+            attempt t plan Nic.Read ~bytes_ ~segments ~transfer
+              ~on_complete:wr.r_on_complete ~on_error:wr.r_on_error ~posted
+              ~try_no:1)
+          wrs
+    | None ->
+        List.iter
+          (fun wr ->
+            validate t wr.r_segs wr.r_buf;
+            let bytes_ = total_len wr.r_segs in
+            let segments = List.length wr.r_segs in
+            let start = Sim.Time.max posted t.next_free in
+            t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
+            let latency =
+              Nic.latency t.nic Nic.Read ~bytes_ ~segments
+                ~huge_pages:t.huge_pages
+            in
+            let completion =
+              Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
+            in
+            t.inflight <- t.inflight + 1;
+            count t Nic.Read bytes_;
+            Sim.Engine.at t.eng completion (fun () ->
+                t.inflight <- t.inflight - 1;
+                meter t Nic.Read bytes_;
+                List.iter
+                  (fun s -> t.target.t_read s.raddr wr.r_buf s.loff s.len)
+                  wr.r_segs;
+                wr.r_on_complete ()))
+          wrs
   end
 
-let post_write t ~segs ~buf ~on_complete =
+let post_write ?on_error t ~segs ~buf ~on_complete =
   (* Snapshot the payload at post time: the NIC reads local memory when
-     the WR is posted, not when the ack returns. *)
+     the WR is posted, not when the ack returns. Retransmissions of a
+     timed-out attempt resend the same snapshot (the WR's payload),
+     which keeps a retried WRITE idempotent. *)
   let snapshot = Bytes.copy buf in
   let transfer () =
     List.iter (fun s -> t.target.t_write s.raddr snapshot s.loff s.len) segs
   in
-  post t Nic.Write ~segs ~buf ~transfer ~on_complete
+  post t Nic.Write ~segs ~buf ~transfer ?on_error ~on_complete
 
 let sync t post_fn ~segs ~buf =
   Sim.Engine.suspend t.eng (fun wake ->
       post_fn t ~segs ~buf ~on_complete:wake)
 
-let read_sync_v t ~segs ~buf = sync t post_read ~segs ~buf
-let write_sync_v t ~segs ~buf = sync t post_write ~segs ~buf
+let read_sync_v t ~segs ~buf =
+  sync t (fun t ~segs ~buf ~on_complete -> post_read t ~segs ~buf ~on_complete)
+    ~segs ~buf
+
+let write_sync_v t ~segs ~buf =
+  sync t (fun t ~segs ~buf ~on_complete -> post_write t ~segs ~buf ~on_complete)
+    ~segs ~buf
 
 let read t ~raddr ~buf ~off ~len =
   read_sync_v t ~segs:[ { raddr; loff = off; len } ] ~buf

@@ -42,19 +42,45 @@ val name : t -> string
 val inflight : t -> int
 
 val post_read :
-  t -> segs:seg list -> buf:bytes -> on_complete:(unit -> unit) -> unit
+  ?on_error:(unit -> unit) ->
+  t ->
+  segs:seg list ->
+  buf:bytes ->
+  on_complete:(unit -> unit) ->
+  unit
 (** Asynchronous one-sided READ. May be called from fibers or plain
-    callbacks. [buf] is filled at completion time. *)
+    callbacks. [buf] is filled at completion time.
+
+    Fault semantics (only when the NIC carries a non-passthrough
+    {!Faults.Plan}): each service attempt may complete in error, be
+    NACK-delayed, or time out during a memory-node stall; the QP then
+    retries with bounded exponential backoff (fresh doorbell and
+    occupancy per attempt). Attempts are visible in the
+    [rdma_comp_errors] / [rdma_timeouts] / [rdma_retries] /
+    [rdma_retrans_delays] / [rdma_dup_completions] counters. Without
+    [on_error] the retry loop is unbounded — the op is transparently
+    reliable, only slower. With [on_error], after the plan's
+    [max_retries] attempts the op is abandoned, [rdma_perm_failures]
+    is incremented and [on_error] fires instead of [on_complete]
+    (exactly one of the two ever fires). *)
 
 val post_write :
-  t -> segs:seg list -> buf:bytes -> on_complete:(unit -> unit) -> unit
+  ?on_error:(unit -> unit) ->
+  t ->
+  segs:seg list ->
+  buf:bytes ->
+  on_complete:(unit -> unit) ->
+  unit
 (** Asynchronous one-sided WRITE. The payload is snapshotted when
-    posted. *)
+    posted; retried attempts resend the same snapshot, keeping the
+    WR idempotent. [on_error] as in {!post_read}. *)
 
 type read_wr = {
   r_segs : seg list;
   r_buf : bytes;
   r_on_complete : unit -> unit;
+  r_on_error : (unit -> unit) option;
+      (** Per-WR permanent-failure handler; [None] retries forever. *)
 }
 
 val post_read_batch : t -> read_wr list -> unit
@@ -63,7 +89,9 @@ val post_read_batch : t -> read_wr list -> unit
     at the same instant — each WR still pays its own occupancy and
     latency, and completions fire per WR in order — but the host-side
     cost is paid once per chain. Increments [rdma_read_batches] once
-    (and the per-op counters per WR). Empty list is a no-op. *)
+    (and the per-op counters per WR). Empty list is a no-op. Under a
+    fault plan each WR retries independently; a WR's permanent failure
+    fires only its own [r_on_error]. *)
 
 val read : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
 (** Synchronous single-segment READ (blocks the calling fiber). *)

@@ -157,6 +157,26 @@ let at t time fn =
 
 let after t delay fn = at t (Time.add t.now delay) fn
 
+(* Cancellable timers piggyback on [at]: the heap/ring slot stays
+   occupied, but a cancelled timer's callback is a no-op. Leaving the
+   dead event in place (instead of deleting from the heap) keeps every
+   other event's (time, seq) position — and therefore the global event
+   order — exactly as if the timer had never been armed and dropped. *)
+type timer = { mutable tm_state : int } (* 0 pending / 1 fired / 2 cancelled *)
+
+let timer_at t time fn =
+  let tm = { tm_state = 0 } in
+  at t time (fun () ->
+      if tm.tm_state = 0 then begin
+        tm.tm_state <- 1;
+        fn ()
+      end);
+  tm
+
+let timer_after t delay fn = timer_at t (Time.add t.now delay) fn
+let cancel tm = if tm.tm_state = 0 then tm.tm_state <- 2
+let timer_pending tm = tm.tm_state = 0
+
 (* Fibers are implemented with one effect: [Suspend register]. The
    handler captures the continuation and hands [register] a wake
    function that re-schedules it on the event queue. *)

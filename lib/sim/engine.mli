@@ -34,6 +34,23 @@ val at : t -> Time.t -> (unit -> unit) -> unit
 val after : t -> Time.t -> (unit -> unit) -> unit
 (** [after t delay f] is [at t (now t + delay) f]. *)
 
+type timer
+(** A cancellable scheduled callback (e.g. an RDMA retransmission
+    timeout racing a completion). Cancelling does not disturb the
+    (time, seq) ordering of any other event: the slot simply fires as
+    a no-op. *)
+
+val timer_at : t -> Time.t -> (unit -> unit) -> timer
+(** Like {!at}, but returns a handle that {!cancel} can disarm. *)
+
+val timer_after : t -> Time.t -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Disarm a timer. No-op if it already fired or was cancelled. *)
+
+val timer_pending : timer -> bool
+(** [true] until the timer fires or is cancelled. *)
+
 val sleep : t -> Time.t -> unit
 (** Block the calling fiber for a simulated duration. Must be called
     from inside a fiber. *)

@@ -12,6 +12,10 @@ let () =
       ("apps", Test_apps.suite);
       ("redis", Test_redis.suite);
       ("misc", Test_misc.suite);
+      ("units", Test_units.suite);
+      ("vmem-model", Test_vmem_model.suite);
+      ("faults", Test_faults.suite);
+      ("soak", Test_soak.suite);
       ("lint", Test_lint.suite);
       ("determinism", Test_determinism.suite);
     ]

@@ -252,6 +252,7 @@ let qp_batch_matches_back_to_back_singles () =
                  r_buf = buf;
                  r_on_complete =
                    (fun () -> log := (i, Sim.Engine.now eng) :: !log);
+                 r_on_error = None;
                })))
   in
   check_int "all completed" 8 (List.length batched);
@@ -272,11 +273,13 @@ let qp_batch_reads_data () =
             Rdma.Qp.r_segs = [ { Rdma.Qp.raddr = 0x1000L; loff = 0; len = 4 } ];
             r_buf = a;
             r_on_complete = (fun () -> decr remaining);
+            r_on_error = None;
           };
           {
             Rdma.Qp.r_segs = [ { Rdma.Qp.raddr = 0x2000L; loff = 0; len = 4 } ];
             r_buf = b;
             r_on_complete = (fun () -> decr remaining);
+            r_on_error = None;
           };
         ];
       Sim.Engine.sleep eng (Sim.Time.ms 1);
@@ -299,6 +302,7 @@ let qp_batch_counters () =
                  [ { Rdma.Qp.raddr = Int64.of_int (i * 4096); loff = 0; len = 4096 } ];
                r_buf = buf;
                r_on_complete = ignore;
+               r_on_error = None;
              }));
       Sim.Engine.sleep eng (Sim.Time.ms 1);
       check_int "one batch" 1 (Sim.Stats.get stats "rdma_read_batches");

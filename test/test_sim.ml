@@ -466,6 +466,50 @@ let stats_reset_keeps_handles_valid () =
   check_int "histo still wired to table" 1
     (Sim.Histogram.count (Sim.Stats.histogram s "lat"))
 
+(* ------------------------------------------------------------------ *)
+(* Cancellable timers *)
+
+let timer_fires () =
+  run_sim (fun eng ->
+      let fired = ref 0 in
+      let tm = Sim.Engine.timer_after eng (Sim.Time.us 5) (fun () -> incr fired) in
+      check_bool "pending before" true (Sim.Engine.timer_pending tm);
+      Sim.Engine.sleep eng (Sim.Time.us 10);
+      check_int "fired once" 1 !fired;
+      check_bool "not pending after firing" false (Sim.Engine.timer_pending tm);
+      (* Cancelling after the fact is a no-op. *)
+      Sim.Engine.cancel tm;
+      Sim.Engine.sleep eng (Sim.Time.us 10);
+      check_int "still once" 1 !fired)
+
+let timer_cancel () =
+  run_sim (fun eng ->
+      let fired = ref 0 in
+      let tm = Sim.Engine.timer_after eng (Sim.Time.us 5) (fun () -> incr fired) in
+      Sim.Engine.cancel tm;
+      check_bool "no longer pending" false (Sim.Engine.timer_pending tm);
+      Sim.Engine.cancel tm;
+      (* double cancel is fine *)
+      Sim.Engine.sleep eng (Sim.Time.us 10);
+      check_int "never fired" 0 !fired)
+
+let timer_cancel_preserves_order () =
+  (* A cancelled timer stays in the heap as a no-op, so every other
+     event keeps its (time, seq) slot: the observable sequence is
+     exactly as if the timer had never been armed. This is what lets
+     the QP arm retransmission timeouts without perturbing fault-free
+     event order. *)
+  run_sim (fun eng ->
+      let log = ref [] in
+      let push x () = log := x :: !log in
+      Sim.Engine.at eng (Sim.Time.us 1) (push 1);
+      let tm = Sim.Engine.timer_at eng (Sim.Time.us 2) (push 99) in
+      Sim.Engine.at eng (Sim.Time.us 2) (push 2);
+      Sim.Engine.at eng (Sim.Time.us 3) (push 3);
+      Sim.Engine.cancel tm;
+      Sim.Engine.sleep eng (Sim.Time.us 5);
+      Alcotest.(check (list int)) "order unchanged" [ 1; 2; 3 ] (List.rev !log))
+
 let suite =
   [
     quick "heap basic" heap_basic;
@@ -506,4 +550,7 @@ let suite =
     quick "stats counters" stats_counters;
     quick "stats handles share cells" stats_handles_share_cells_with_string_api;
     quick "stats reset keeps handles valid" stats_reset_keeps_handles_valid;
+    quick "timer fires once" timer_fires;
+    quick "timer cancel" timer_cancel;
+    quick "timer cancel preserves event order" timer_cancel_preserves_order;
   ]

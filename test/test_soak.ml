@@ -1,0 +1,122 @@
+(* Page-integrity soak: drive a seeded random read/write workload
+   through each kernel's memory API while mirroring every operation
+   into an in-DRAM reference buffer, then read the whole region back
+   and demand bit-exact parity. Local memory is sized at a third of
+   the working set so every scenario churns through eviction,
+   writeback and refetch — and, in the faulted variants, through
+   completion errors, NACK delays, blackouts and the QP retry path.
+   Faults may degrade timing, never contents. *)
+
+open Util
+
+let page = 4096
+let npages = 192
+let region = npages * page
+let n_ops = 3_000
+
+type ops = {
+  read_u64 : int64 -> int64;
+  write_u64 : int64 -> int64 -> unit;
+  read_bytes : int64 -> bytes -> int -> int -> unit;
+  write_bytes : int64 -> bytes -> int -> int -> unit;
+}
+
+(* One random op against both the kernel and the reference buffer;
+   reads are checked on the spot. *)
+let step rng ~base ~refbuf ops i =
+  let addr off = Int64.add base (Int64.of_int off) in
+  match Sim.Rng.int rng 4 with
+  | 0 ->
+      let off = Sim.Rng.int rng (region / 8) * 8 in
+      let v = Sim.Rng.next64 rng in
+      ops.write_u64 (addr off) v;
+      Bytes.set_int64_le refbuf off v
+  | 1 ->
+      let off = Sim.Rng.int rng (region / 8) * 8 in
+      check_i64
+        (Printf.sprintf "op %d: u64 at %d" i off)
+        (Bytes.get_int64_le refbuf off)
+        (ops.read_u64 (addr off))
+  | 2 ->
+      (* Bulk write, possibly straddling page boundaries. *)
+      let len = 1 + Sim.Rng.int rng 1024 in
+      let off = Sim.Rng.int rng (region - len) in
+      let payload = Bytes.create len in
+      Sim.Rng.fill_bytes rng payload;
+      ops.write_bytes (addr off) payload 0 len;
+      Bytes.blit payload 0 refbuf off len
+  | _ ->
+      let len = 1 + Sim.Rng.int rng 1024 in
+      let off = Sim.Rng.int rng (region - len) in
+      let got = Bytes.create len in
+      ops.read_bytes (addr off) got 0 len;
+      Alcotest.(check bytes)
+        (Printf.sprintf "op %d: bulk at %d+%d" i off len)
+        (Bytes.sub refbuf off len) got
+
+let soak ~seed ~base ops =
+  let refbuf = Bytes.make region '\000' in
+  let rng = Sim.Rng.create seed in
+  for i = 0 to n_ops - 1 do
+    step rng ~base ~refbuf ops i
+  done;
+  (* Full read-back: every page, including ones evicted long ago and
+     ones never touched (which must still read as zeroes). *)
+  let got = Bytes.create page in
+  for p = 0 to npages - 1 do
+    ops.read_bytes (Int64.add base (Int64.of_int (p * page))) got 0 page;
+    Alcotest.(check bytes)
+      (Printf.sprintf "final page %d" p)
+      (Bytes.sub refbuf (p * page) page)
+      got
+  done
+
+let local_mem = 64 * page (* a third of the region: constant churn *)
+
+let dilos_soak ?fault_spec ?fault_seed ~prefetch ~seed () =
+  with_dilos ~local_mem ~prefetch ?fault_spec ?fault_seed (fun _eng k ->
+      let base = Dilos.Kernel.mmap k ~len:region ~ddc:true () in
+      soak ~seed ~base
+        {
+          read_u64 = Dilos.Kernel.read_u64 k ~core:0;
+          write_u64 = Dilos.Kernel.write_u64 k ~core:0;
+          read_bytes = Dilos.Kernel.read_bytes k ~core:0;
+          write_bytes = Dilos.Kernel.write_bytes k ~core:0;
+        };
+      Dilos.Kernel.quiesce k)
+
+let fastswap_soak ?fault_spec ?fault_seed ~seed () =
+  with_fastswap ~local_mem ?fault_spec ?fault_seed (fun _eng k ->
+      let base = Fastswap.Kernel.mmap k ~len:region () in
+      soak ~seed ~base
+        {
+          read_u64 = Fastswap.Kernel.read_u64 k ~core:0;
+          write_u64 = Fastswap.Kernel.write_u64 k ~core:0;
+          read_bytes = Fastswap.Kernel.read_bytes k ~core:0;
+          write_bytes = Fastswap.Kernel.write_bytes k ~core:0;
+        };
+      Fastswap.Kernel.quiesce k)
+
+let suite =
+  let d name prefetch fault_spec seed =
+    quick name (fun () -> dilos_soak ~prefetch ?fault_spec ~fault_seed:seed ~seed ())
+  in
+  let f name fault_spec seed =
+    quick name (fun () -> fastswap_soak ?fault_spec ~fault_seed:seed ~seed ())
+  in
+  [
+    d "dilos none, clean" Dilos.Kernel.No_prefetch None 101;
+    d "dilos readahead, clean" Dilos.Kernel.Readahead None 102;
+    d "dilos trend, clean" Dilos.Kernel.Trend_based None 103;
+    f "fastswap, clean" None 104;
+    d "dilos none, flaky" Dilos.Kernel.No_prefetch (Some Faults.Spec.flaky) 105;
+    d "dilos readahead, flaky" Dilos.Kernel.Readahead (Some Faults.Spec.flaky) 106;
+    d "dilos trend, flaky" Dilos.Kernel.Trend_based (Some Faults.Spec.flaky) 107;
+    f "fastswap, flaky" (Some Faults.Spec.flaky) 108;
+    d "dilos none, blackout" Dilos.Kernel.No_prefetch (Some Faults.Spec.blackout)
+      109;
+    d "dilos readahead, lossy" Dilos.Kernel.Readahead (Some Faults.Spec.lossy) 110;
+    d "dilos trend, blackout" Dilos.Kernel.Trend_based (Some Faults.Spec.blackout)
+      111;
+    f "fastswap, blackout" (Some Faults.Spec.blackout) 112;
+  ]

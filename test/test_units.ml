@@ -1,0 +1,303 @@
+(* Direct unit coverage for small components that previously only ran
+   under integration tests: Histogram percentile edge cases, the
+   Hit_tracker ring/EWMA corners, and the Ddc_alloc API contract
+   exercised standalone (against a fake mmap, no kernel). *)
+
+open Util
+module Hist = Sim.Histogram
+
+let check_f = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram: percentile edges *)
+
+let hist_empty () =
+  let h = Hist.create () in
+  check_int "count" 0 (Hist.count h);
+  check_int "quantile" 0 (Hist.quantile h 0.5);
+  check_int "min" 0 (Hist.min_value h);
+  check_int "max" 0 (Hist.max_value h);
+  check_f "mean" 0. (Hist.mean h)
+
+let hist_single_sample () =
+  let h = Hist.create () in
+  Hist.add h 42;
+  (* Quantiles clamp to the observed extremes, so a single sample is
+     reported exactly at every q. *)
+  List.iter
+    (fun q -> check_int (Printf.sprintf "q=%.2f" q) 42 (Hist.quantile h q))
+    [ 0.; 0.01; 0.5; 0.99; 1. ];
+  check_int "min" 42 (Hist.min_value h);
+  check_int "max" 42 (Hist.max_value h);
+  check_f "mean" 42. (Hist.mean h)
+
+let hist_all_one_bucket () =
+  (* 1000 identical samples land in one bucket whose midpoint (102)
+     differs from the value; clamping must still report exactly 100. *)
+  let h = Hist.create () in
+  for _ = 1 to 1000 do
+    Hist.add h 100
+  done;
+  List.iter
+    (fun q -> check_int (Printf.sprintf "q=%.2f" q) 100 (Hist.quantile h q))
+    [ 0.; 0.5; 0.99; 1. ];
+  check_f "mean exact" 100. (Hist.mean h)
+
+let hist_small_values_exact () =
+  (* Values below 16 are direct-indexed: quantiles are exact. *)
+  let h = Hist.create () in
+  for v = 0 to 15 do
+    Hist.add h v
+  done;
+  check_int "p50" 7 (Hist.quantile h 0.5);
+  check_int "p0" 0 (Hist.quantile h 0.);
+  check_int "p100" 15 (Hist.quantile h 1.)
+
+let hist_negative_clamped () =
+  let h = Hist.create () in
+  Hist.add h (-5);
+  check_int "clamped to 0" 0 (Hist.quantile h 0.5);
+  check_int "min" 0 (Hist.min_value h);
+  check_f "mean" 0. (Hist.mean h)
+
+let hist_q_out_of_range () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 1; 2; 3 ];
+  check_int "q<0 is min" 1 (Hist.quantile h (-1.));
+  check_int "q>1 is max" 3 (Hist.quantile h 2.)
+
+let hist_merge_and_reset () =
+  let a = Hist.create () and b = Hist.create () in
+  for v = 1 to 10 do
+    Hist.add a v
+  done;
+  for _ = 1 to 5 do
+    Hist.add b 100
+  done;
+  Hist.merge_into ~dst:a b;
+  check_int "count" 15 (Hist.count a);
+  check_int "min" 1 (Hist.min_value a);
+  check_int "max" 100 (Hist.max_value a);
+  check_f "mean" 37. (Hist.mean a);
+  check_int "p100" 100 (Hist.quantile a 1.);
+  (* Merging an empty histogram must not disturb the extremes. *)
+  Hist.merge_into ~dst:a (Hist.create ());
+  check_int "min after empty merge" 1 (Hist.min_value a);
+  Hist.reset a;
+  check_int "reset count" 0 (Hist.count a);
+  check_int "reset quantile" 0 (Hist.quantile a 0.5);
+  check_int "reset min" 0 (Hist.min_value a)
+
+let hist_quantile_error_bound =
+  (* The documented contract: ~6% relative quantile error (16
+     sub-buckets per octave), checked against an exact oracle. *)
+  QCheck.Test.make ~name:"histogram quantile within relative error bound"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 200) (int_bound 1_000_000))
+        (float_bound_inclusive 1.))
+    (fun (vs, q) ->
+      let h = Hist.create () in
+      List.iter (Hist.add h) vs;
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let target = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let exact = List.nth sorted (target - 1) in
+      let got = Hist.quantile h q in
+      abs (got - exact) <= (exact / 14) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Hit tracker: ring corners *)
+
+let tracker_initial_optimism () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      (* No prefetches tracked yet: the estimate stays at its
+         optimistic prior so prefetching can bootstrap. *)
+      Alcotest.(check (float 0.001)) "prior" 1.0 (Dilos.Hit_tracker.scan tr))
+
+let tracker_replays_hits_into_history () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      Dilos.Hit_tracker.note_fault tr 99;
+      for vpn = 1 to 4 do
+        Vmem.Page_table.set pt vpn (Vmem.Pte.make_local ~frame:vpn ~writable:true);
+        Dilos.Hit_tracker.note_prefetched tr vpn
+      done;
+      Vmem.Page_table.update pt 2 Vmem.Pte.set_accessed;
+      Vmem.Page_table.update pt 4 Vmem.Pte.set_accessed;
+      ignore (Dilos.Hit_tracker.scan tr);
+      (* Used prefetches are accesses the fault path never saw: the
+         scan replays them into the history in prefetch-issue order. *)
+      Alcotest.(check (array int))
+        "hits replayed, most recent first" [| 4; 2; 99 |]
+        (Dilos.Hit_tracker.history tr))
+
+let tracker_ring_overflow_drops_oldest () =
+  run_sim (fun _eng ->
+      let pt = Vmem.Page_table.create () in
+      let tr = Dilos.Hit_tracker.create pt in
+      let cap = Dilos.Params.hit_tracker_capacity in
+      let extra = 88 in
+      (* Map and use only the first [extra] prefetches — exactly the
+         ones the ring must have dropped by the time we scan. *)
+      for vpn = 0 to extra - 1 do
+        Vmem.Page_table.set pt vpn
+          (Vmem.Pte.set_accessed (Vmem.Pte.make_local ~frame:vpn ~writable:true))
+      done;
+      for vpn = 0 to cap + extra - 1 do
+        Dilos.Hit_tracker.note_prefetched tr vpn
+      done;
+      let r = Dilos.Hit_tracker.scan tr in
+      (* Survivors are vpns [extra, cap+extra): all unmapped, all
+         misses. Any stale entry would show up as a hit. *)
+      Alcotest.(check (float 0.001)) "all tracked were misses" 0.7 r)
+
+(* ------------------------------------------------------------------ *)
+(* Ddc_alloc standalone (fake mmap, no kernel) *)
+
+let mk_alloc () =
+  let next = ref 0x4000_0000L in
+  let mmap len =
+    let base = !next in
+    (* page-align growth and leave a guard gap, like the kernel does *)
+    next := Int64.add base (Int64.of_int ((((len + 4095) / 4096) + 1) * 4096));
+    base
+  in
+  Dilos.Ddc_alloc.create ~mmap ()
+
+let alloc_alignment () =
+  let a = mk_alloc () in
+  List.iter
+    (fun size ->
+      let addr = Dilos.Ddc_alloc.malloc a size in
+      check_bool
+        (Printf.sprintf "size %d -> 0x%Lx aligned" size addr)
+        true
+        (Int64.rem addr 16L = 0L);
+      check_bool
+        (Printf.sprintf "usable >= %d" size)
+        true
+        (Dilos.Ddc_alloc.usable_size a addr >= size))
+    [ 1; 8; 16; 17; 100; 512; 4096; 5000; 100_000 ]
+
+let alloc_bad_size_rejected () =
+  let a = mk_alloc () in
+  Alcotest.check_raises "zero" (Invalid_argument "Ddc_alloc.malloc: size <= 0")
+    (fun () -> ignore (Dilos.Ddc_alloc.malloc a 0));
+  Alcotest.check_raises "negative" (Invalid_argument "Ddc_alloc.malloc: size <= 0")
+    (fun () -> ignore (Dilos.Ddc_alloc.malloc a (-4)))
+
+let alloc_foreign_address_rejected () =
+  let a = mk_alloc () in
+  ignore (Dilos.Ddc_alloc.malloc a 64);
+  try
+    Dilos.Ddc_alloc.free a ~write_link:ignore 0x123L;
+    Alcotest.fail "free of a foreign address must raise"
+  with Invalid_argument _ -> ()
+
+let alloc_misaligned_free_rejected () =
+  let a = mk_alloc () in
+  let addr = Dilos.Ddc_alloc.malloc a 512 in
+  Alcotest.check_raises "interior pointer"
+    (Invalid_argument "Ddc_alloc.free: misaligned") (fun () ->
+      Dilos.Ddc_alloc.free a ~write_link:ignore (Int64.add addr 16L))
+
+let alloc_write_link_on_free () =
+  let a = mk_alloc () in
+  let addr = Dilos.Ddc_alloc.malloc a 256 in
+  let keep = Dilos.Ddc_alloc.malloc a 256 in
+  ignore keep;
+  let links = ref [] in
+  Dilos.Ddc_alloc.free a ~write_link:(fun x -> links := x :: !links) addr;
+  (* Real allocators thread the free list through the dead chunk: one
+     8-byte store at the chunk base (this is what dirties pages in the
+     Figure 12 DEL phase). *)
+  Alcotest.(check (list int64)) "one link store at the chunk base" [ addr ] !links
+
+let alloc_live_bytes_balance () =
+  let a = mk_alloc () in
+  check_int "starts empty" 0 (Dilos.Ddc_alloc.live_bytes a);
+  let small = List.init 10 (fun i -> Dilos.Ddc_alloc.malloc a ((i + 1) * 24)) in
+  let big = Dilos.Ddc_alloc.malloc a 50_000 in
+  check_bool "accounts allocations" true (Dilos.Ddc_alloc.live_bytes a > 0);
+  check_bool "owns pages" true (Dilos.Ddc_alloc.owned_pages a > 0);
+  List.iter (Dilos.Ddc_alloc.free a ~write_link:ignore) small;
+  Dilos.Ddc_alloc.free a ~write_link:ignore big;
+  (* Everything freed: the live census must return to zero even though
+     arenas and span pools are retained. *)
+  check_int "balances to zero" 0 (Dilos.Ddc_alloc.live_bytes a)
+
+let alloc_live_segments_alignment_check () =
+  let a = mk_alloc () in
+  let addr = Dilos.Ddc_alloc.malloc a 64 in
+  Alcotest.check_raises "unaligned page base"
+    (Invalid_argument "Ddc_alloc.live_segments: not page aligned") (fun () ->
+      ignore (Dilos.Ddc_alloc.live_segments a (Int64.add addr 8L)))
+
+let alloc_segments_sorted_coalesced =
+  (* Property: whatever we allocate and free on a slab page, the
+     reclaim-guide view stays sorted, non-overlapping, in-page, and
+     covers every live chunk. *)
+  QCheck.Test.make ~name:"live_segments sorted, coalesced, covering" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 16) bool)
+    (fun keeps ->
+      let a = mk_alloc () in
+      let addrs = List.map (fun _ -> Dilos.Ddc_alloc.malloc a 256) keeps in
+      let page_of x = Int64.logand x (Int64.lognot 0xFFFL) in
+      let base = page_of (List.hd addrs) in
+      List.iter2
+        (fun keep addr ->
+          if not keep then Dilos.Ddc_alloc.free a ~write_link:ignore addr)
+        keeps addrs;
+      let live_on_page =
+        List.filter_map
+          (fun (keep, addr) ->
+            if keep && Int64.equal (page_of addr) base then
+              Some (Int64.to_int (Int64.sub addr base))
+            else None)
+          (List.combine keeps addrs)
+      in
+      match Dilos.Ddc_alloc.live_segments a base with
+      | None -> true (* fully live (or recycled page): nothing to check *)
+      | Some segs ->
+          let rec well_formed last = function
+            | [] -> true
+            | (off, len) :: rest ->
+                off > last && len > 0 && off + len <= 4096
+                && well_formed (off + len) rest
+          in
+          (* strictly increasing with gaps => sorted + coalesced *)
+          well_formed (-1) segs
+          && List.for_all
+               (fun off ->
+                 List.exists
+                   (fun (o, l) -> o <= off && off + 256 <= o + l)
+                   segs)
+               live_on_page)
+
+let suite =
+  [
+    quick "histogram: empty" hist_empty;
+    quick "histogram: single sample exact" hist_single_sample;
+    quick "histogram: one bucket exact" hist_all_one_bucket;
+    quick "histogram: small values exact" hist_small_values_exact;
+    quick "histogram: negative clamped" hist_negative_clamped;
+    quick "histogram: q out of range" hist_q_out_of_range;
+    quick "histogram: merge and reset" hist_merge_and_reset;
+    QCheck_alcotest.to_alcotest hist_quantile_error_bound;
+    quick "tracker: optimistic prior" tracker_initial_optimism;
+    quick "tracker: hits replayed into history" tracker_replays_hits_into_history;
+    quick "tracker: ring overflow drops oldest" tracker_ring_overflow_drops_oldest;
+    quick "alloc: 16-byte alignment" alloc_alignment;
+    quick "alloc: bad size rejected" alloc_bad_size_rejected;
+    quick "alloc: foreign address rejected" alloc_foreign_address_rejected;
+    quick "alloc: misaligned free rejected" alloc_misaligned_free_rejected;
+    quick "alloc: free writes one link" alloc_write_link_on_free;
+    quick "alloc: live bytes balance" alloc_live_bytes_balance;
+    quick "alloc: live_segments alignment check" alloc_live_segments_alignment_check;
+    QCheck_alcotest.to_alcotest alloc_segments_sorted_coalesced;
+  ]

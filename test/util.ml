@@ -15,11 +15,18 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_i64 name a b = Alcotest.(check int64) name a b
 
+(* Fault campaign for the [?fault_spec]-taking helpers below. *)
+let plan_of ?fault_spec ?(fault_seed = 1) () =
+  Option.map (fun spec -> Faults.Plan.make ~seed:fault_seed spec) fault_spec
+
 (* Small DiLOS instance for kernel-level tests. *)
 let with_dilos ?(local_mem = 1024 * 1024) ?(prefetch = Dilos.Kernel.No_prefetch)
-    ?(guided = false) ?(cores = 1) f =
+    ?(guided = false) ?(cores = 1) ?fault_spec ?fault_seed f =
   run_sim (fun eng ->
-      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) () in
+      let faults = plan_of ?fault_spec ?fault_seed () in
+      let server =
+        Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) ?faults ()
+      in
       let k =
         Dilos.Kernel.boot ~eng ~server
           {
@@ -34,9 +41,13 @@ let with_dilos ?(local_mem = 1024 * 1024) ?(prefetch = Dilos.Kernel.No_prefetch)
       Dilos.Kernel.shutdown k;
       r)
 
-let with_fastswap ?(local_mem = 1024 * 1024) ?(readahead = true) f =
+let with_fastswap ?(local_mem = 1024 * 1024) ?(readahead = true) ?fault_spec
+    ?fault_seed f =
   run_sim (fun eng ->
-      let server = Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) () in
+      let faults = plan_of ?fault_spec ?fault_seed () in
+      let server =
+        Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) ?faults ()
+      in
       let k =
         Fastswap.Kernel.boot ~eng ~server
           { Fastswap.Kernel.local_mem_bytes = local_mem; cores = 1; readahead }
