@@ -576,6 +576,59 @@ let fig12 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Measured fault-latency attribution from the tracing subsystem
+   (companion to the modeled ph_* breakdowns of fig1/fig6): the RDMA
+   layer itself reports where each major fault's nanoseconds went, and
+   the components tile [first post .. final completion], so
+   kernel + queueing + wire + backoff = mean fault latency exactly. *)
+let attr () =
+  Trace.set_attribution true;
+  Report.section ~id:"Attribution"
+    ~title:"Measured fault-latency attribution (quicksort, per major fault, us)"
+    ~paper:
+      [
+        "companion to Fig. 9: per-fault latency split into kernel software,";
+        "NIC queueing, wire time, and retry backoff, measured in the RDMA";
+        "completion path rather than modeled from phase counters.";
+      ];
+  let qs_n = 500_000 in
+  let run_attr sys =
+    let boot_snap = ref [] in
+    let r =
+      H.run sys ~local_mem:(mb 1)
+        ~observe:(fun ctx -> boot_snap := Sim.Stats.snapshot ctx.H.stats)
+        (fun ctx -> Apps.Quicksort.run ctx ~n:qs_n ~seed:42)
+    in
+    (r, !boot_snap)
+  in
+  List.iter
+    (fun (name, sys) ->
+      let r, boot_snap = run_attr sys in
+      let rows =
+        List.map
+          (fun { Trace.bd_label; bd_count; bd_mean; bd_p50; bd_p99 } ->
+            [
+              bd_label;
+              Report.i bd_count;
+              Report.f2 (bd_mean /. 1000.);
+              Report.f2 (float_of_int bd_p50 /. 1000.);
+              Report.f2 (float_of_int bd_p99 /. 1000.);
+            ])
+          (Trace.breakdown r.H.run_stats)
+      in
+      let rows =
+        rows
+        @ Option.to_list
+            (Report.histo_row r.H.run_stats ~label:"= fault total" "fault_ns")
+      in
+      Printf.printf "\n %s\n" name;
+      Report.table
+        ~header:[ "component"; "count"; "mean(us)"; "p50(us)"; "p99(us)" ]
+        rows;
+      Report.phase_delta ~label:"workload counter delta" boot_snap
+        r.H.run_stats)
+    [ ("DiLOS(ra)", dilos_ra); ("Fastswap", H.Fastswap) ]
+
 let all : (string * string * (unit -> unit)) list =
   [
     ("fig1", "Fastswap fault latency breakdown", fig1);
@@ -596,6 +649,7 @@ let all : (string * string * (unit -> unit)) list =
     ("fig10c", "Redis GET mixed", fig10c);
     ("fig10d", "Redis LRANGE_100", fig10d);
     ("table4", "Redis tail latency", table4);
+    ("attr", "measured fault-latency attribution (trace subsystem)", attr);
     ("fig12", "guided paging bandwidth", fig12);
   ]
 

@@ -10,14 +10,52 @@
 
 module H = Apps.Harness
 
+type histo_summary = {
+  h_name : string;
+  h_count : int;
+  h_mean : float;
+  h_p50 : int;
+  h_p99 : int;
+}
+
 type result = {
   name : string;
   wall_s : float;
   sim_ms : float;
   counters : (string * int) list;
+  histos : histo_summary list;
 }
 
 let mb n = n * 1024 * 1024
+
+(* Histograms worth tracking across commits: end-to-end fault latency
+   plus the four trace-attribution components (present because
+   [run_json] turns attribution on before any system boots). *)
+let tracked_histos =
+  [
+    "fault_ns";
+    Trace.attr_kernel;
+    Trace.attr_queue;
+    Trace.attr_wire;
+    Trace.attr_backoff;
+  ]
+
+let histo_summaries stats =
+  List.filter_map
+    (fun h_name ->
+      match Sim.Stats.histogram_opt stats h_name with
+      | None -> None
+      | Some h when Sim.Histogram.count h = 0 -> None
+      | Some h ->
+          Some
+            {
+              h_name;
+              h_count = Sim.Histogram.count h;
+              h_mean = Sim.Histogram.mean h;
+              h_p50 = Sim.Histogram.quantile h 0.5;
+              h_p99 = Sim.Histogram.quantile h 0.99;
+            })
+    tracked_histos
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
@@ -28,6 +66,7 @@ let timed name f =
     wall_s = wall;
     sim_ms = Sim.Time.to_ms r.H.elapsed;
     counters = Sim.Stats.counters r.H.run_stats;
+    histos = histo_summaries r.H.run_stats;
   }
 
 let seq_ws = mb 128
@@ -120,6 +159,15 @@ let write_json ~file ~tag results =
         (fun j (k, v) ->
           p "%s\"%s\": %d" (if j = 0 then "" else ", ") (json_escape k) v)
         r.counters;
+      p "},\n      \"histograms\": {";
+      List.iteri
+        (fun j h ->
+          p
+            "%s\"%s\": {\"count\": %d, \"mean_ns\": %.1f, \"p50_ns\": %d, \
+             \"p99_ns\": %d}"
+            (if j = 0 then "" else ", ")
+            (json_escape h.h_name) h.h_count h.h_mean h.h_p50 h.h_p99)
+        r.histos;
       p "}\n    }%s\n" (if i = List.length results - 1 then "" else ",")
     )
     results;
@@ -135,6 +183,9 @@ let tag_of_file file =
   else base
 
 let run_json ~file keys =
+  (* Before any boot: the attribution histograms are resolved per
+     system at boot time, so flipping this later would miss them. *)
+  Trace.set_attribution true;
   let chosen =
     match keys with
     | [] -> targets

@@ -35,3 +35,39 @@ let ratio a b = if b = 0. then "-" else Printf.sprintf "%.2fx" (a /. b)
 
 let pct_of_best best v =
   if v <= 0. then "-" else Printf.sprintf "%.2fx" (v /. best)
+
+(* --- Stats-driven reporting helpers ------------------------------- *)
+
+(* Print only the counters that moved between [base] (a
+   [Sim.Stats.snapshot] taken earlier in the run) and the stats'
+   current state: per-phase counter attribution without resetting the
+   stats object mid-run. *)
+let phase_delta ~label base stats =
+  let moved =
+    List.filter
+      (fun (_, v) -> v <> 0)
+      (Sim.Stats.diff ~base (Sim.Stats.snapshot stats))
+  in
+  Printf.printf " %s:" label;
+  if moved = [] then print_string " (no counters moved)"
+  else List.iter (fun (k, v) -> Printf.printf " %s=%+d" k v) moved;
+  print_newline ()
+
+(* Full dump — counters plus histogram count/mean/p50/p99 lines. *)
+let stats_dump stats = Fmt.pr "%a@." Sim.Stats.pp stats
+
+(* Table row summarising one named histogram, or None if the run never
+   recorded it. *)
+let histo_row stats ~label name =
+  match Sim.Stats.histogram_opt stats name with
+  | None -> None
+  | Some h when Sim.Histogram.count h = 0 -> None
+  | Some h ->
+      Some
+        [
+          label;
+          i (Sim.Histogram.count h);
+          f2 (Sim.Histogram.mean h /. 1000.);
+          f2 (float_of_int (Sim.Histogram.quantile h 0.5) /. 1000.);
+          f2 (float_of_int (Sim.Histogram.quantile h 0.99) /. 1000.);
+        ]

@@ -1,0 +1,4 @@
+(* The tracing library under its conventional short name; the real
+   module is [Dilos_trace] ("Trace" itself is taken by compiler-libs,
+   which ppxlib-linked executables pull in). *)
+include Dilos_trace

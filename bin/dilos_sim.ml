@@ -74,7 +74,8 @@ let to_system sys prefetch =
   | S_aifm_rdma -> H.Aifm_rdma
 
 let run_workload workload sys prefetch local_mb scale app_aware cores seed
-    faults fault_seed verbose =
+    faults fault_seed trace_file trace_cats trace_validate metrics_file
+    metrics_interval_us breakdown verbose =
   let system = to_system sys prefetch in
   let local_mem = local_mb * 1024 * 1024 in
   let fault_spec =
@@ -87,8 +88,30 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
             Printf.eprintf "dilos_sim: bad --faults spec: %s\n" msg;
             exit 2)
   in
+  (* Attribution histograms are resolved at boot, so the flag must be
+     set before the harness boots the kernel. *)
+  if breakdown then Trace.set_attribution true;
+  let tracer = ref None in
+  let sampler = ref None in
+  let observe ctx =
+    (match trace_file with
+    | None -> ()
+    | Some _ ->
+        let cats = Option.map (String.split_on_char ',') trace_cats in
+        let tr = Trace.create ~eng:ctx.H.eng ?cats () in
+        Trace.install tr;
+        tracer := Some tr);
+    match metrics_file with
+    | None -> ()
+    | Some _ ->
+        sampler :=
+          Some
+            (Trace.Sampler.start ~eng:ctx.H.eng ~stats:ctx.H.stats
+               ~interval:(Sim.Time.us metrics_interval_us)
+               ())
+  in
   let h_run ?cores system ~local_mem f =
-    H.run system ~local_mem ?cores ?fault_spec ~fault_seed f
+    H.run system ~local_mem ?cores ?fault_spec ~fault_seed ~observe f
   in
   let with_guide ctx =
     if app_aware then ignore (Apps.Redis_guide.install ctx)
@@ -204,6 +227,67 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
         (g "rdma_comp_errors") (g "rdma_timeouts") (g "rdma_retries")
         (g "rdma_retrans_delays") (g "rdma_dup_completions")
         (g "rdma_perm_failures"));
+  (match (trace_file, !tracer) with
+  | Some file, Some tr ->
+      Trace.write_json tr file;
+      Printf.printf "trace:     %s (%d events, %d dropped)\n" file
+        (Trace.recorded tr) (Trace.dropped tr);
+      Trace.uninstall ();
+      if trace_validate then begin
+        let text =
+          In_channel.with_open_bin file (fun ic -> In_channel.input_all ic)
+        in
+        match Trace.Json.parse text with
+        | Ok v ->
+            let events =
+              match Trace.Json.member "traceEvents" v with
+              | Some (Trace.Json.Arr l) -> List.length l
+              | Some _ | None ->
+                  Printf.eprintf "dilos_sim: trace has no traceEvents array\n";
+                  exit 1
+            in
+            Printf.printf "trace-validate: ok (%d JSON events)\n" events
+        | Error msg ->
+            Printf.eprintf "dilos_sim: trace JSON invalid: %s\n" msg;
+            exit 1
+      end
+  | (Some _ | None), _ -> ());
+  (match (metrics_file, !sampler) with
+  | Some file, Some s ->
+      Trace.Sampler.write_csv s file;
+      Printf.printf "metrics:   %s (%d intervals of %d us)\n" file
+        (Trace.Sampler.rows s) metrics_interval_us
+  | (Some _ | None), _ -> ());
+  if breakdown then begin
+    let rows = Trace.breakdown result.H.run_stats in
+    if rows = [] then
+      print_endline "breakdown: no attributed faults (no remote fetches?)"
+    else begin
+      let us ns = float_of_int ns /. 1e3 in
+      let total_mean =
+        List.fold_left (fun acc r -> acc +. r.Trace.bd_mean) 0. rows
+      in
+      print_endline
+        "breakdown: component      count    mean(us)    p50(us)    p99(us)  \
+         share";
+      List.iter
+        (fun r ->
+          Printf.printf "           %-10s %9d %11.3f %10.3f %10.3f %5.1f%%\n"
+            r.Trace.bd_label r.Trace.bd_count (r.Trace.bd_mean /. 1e3)
+            (us r.Trace.bd_p50) (us r.Trace.bd_p99)
+            (if total_mean > 0. then 100. *. r.Trace.bd_mean /. total_mean
+             else 0.))
+        rows;
+      let mean_fault =
+        match Sim.Stats.histogram_opt result.H.run_stats "fault_ns" with
+        | Some h when Sim.Histogram.count h > 0 -> Sim.Histogram.mean h
+        | Some _ | None -> 0.
+      in
+      Printf.printf
+        "           components sum to %.3f us; measured mean fault %.3f us\n"
+        (total_mean /. 1e3) (mean_fault /. 1e3)
+    end
+  end;
   if verbose then begin
     print_endline "counters:";
     List.iter
@@ -211,12 +295,12 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
       (Sim.Stats.counters result.H.run_stats)
   end
 
-let run_cmd =
+let run_cmd, run_term =
   let workload =
     Arg.(
       required
       & opt (some workload_conv) None
-      & info [ "w"; "workload" ] ~doc:"Workload to run.")
+      & info [ "w"; "workload"; "app" ] ~doc:"Workload to run.")
   in
   let system =
     Arg.(value & opt system_conv S_dilos & info [ "s"; "system" ] ~doc:"Memory system.")
@@ -228,11 +312,11 @@ let run_cmd =
       & info [ "p"; "prefetch" ] ~doc:"DiLOS prefetcher (none|readahead|trend).")
   in
   let local_mb =
-    Arg.(value & opt int 8 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
+    Arg.(value & opt int 1 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
   in
   let scale =
     Arg.(
-      value & opt int 100_000
+      value & opt int 500_000
       & info [ "scale" ] ~doc:"Workload size (elements/rows/keys/pages).")
   in
   let app_aware =
@@ -263,13 +347,70 @@ let run_cmd =
       & info [ "fault-seed" ]
           ~doc:"Seed for the fault campaign RNG (same seed, same faults).")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a deterministic trace of the paging data path and write \
+             it as Chrome/Perfetto trace_event JSON (load in ui.perfetto.dev \
+             or chrome://tracing). Same seed, byte-identical file.")
+  in
+  let trace_cats =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-cats" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated trace categories to record \
+             (fault,prefetch,rdma,swap,memnode). Default: all.")
+  in
+  let trace_validate =
+    Arg.(
+      value & flag
+      & info [ "trace-validate" ]
+          ~doc:
+            "After writing the trace, parse the JSON back and fail (exit 1) \
+             if it is malformed. Used by CI smoke tests.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write interval-sampled counter deltas as CSV (one row per \
+             sampling interval) for time-series plots of fault/fetch rates.")
+  in
+  let metrics_interval_us =
+    Arg.(
+      value & opt int 100
+      & info [ "metrics-interval-us" ] ~docv:"N"
+          ~doc:"Sampling interval for --metrics, in simulated microseconds.")
+  in
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:
+            "Attribute every major fault's latency to \
+             kernel/queueing/wire/backoff components (the paper's Fig. 9) and \
+             print the per-component histogram table.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump counters.") in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Run one workload on one system")
+  let term =
     Term.(
       const run_workload $ workload $ system $ prefetch $ local_mb $ scale
-      $ app_aware $ cores $ seed $ faults $ fault_seed $ verbose)
+      $ app_aware $ cores $ seed $ faults $ fault_seed $ trace_file
+      $ trace_cats $ trace_validate $ metrics_file $ metrics_interval_us
+      $ breakdown $ verbose)
+  in
+  (Cmd.v (Cmd.info "run" ~doc:"Run one workload on one system") term, term)
 
 let () =
   let doc = "DiLOS memory-disaggregation simulator" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dilos_sim" ~doc) [ run_cmd ]))
+  (* [run] is also the default command, so
+     `dilos_sim.exe --app quicksort --trace t.json` works without the
+     subcommand name. *)
+  exit (Cmd.eval (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc) [ run_cmd ]))

@@ -162,7 +162,7 @@ let instance_shutdown = function
   | I_aifm k -> Aifm.Runtime.shutdown k
 
 let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ ?fault_spec
-    ?(fault_seed = 1) f =
+    ?(fault_seed = 1) ?observe f =
   let eng = Sim.Engine.create () in
   let size = Option.value ~default:(Int64.shift_left 1L 36) remote_size in
   let faults =
@@ -182,6 +182,10 @@ let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ ?fault_spec
       cores;
     }
   in
+  (* Observability hook: runs after boot, before the workload fiber is
+     spawned — the window where a tracer or metrics sampler can attach
+     to the engine and stats of this run. *)
+  (match observe with None -> () | Some obs -> obs ctx);
   let out = ref None in
   Sim.Engine.spawn eng (fun () ->
       let t0 = Sim.Engine.now eng in

@@ -44,13 +44,16 @@ val run :
   ?bw_bucket:Sim.Time.t ->
   ?fault_spec:Faults.Spec.t ->
   ?fault_seed:int ->
+  ?observe:(ctx -> unit) ->
   (ctx -> 'a) ->
   'a result
 (** Boot the system on a fresh engine, run the workload in a fiber,
     shut down, and report. [elapsed] excludes boot. [fault_spec] (with
     [fault_seed], default 1) attaches a deterministic fault-injection
     campaign to the fabric — see {!Faults.Spec.parse} for the scenario
-    language. *)
+    language. [observe] runs between boot and workload start, with the
+    run's engine and stats in hand — the attach point for a tracer or
+    an interval metrics sampler. *)
 
 val set_redis_guide : ctx -> Dilos.Guide.prefetch_guide -> unit
 (** Install an app-aware prefetch guide if (and only if) the instance

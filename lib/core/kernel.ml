@@ -28,11 +28,18 @@ let pending_cap_ns = 10_000
 
 type core_state = {
   core_id : int;
+  trk : int; (* trace track for this core's fault timeline *)
   tlb_vpn : int array;
   tlb_bytes : bytes array;
   tlb_written : bool array;
   mutable pending : int;
 }
+
+(* Trace handles, resolved once at module init (mirrors the Stats
+   handle discipline: the fault path never hashes a category name). *)
+let cat_fault = Trace.category "fault"
+let cat_prefetch = Trace.category "prefetch"
+let trk_prefetch = Trace.track "prefetch"
 
 (* Stats cells the fault path touches, resolved once at [boot] so a
    fault never hashes a counter name (see Sim.Stats handle API). *)
@@ -52,6 +59,7 @@ type hot_stats = {
   c_ph_fetch : Sim.Stats.counter;
   h_fault : Sim.Histogram.t;
   h_fetch_wait : Sim.Histogram.t;
+  attr : Trace.Attr.t option; (* Fig. 9 latency attribution, when on *)
 }
 
 type t = {
@@ -90,6 +98,7 @@ let make_core id =
   let dummy = Bytes.create 0 in
   {
     core_id = id;
+    trk = Trace.track (Printf.sprintf "cpu%d" id);
     tlb_vpn = Array.make tlb_entries (-1);
     tlb_bytes = Array.make tlb_entries dummy;
     tlb_written = Array.make tlb_entries false;
@@ -154,6 +163,7 @@ let boot ~eng ~server ?nic_config (cfg : config) =
       c_ph_fetch = Sim.Stats.counter stats "ph_fetch_ns";
       h_fault = Sim.Stats.histo stats "fault_ns";
       h_fetch_wait = Sim.Stats.histo stats "fetch_wait_ns";
+      attr = Trace.Attr.create stats;
     }
   in
   let t =
@@ -226,7 +236,7 @@ let map_fetched t vpn frame =
    Fetching and counts it immediately — before any posting — so later
    candidates in the same batch observe the transition; returns the
    work request still to be posted, if any. *)
-let prepare_prefetch t vpn =
+let prepare_prefetch t ?(flow = 0) vpn =
   if Page_manager.free_frames t.pm > t.prefetch_low then begin
     let base = Vmem.Addr.base vpn in
     if Vmem.Address_space.is_ddc t.aspace base then begin
@@ -245,9 +255,15 @@ let prepare_prefetch t vpn =
               in
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_fetching ());
               Sim.Stats.cincr t.hot.c_prefetch_issued;
+              let p_t0 = Sim.Engine.now t.eng in
               let finish () =
                 map_fetched t vpn frame;
-                Hit_tracker.note_prefetched t.tracker vpn
+                Hit_tracker.note_prefetched t.tracker vpn;
+                if Trace.enabled cat_prefetch then
+                  Trace.complete cat_prefetch ~name:"prefetch"
+                    ~track:trk_prefetch ~t0:p_t0 ~async:true ~flow_in:flow
+                    ~args:[ ("vpn", Trace.I vpn) ]
+                    ()
               in
               if segs = [] then begin
                 finish ();
@@ -263,6 +279,11 @@ let prepare_prefetch t vpn =
                    fetches the page for real. *)
                 let abort () =
                   Sim.Stats.cincr t.hot.c_prefetch_aborted;
+                  if Trace.enabled cat_prefetch then
+                    Trace.instant cat_prefetch ~name:"prefetch_abort"
+                      ~track:trk_prefetch
+                      ~args:[ ("vpn", Trace.I vpn) ]
+                      ();
                   (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
                   | Vmem.Pte.Fetching ->
                       Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ())
@@ -355,6 +376,11 @@ let major_fault t cs vpn pte =
   let wake_fault () =
     match !waiter with Some wake -> wake () | None -> ()
   in
+  (* Latency-attribution accumulator for this fault's demand fetch
+     (allocated only when --breakdown resolved the histograms). *)
+  let fa =
+    match t.hot.attr with None -> None | Some _ -> Some (Trace.fetch_attrib ())
+  in
   (* The demand fetch must eventually succeed — the page stays Fetching
      and every other core queues behind it — so a permanent RDMA
      failure is answered by re-posting the same WR after a short pause
@@ -366,6 +392,7 @@ let major_fault t cs vpn pte =
         failed := true;
         completed := true;
         wake_fault ())
+      ?fa
       (Comm.fault_qp t.comm ~core:cs.core_id)
       ~segs
       ~buf:(Vmem.Frame.data t.frames frame)
@@ -404,16 +431,21 @@ let major_fault t cs vpn pte =
           }
     | None -> false
   in
+  let pf_flow = ref 0 in
   if not handled then begin
     let wanted =
       t.prefetcher.Prefetcher.decide ~fault_vpn:vpn ~hit_ratio:ratio ~history
     in
     Sim.Engine.sleep t.eng (Prefetcher.decision_cost (List.length wanted));
+    (* Flow arrow linking this fault's span to the prefetch spans it
+       triggered (0 = tracing off = no flow). *)
+    let flow = if Trace.enabled cat_prefetch then Trace.flow () else 0 in
     (* All surviving candidates go out as one WR chain: one doorbell,
        per-op service unchanged (see Qp.post_read_batch). *)
-    match List.filter_map (prepare_prefetch t) wanted with
+    match List.filter_map (prepare_prefetch t ~flow) wanted with
     | [] -> ()
     | wrs ->
+        pf_flow := flow;
         Rdma.Qp.post_read_batch (Comm.prefetch_qp t.comm ~core:cs.core_id) wrs
   end;
   let rec await () =
@@ -425,16 +457,43 @@ let major_fault t cs vpn pte =
       failed := false;
       completed := false;
       Sim.Engine.sleep t.eng (Sim.Time.ns Params.fault_refetch_delay_ns);
+      (* The pause before re-posting is retry overhead, same bucket as
+         the QP's own backoff delays. *)
+      (match fa with
+      | Some a ->
+          a.Trace.fa_backoff_ns <-
+            a.Trace.fa_backoff_ns + Params.fault_refetch_delay_ns
+      | None -> ());
       post_fetch ();
       await ()
     end
   in
   await ();
   let fetch_ns = elapsed_ns t fetch_t0 in
+  let fetch_end = Sim.Engine.now t.eng in
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_map_ns);
   map_fetched t vpn frame;
   Sim.Stats.cincr t.hot.c_major_faults;
-  Sim.Histogram.add t.hot.h_fault (elapsed_ns t t_start);
+  let total_ns = elapsed_ns t t_start in
+  Sim.Histogram.add t.hot.h_fault total_ns;
+  (match (t.hot.attr, fa) with
+  | Some attr, Some a -> Trace.Attr.record attr ~total_ns ~fetch:a
+  | (Some _ | None), _ -> ());
+  if Trace.enabled cat_fault then begin
+    let t_end = Sim.Engine.now t.eng in
+    Trace.complete cat_fault ~name:"pte_check" ~track:cs.trk ~t0:t_start
+      ~t1:alloc_t0 ();
+    Trace.complete cat_fault ~name:"alloc" ~track:cs.trk ~t0:alloc_t0
+      ~t1:fetch_t0 ();
+    Trace.complete cat_fault ~name:"fetch_window" ~track:cs.trk ~t0:fetch_t0
+      ~t1:fetch_end ();
+    Trace.complete cat_fault ~name:"map" ~track:cs.trk ~t0:fetch_end ~t1:t_end
+      ();
+    Trace.complete cat_fault ~name:"major_fault" ~track:cs.trk ~t0:t_start
+      ~t1:t_end ~flow_out:!pf_flow
+      ~args:[ ("vpn", Trace.I vpn); ("fetch_ns", Trace.I fetch_ns) ]
+      ()
+  end;
   Sim.Stats.cadd t.hot.c_ph_exception 570;
   Sim.Stats.cadd t.hot.c_ph_pte (Params.dilos_pte_check_ns + Params.dilos_map_ns);
   Sim.Stats.cadd t.hot.c_ph_alloc (Int.min alloc_ns Params.dilos_page_alloc_ns);
@@ -459,9 +518,11 @@ let handle_fault t cs vpn _pte_at_trap =
          every swap-path access, not only misses). *)
       Hit_tracker.note_fault t.tracker vpn;
       let t0 = Sim.Engine.now t.eng in
+      let sp = Trace.begin_ cat_fault ~name:"fetch_wait" ~track:cs.trk () in
       Sim.Condvar.wait_for t.mapping_changed (fun () ->
           Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) <> Vmem.Pte.Fetching);
       Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_fetch_wait_poll_ns);
+      Trace.end_ sp ();
       Sim.Histogram.add t.hot.h_fetch_wait (elapsed_ns t t0)
   | Vmem.Pte.Unmapped ->
       let addr = Vmem.Addr.base vpn in
@@ -481,7 +542,11 @@ let handle_fault t cs vpn _pte_at_trap =
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
               if vma.Vmem.Address_space.ddc then Page_manager.note_mapped t.pm vpn;
               Sim.Condvar.broadcast t.mapping_changed;
-              Sim.Stats.cincr t.hot.c_zero_fill
+              Sim.Stats.cincr t.hot.c_zero_fill;
+              if Trace.enabled cat_fault then
+                Trace.instant cat_fault ~name:"zero_fill" ~track:cs.trk
+                  ~args:[ ("vpn", Trace.I vpn) ]
+                  ()
             end
           end)
   | Vmem.Pte.Remote | Vmem.Pte.Action -> major_fault t cs vpn pte

@@ -15,10 +15,20 @@ let adapt_window w hit_ratio =
 let forward_pages vpn stride count =
   List.init count (fun i -> vpn + (stride * (i + 1)))
 
+(* Decision markers on the shared prefetch track: window adaptation and
+   stride detection become visible next to the prefetch spans they
+   produced. *)
+let cat_prefetch = Trace.category "prefetch"
+let trk_prefetch = Trace.track "prefetch"
+
 let readahead () =
   let window = ref Params.readahead_min_window in
   let decide ~fault_vpn ~hit_ratio ~history:_ =
     window := adapt_window !window hit_ratio;
+    if Trace.enabled cat_prefetch then
+      Trace.instant cat_prefetch ~name:"ra_decide" ~track:trk_prefetch
+        ~args:[ ("vpn", Trace.I fault_vpn); ("window", Trace.I !window) ]
+        ();
     forward_pages fault_vpn 1 !window
   in
   { name = "readahead"; decide }
@@ -49,7 +59,17 @@ let trend_based () =
   let window = ref Params.readahead_min_window in
   let decide ~fault_vpn ~hit_ratio ~history =
     window := adapt_window !window hit_ratio;
-    match majority_stride (history ()) with
+    let stride = majority_stride (history ()) in
+    if Trace.enabled cat_prefetch then
+      Trace.instant cat_prefetch ~name:"trend_decide" ~track:trk_prefetch
+        ~args:
+          [
+            ("vpn", Trace.I fault_vpn);
+            ("window", Trace.I !window);
+            ("stride", Trace.I (match stride with Some s -> s | None -> 0));
+          ]
+        ();
+    match stride with
     | Some stride -> forward_pages fault_vpn stride !window
     | None -> forward_pages fault_vpn 1 Params.readahead_min_window
   in

@@ -12,11 +12,17 @@ let cluster = 8 (* Linux page_cluster = 3 -> 2^3 pages per readahead *)
 
 type core_state = {
   core_id : int;
+  trk : int; (* trace track for this core's fault timeline *)
   tlb_vpn : int array;
   tlb_bytes : bytes array;
   tlb_written : bool array;
   mutable pending : int;
 }
+
+(* Trace handles, resolved once at module init (Stats handle
+   discipline: fault/reclaim paths never hash a category name). *)
+let cat_swap = Trace.category "swap"
+let trk_reclaim = Trace.track "reclaim"
 
 (* Fault/reclaim-path stats cells, resolved once at [boot]. *)
 type hot_stats = {
@@ -38,6 +44,7 @@ type hot_stats = {
   c_ph_reclaim : Sim.Stats.counter;
   h_fault : Sim.Histogram.t;
   h_minor_fault : Sim.Histogram.t;
+  attr : Trace.Attr.t option; (* Fig. 9 latency attribution, when on *)
 }
 
 type t = {
@@ -81,6 +88,7 @@ let make_core id =
   let dummy = Bytes.create 0 in
   {
     core_id = id;
+    trk = Trace.track (Printf.sprintf "cpu%d" id);
     tlb_vpn = Array.make tlb_entries (-1);
     tlb_bytes = Array.make tlb_entries dummy;
     tlb_written = Array.make tlb_entries false;
@@ -152,8 +160,13 @@ let rec evict_one t ~qp ~budget =
                      Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_dirty;
                      invalidate t vpn;
                      let buf = Vmem.Frame.data t.frames frame in
+                     let sp =
+                       Trace.begin_ cat_swap ~name:"swap_out" ~track:trk_reclaim
+                         ()
+                     in
                      Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf ~off:0
                        ~len:Vmem.Addr.page_size;
+                     Trace.end_ sp ();
                      Sim.Stats.cincr t.hot.c_writebacks
                    end);
                   let pte' = Vmem.Page_table.get t.pt vpn in
@@ -225,6 +238,7 @@ let boot ~eng ~server (cfg : config) =
       c_ph_reclaim = Sim.Stats.counter stats "ph_reclaim_ns";
       h_fault = Sim.Stats.histo stats "fault_ns";
       h_minor_fault = Sim.Stats.histo stats "minor_fault_ns";
+      attr = Trace.Attr.create stats;
     }
   in
   let t =
@@ -387,6 +401,12 @@ let swapin_cluster t cs vpn_fault =
     for v = start to start + win - 1 do
       submit v
     done;
+    (if Trace.enabled cat_swap then
+       let pages = List.length !wrs in
+       if pages > 0 then
+         Trace.instant cat_swap ~name:"readahead" ~track:cs.trk
+           ~args:[ ("vpn", Trace.I vpn_fault); ("pages", Trace.I pages) ]
+           ());
     Rdma.Qp.post_read_batch qp (List.rev !wrs)
   end
 
@@ -424,7 +444,13 @@ let rec major_fault t cs vpn =
   let fetch_t0 = Sim.Engine.now t.eng in
   let waiter = ref None in
   let failed = ref false in
+  (* Latency-attribution accumulator for this fault's demand fetch
+     (allocated only when --breakdown resolved the histograms). *)
+  let fa =
+    match t.hot.attr with None -> None | Some _ -> Some (Trace.fetch_attrib ())
+  in
   Rdma.Qp.post_read
+    ?fa
     ~on_error:(fun () ->
       (* Permanent fetch failure: tear the swap-cache entry down inside
          the callback — before any waiter runs — so no minor fault can
@@ -458,15 +484,27 @@ let rec major_fault t cs vpn =
     handle_fault_inner t cs vpn
   end
   else begin
-  let fetch_ns = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) fetch_t0) in
+  let fetch_end = Sim.Engine.now t.eng in
+  let fetch_ns = Int64.to_int (Sim.Time.sub fetch_end fetch_t0) in
   Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_other_ns);
   (* Re-find the entry: while we slept it may have been consumed by a
      minor fault or reclaimed (and even replaced by a fresh fetch). *)
   (match Swap_cache.find t.cache vpn with
   | Some e' when e' == e -> map_from_cache t vpn e
   | Some _ | None -> ());
-  Sim.Histogram.add t.hot.h_fault
-    (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t_start));
+  let total_ns = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t_start) in
+  Sim.Histogram.add t.hot.h_fault total_ns;
+  (match (t.hot.attr, fa) with
+  | Some attr, Some a -> Trace.Attr.record attr ~total_ns ~fetch:a
+  | (Some _ | None), _ -> ());
+  if Trace.enabled cat_swap then begin
+    let t_end = Sim.Engine.now t.eng in
+    Trace.complete cat_swap ~name:"fetch_window" ~track:cs.trk ~t0:fetch_t0
+      ~t1:fetch_end ();
+    Trace.complete cat_swap ~name:"swap_in" ~track:cs.trk ~t0:t_start ~t1:t_end
+      ~args:[ ("vpn", Trace.I vpn); ("fetch_ns", Trace.I fetch_ns) ]
+      ()
+  end;
   Sim.Stats.cadd t.hot.c_ph_exception 570;
   Sim.Stats.cadd t.hot.c_ph_swapcache Dilos.Params.fastswap_swapcache_ns;
   Sim.Stats.cadd t.hot.c_ph_alloc
@@ -516,6 +554,10 @@ and handle_fault_inner t cs vpn =
           (match Swap_cache.find t.cache vpn with
           | Some e' when e' == e -> map_from_cache t vpn e
           | Some _ | None -> ());
+          if Trace.enabled cat_swap then
+            Trace.complete cat_swap ~name:"swap_cache_hit" ~track:cs.trk ~t0
+              ~args:[ ("vpn", Trace.I vpn) ]
+              ();
           Sim.Histogram.add t.hot.h_minor_fault
             (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0) + 570)
       | None -> major_fault t cs vpn)

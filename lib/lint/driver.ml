@@ -7,6 +7,9 @@
      item; a finding inside a suppressed subtree is dropped.
    - [sort_depth]: > 0 while inside a value binding whose subtree
      applies a sort — rule R3's "sorted in the same function"
+     approximation.
+   - [span_end_depth]: > 0 while inside a value binding whose subtree
+     applies Trace.end_ — rule R6's "closed in the same function"
      approximation. *)
 
 (* Bind our sibling Config before Ppxlib shadows it with its own. *)
@@ -27,6 +30,7 @@ class walker ~(ctx : Cfg.ctx) ~(emit : Finding.t -> unit) =
     inherit Ast_traverse.iter as super
     val mutable allow_stack : string list list = []
     val mutable sort_depth = 0
+    val mutable span_end_depth = 0
 
     method private suppressed rule =
       List.exists (List.exists (String.equal rule)) allow_stack
@@ -50,15 +54,19 @@ class walker ~(ctx : Cfg.ctx) ~(emit : Finding.t -> unit) =
 
     method! value_binding vb =
       let has_sort = Rule_hashtbl_order.contains_sort vb.pvb_expr in
+      let has_end = Rule_trace_span.contains_end vb.pvb_expr in
       if has_sort then sort_depth <- sort_depth + 1;
+      if has_end then span_end_depth <- span_end_depth + 1;
       self#with_allows (Suppress.allows vb.pvb_attributes) (fun () ->
           super#value_binding vb);
-      if has_sort then sort_depth <- sort_depth - 1
+      if has_sort then sort_depth <- sort_depth - 1;
+      if has_end then span_end_depth <- span_end_depth - 1
 
     method! expression e =
       self#with_allows (Suppress.allows e.pexp_attributes) (fun () ->
           List.iter self#report
-            (Rules.check_expression ~ctx ~sort_in_scope:(sort_depth > 0) e);
+            (Rules.check_expression ~ctx ~sort_in_scope:(sort_depth > 0)
+               ~span_end_in_scope:(span_end_depth > 0) e);
           super#expression e)
 
     method! longident_loc lid =

@@ -1,0 +1,55 @@
+(* R6 trace-span-hygiene: a span opened with Trace.begin_ must be
+   closed with Trace.end_ in the same function, or not opened with
+   begin_ at all. A begin_ whose end_ lives in another function (a
+   completion callback, typically) leaks the span if the callback
+   never runs, and nests wrongly if it runs on a different track —
+   that shape is what Trace.complete (retrospective emission at close
+   time) and Trace.span (lexical scope) exist for.
+
+   "Same function" is approximated exactly as in R3: some enclosing
+   value binding's subtree contains a Trace.end_ application. Precise
+   pairing would need data-flow; the approximation is exact for every
+   shape this codebase uses. *)
+
+(* Bind our sibling Config before Ppxlib shadows it with its own. *)
+module Cfg = Config
+open Ppxlib
+
+let id = "trace-span-hygiene"
+
+let doc =
+  "Trace.begin_ without a matching Trace.end_ in the same function; spans \
+   that close in a callback must use Trace.complete (or Trace.span for \
+   lexical scopes)"
+
+let is_begin p = match p with [ "Trace"; "begin_" ] -> true | _ -> false
+let is_end p = match p with [ "Trace"; "end_" ] -> true | _ -> false
+
+(* Does this expression subtree apply Trace.end_? Used by the driver
+   when it enters a value binding. *)
+let contains_end (e : expression) : bool =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        if is_end (Rule.path_of_expr e) then found := true;
+        if not !found then super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+let check ~ctx:(_ : Cfg.ctx) ~span_end_in_scope (e : expression) :
+    Rule.site list =
+  if span_end_in_scope then []
+  else if is_begin (Rule.path_of_expr e) then
+    [
+      ( id,
+        e.pexp_loc,
+        "Trace.begin_ has no Trace.end_ in this function; a span that closes \
+         in a callback leaks when the callback never runs — emit it \
+         retrospectively with Trace.complete, or pair begin_/end_ lexically" );
+    ]
+  else []

@@ -8,12 +8,38 @@ type t = {
 let create ~eng ~size ?(huge_pages = true) ?faults () =
   { eng; store = Page_store.create ~size; huge_pages; faults }
 
+let cat_memnode = Trace.category "memnode"
+let trk_memnode = Trace.track "memnode"
+
+(* One-sided accesses leave no software trace on the memory node — the
+   RNIC serves them against registered memory (§5). The instants below
+   are the observability stand-in for a bus analyzer on that node:
+   they mark the store-side copy at completion time. *)
+let traced_target store =
+  let base = Page_store.target store in
+  {
+    Rdma.Qp.t_read =
+      (fun raddr buf off len ->
+        if Trace.enabled cat_memnode then
+          Trace.instant cat_memnode ~name:"page_read" ~track:trk_memnode
+            ~args:[ ("len", Trace.I len) ]
+            ();
+        base.Rdma.Qp.t_read raddr buf off len);
+    t_write =
+      (fun raddr buf off len ->
+        if Trace.enabled cat_memnode then
+          Trace.instant cat_memnode ~name:"page_write" ~track:trk_memnode
+            ~args:[ ("len", Trace.I len) ]
+            ();
+        base.Rdma.Qp.t_write raddr buf off len);
+  }
+
 let connect t ?nic_config ?extra_completion_delay ?stats ?bw_bucket () =
   let fabric =
     Rdma.Fabric.connect ~eng:t.eng ?nic_config ?faults:t.faults
       ~huge_pages:t.huge_pages
       ?extra_completion_delay ?stats ?bw_bucket
-      ~target:(Page_store.target t.store) ~size:(Page_store.size t.store) ()
+      ~target:(traced_target t.store) ~size:(Page_store.size t.store) ()
   in
   (* Control path: one virtio round trip per connection. Advancing the
      clock here is fine because connection setup happens before any

@@ -3,6 +3,12 @@ type target = {
   t_write : int64 -> bytes -> int -> int -> unit;
 }
 
+let cat_rdma = Trace.category "rdma"
+let op_name = function Nic.Read -> "read" | Nic.Write -> "write"
+
+(* ns between two instants (b <= a), as int *)
+let dns a b = Int64.to_int (Sim.Time.sub a b)
+
 type seg = { raddr : int64; loff : int; len : int }
 
 (* Counter cells resolved once at [create]; posting is per-fault /
@@ -36,6 +42,7 @@ type t = {
       (* non-passthrough plan from the NIC, cached so the healthy path
          costs one physical-equality test *)
   name : string;
+  trk : int; (* trace track: one timeline row per QP *)
   mutable next_free : Sim.Time.t;
   mutable inflight : int;
 }
@@ -77,6 +84,7 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     extra_completion_delay;
     faults;
     name;
+    trk = Trace.track name;
     next_free = Sim.Time.zero;
     inflight = 0;
   }
@@ -144,7 +152,12 @@ let fcount t sel =
    retransmitting at the backoff ceiling (sync wrappers and background
    prefetchers rely on this transparent mode). *)
 let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
-    ~posted ~try_no =
+    ~fa ~posted ~try_no =
+  (* Instant the attempt began: the doorbell write that produced
+     [posted]. Everything this attempt spends is measured from here so
+     per-fault attribution telescopes exactly (failed-attempt windows
+     and backoff gaps tile the span between posts). *)
+  let began = Sim.Time.sub posted (Nic.doorbell t.nic) in
   let start = Sim.Time.max posted t.next_free in
   t.next_free <- Sim.Time.add start (occupancy t ~bytes_ ~segments);
   let latency = Nic.latency t.nic op ~bytes_ ~segments ~huge_pages:t.huge_pages in
@@ -152,6 +165,9 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
     Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
   in
   count t op bytes_;
+  (match fa with
+  | Some a -> a.Trace.fa_attempts <- a.Trace.fa_attempts + 1
+  | None -> ());
   let w = Faults.Plan.wire plan ~start ~completion in
   if w.Faults.Plan.w_retransmitted then fcount t (fun h -> h.c_retrans);
   if w.Faults.Plan.w_duplicate then fcount t (fun h -> h.c_dups);
@@ -159,28 +175,70 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
     match on_error with
     | Some fail when try_no >= Faults.Plan.max_retries plan ->
         fcount t (fun h -> h.c_perm_failures);
+        if Trace.enabled cat_rdma then
+          Trace.instant cat_rdma ~name:"perm_failure" ~track:t.trk
+            ~args:[ ("try", Trace.I try_no) ] ();
         t.inflight <- t.inflight - 1;
         fail ()
     | Some _ | None ->
         fcount t (fun h -> h.c_retries);
-        Sim.Engine.after t.eng (Faults.Plan.backoff plan ~attempt:try_no)
-          (fun () ->
+        let delay = Faults.Plan.backoff plan ~attempt:try_no in
+        (match fa with
+        | Some a ->
+            a.Trace.fa_backoff_ns <- a.Trace.fa_backoff_ns + Int64.to_int delay
+        | None -> ());
+        if Trace.enabled cat_rdma then
+          Trace.instant cat_rdma ~name:"retry" ~track:t.trk
+            ~args:
+              [
+                ("try", Trace.I try_no);
+                ("backoff_ns", Trace.I (Int64.to_int delay));
+              ]
+            ();
+        Sim.Engine.after t.eng delay (fun () ->
             let posted =
               Sim.Time.add (Sim.Engine.now t.eng) (Nic.doorbell t.nic)
             in
             attempt t plan op ~bytes_ ~segments ~transfer ~on_complete
-              ~on_error ~posted ~try_no:(try_no + 1))
+              ~on_error ~fa ~posted ~try_no:(try_no + 1))
+  in
+  let fail_attempt ~ended ~reason =
+    (match fa with
+    | Some a -> a.Trace.fa_backoff_ns <- a.Trace.fa_backoff_ns + dns ended began
+    | None -> ());
+    if Trace.enabled cat_rdma then
+      Trace.complete cat_rdma ~name:"attempt_failed" ~track:t.trk ~t0:began
+        ~t1:ended ~async:true
+        ~args:[ ("try", Trace.I try_no); ("reason", Trace.S reason) ]
+        ();
+    retry ()
   in
   let comp =
     Sim.Engine.timer_at t.eng w.Faults.Plan.w_completion (fun () ->
         if w.Faults.Plan.w_error then begin
           fcount t (fun h -> h.c_comp_errors);
-          retry ()
+          fail_attempt ~ended:w.Faults.Plan.w_completion ~reason:"comp_error"
         end
         else begin
           t.inflight <- t.inflight - 1;
           meter t op bytes_;
           transfer ();
+          (match fa with
+          | Some a ->
+              a.Trace.fa_queue_ns <- a.Trace.fa_queue_ns + dns start began;
+              a.Trace.fa_wire_ns <-
+                a.Trace.fa_wire_ns + dns w.Faults.Plan.w_completion start
+          | None -> ());
+          if Trace.enabled cat_rdma then
+            Trace.complete cat_rdma ~name:(op_name op) ~track:t.trk ~t0:began
+              ~async:true
+              ~args:
+                [
+                  ("bytes", Trace.I bytes_);
+                  ("segments", Trace.I segments);
+                  ("try", Trace.I try_no);
+                ]
+              ();
           on_complete ()
         end)
   in
@@ -190,9 +248,9 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
       (Sim.Engine.timer_at t.eng timeout_at (fun () ->
            Sim.Engine.cancel comp;
            fcount t (fun h -> h.c_timeouts);
-           retry ()))
+           fail_attempt ~ended:timeout_at ~reason:"timeout"))
 
-let post ?on_error t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
+let post ?on_error ?fa t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
   validate t segs buf;
   let bytes_ = total_len segs in
   let segments = List.length segs in
@@ -201,7 +259,7 @@ let post ?on_error t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
   match t.faults with
   | Some plan ->
       t.inflight <- t.inflight + 1;
-      attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
+      attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error ~fa
         ~posted ~try_no:1
   | None ->
       let start = Sim.Time.max posted t.next_free in
@@ -214,17 +272,29 @@ let post ?on_error t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
       in
       t.inflight <- t.inflight + 1;
       count t op bytes_;
+      (match fa with
+      | Some a ->
+          a.Trace.fa_attempts <- a.Trace.fa_attempts + 1;
+          a.Trace.fa_queue_ns <- a.Trace.fa_queue_ns + dns start now;
+          a.Trace.fa_wire_ns <- a.Trace.fa_wire_ns + dns completion start
+      | None -> ());
       Sim.Engine.at t.eng completion (fun () ->
           t.inflight <- t.inflight - 1;
           meter t op bytes_;
           transfer ();
+          if Trace.enabled cat_rdma then
+            Trace.complete cat_rdma ~name:(op_name op) ~track:t.trk ~t0:now
+              ~async:true
+              ~args:
+                [ ("bytes", Trace.I bytes_); ("segments", Trace.I segments) ]
+              ();
           on_complete ())
 
-let post_read ?on_error t ~segs ~buf ~on_complete =
+let post_read ?on_error ?fa t ~segs ~buf ~on_complete =
   let transfer () =
     List.iter (fun s -> t.target.t_read s.raddr buf s.loff s.len) segs
   in
-  post ?on_error t Nic.Read ~segs ~buf ~transfer ~on_complete
+  post ?on_error ?fa t Nic.Read ~segs ~buf ~transfer ~on_complete
 
 type read_wr = {
   r_segs : seg list;
@@ -248,7 +318,12 @@ let post_read_batch t wrs =
     (match t.hstats with
     | Some h -> Sim.Stats.cincr h.c_read_batches
     | None -> ());
-    let posted = Sim.Time.add (Sim.Engine.now t.eng) (Nic.doorbell t.nic) in
+    let now = Sim.Engine.now t.eng in
+    let posted = Sim.Time.add now (Nic.doorbell t.nic) in
+    if Trace.enabled cat_rdma then
+      Trace.instant cat_rdma ~name:"read_batch" ~track:t.trk
+        ~args:[ ("wrs", Trace.I (List.length wrs)) ]
+        ();
     match t.faults with
     | Some plan ->
         List.iter
@@ -263,8 +338,8 @@ let post_read_batch t wrs =
             in
             t.inflight <- t.inflight + 1;
             attempt t plan Nic.Read ~bytes_ ~segments ~transfer
-              ~on_complete:wr.r_on_complete ~on_error:wr.r_on_error ~posted
-              ~try_no:1)
+              ~on_complete:wr.r_on_complete ~on_error:wr.r_on_error ~fa:None
+              ~posted ~try_no:1)
           wrs
     | None ->
         List.iter
@@ -289,6 +364,14 @@ let post_read_batch t wrs =
                 List.iter
                   (fun s -> t.target.t_read s.raddr wr.r_buf s.loff s.len)
                   wr.r_segs;
+                if Trace.enabled cat_rdma then
+                  Trace.complete cat_rdma ~name:"read" ~track:t.trk ~t0:now
+                    ~async:true
+                    ~args:
+                      [
+                        ("bytes", Trace.I bytes_); ("segments", Trace.I segments);
+                      ]
+                    ();
                 wr.r_on_complete ()))
           wrs
   end

@@ -43,6 +43,7 @@ val inflight : t -> int
 
 val post_read :
   ?on_error:(unit -> unit) ->
+  ?fa:Trace.fetch_attrib ->
   t ->
   segs:seg list ->
   buf:bytes ->
@@ -50,6 +51,13 @@ val post_read :
   unit
 (** Asynchronous one-sided READ. May be called from fibers or plain
     callbacks. [buf] is filled at completion time.
+
+    [fa] (latency attribution): when given, the QP accumulates into it
+    where this READ's end-to-end time went — send-queue wait (doorbell
+    + waiting for the send engine), wire service of the successful
+    attempt, and retry overhead (failed-attempt windows + backoff
+    delays). The accumulated components tile the interval from this
+    call to the completion exactly; see {!Trace.fetch_attrib}.
 
     Fault semantics (only when the NIC carries a non-passthrough
     {!Faults.Plan}): each service attempt may complete in error, be

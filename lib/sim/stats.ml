@@ -62,5 +62,28 @@ let reset t =
   Hashtbl.iter (fun _ h -> Histogram.reset h) t.histos
 [@@lint.allow "hashtbl-order"]
 
+(* Snapshots: an immutable, name-sorted copy of the counter table.
+   The interval sampler takes one per tick and diffs consecutive pairs
+   into per-interval rates. *)
+type snapshot = (string * int) list
+
+let snapshot = counters
+
+let diff ~base cur =
+  List.map
+    (fun (name, v) ->
+      let b = match List.assoc_opt name base with Some b -> b | None -> 0 in
+      (name, v - b))
+    cur
+
+let histogram_opt t name = Hashtbl.find_opt t.histos name
+
 let pp ppf t =
-  List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t)
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v) (counters t);
+  List.iter
+    (fun (k, h) ->
+      if Histogram.count h > 0 then
+        Format.fprintf ppf "%-32s n=%d mean=%.0f p50=%d p99=%d@." k
+          (Histogram.count h) (Histogram.mean h) (Histogram.quantile h 0.5)
+          (Histogram.quantile h 0.99))
+    (histograms t)

@@ -57,8 +57,24 @@ val histograms : t -> (string * Histogram.t) list
 (** All histograms, sorted by name — like {!counters}, the reporting
     view is deterministically ordered. *)
 
+type snapshot = (string * int) list
+(** An immutable, name-sorted copy of the counter table at one instant. *)
+
+val snapshot : t -> snapshot
+
+val diff : base:snapshot -> snapshot -> (string * int) list
+(** [diff ~base cur] is the per-counter delta [cur - base], one entry
+    per counter of [cur] (counters absent from [base] read as 0
+    there). Feed consecutive snapshots to get per-interval rates. *)
+
+val histogram_opt : t -> string -> Histogram.t option
+(** Like {!histogram} but without creating the histogram when absent —
+    for reporting passes that must not mutate the stats they read. *)
+
 val reset : t -> unit
 (** Zero every counter and histogram in place; handles stay valid.
     Names stay registered (they subsequently read as 0). *)
 
 val pp : Format.formatter -> t -> unit
+(** Counters (name-sorted), then non-empty histograms as
+    [n/mean/p50/p99] lines. *)

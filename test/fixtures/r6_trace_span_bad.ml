@@ -1,0 +1,13 @@
+(* Lint fixture (never compiled): R6 — spans opened with Trace.begin_
+   whose end_ lives in another function (or nowhere): the pair cannot
+   be checked lexically, and the span leaks if the closing callback
+   never runs. Expected findings pinned by test_lint.ml. *)
+
+let leaky cat track =
+  let sp = Trace.begin_ cat ~name:"fetch" ~track () in (* line 7 *)
+  stash := sp
+
+let closes_elsewhere () = Trace.end_ !stash ()
+
+let fire_and_forget cat track =
+  ignore (Trace.begin_ cat ~name:"op" ~track ()) (* line 13 *)

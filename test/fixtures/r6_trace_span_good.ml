@@ -1,0 +1,13 @@
+(* Lint fixture (never compiled): the fixed versions of
+   r6_trace_span_bad.ml — either the begin_/end_ pair is lexical in
+   one function, or the span is emitted retrospectively at close time
+   with Trace.complete, which cannot leak. *)
+
+let lexical cat track =
+  let sp = Trace.begin_ cat ~name:"fetch" ~track () in
+  work ();
+  Trace.end_ sp ()
+
+let retrospective cat track t0 eng =
+  work ();
+  Trace.complete cat ~name:"fetch" ~track ~t0 ~t1:(Sim.Engine.now eng) ()

@@ -1,6 +1,6 @@
 (* Golden tests for dilos-lint (lib/lint + bin/dilos_lint.exe).
 
-   Every rule R1-R5 must (a) fire on its known-bad fixture at pinned
+   Every rule R1-R6 must (a) fire on its known-bad fixture at pinned
    file:line sites, (b) stay quiet on the fixed version, and (c) respect
    its path scoping (bench/ wall-clock exemption, hot-module list,
    lib/sim/ effect allowance). On top of that the tree itself must be
@@ -28,6 +28,7 @@ let r2 = "no-poly-compare"
 let r3 = "hashtbl-order"
 let r4 = "stats-handle"
 let r5 = "effect-hygiene"
+let r6 = "trace-span-hygiene"
 
 (* ------------------------------------------------------------------ *)
 (* R1 no-wallclock *)
@@ -111,6 +112,18 @@ let r5_fixed_quiet () =
 let r5_sim_exempt () =
   check_sites "lib/sim/ may use effects" []
     (Lint.Driver.lint_file ~ctx:(lib_ctx "sim/engine.ml") (fx "r5_effect_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R6 trace-span-hygiene *)
+
+let r6_fires () =
+  check_sites "begin_ stashed for a callback, and begin_ ignored"
+    [ (7, r6); (13, r6) ]
+    (Lint.Driver.lint_file (fx "r6_trace_span_bad.ml"))
+
+let r6_fixed_quiet () =
+  check_sites "lexical begin_/end_ pair, and retrospective complete" []
+    (Lint.Driver.lint_file (fx "r6_trace_span_good.ml"))
 
 (* ------------------------------------------------------------------ *)
 (* Suppression *)
@@ -198,6 +211,8 @@ let suite =
     quick "R5 fires on effects outside lib/sim" r5_fires;
     quick "R5 quiet on the fixed version" r5_fixed_quiet;
     quick "R5 exempts lib/sim" r5_sim_exempt;
+    quick "R6 fires on begin_ without end_ in the same function" r6_fires;
+    quick "R6 quiet on lexical pairs and Trace.complete" r6_fixed_quiet;
     quick "lint.allow silences exactly its rule" suppressions_silence;
     quick "lint.allow with wrong id does not silence" wrong_id_does_not_silence;
     quick "floating lint.allow covers the rest of the file"

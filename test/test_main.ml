@@ -16,6 +16,7 @@ let () =
       ("vmem-model", Test_vmem_model.suite);
       ("faults", Test_faults.suite);
       ("soak", Test_soak.suite);
+      ("trace", Test_trace.suite);
       ("lint", Test_lint.suite);
       ("determinism", Test_determinism.suite);
     ]
