@@ -38,6 +38,8 @@ let tracked_histos =
     Trace.attr_queue;
     Trace.attr_wire;
     Trace.attr_backoff;
+    "serve_response_ns";
+    "serve_service_ns";
   ]
 
 let histo_summaries stats =
@@ -122,6 +124,32 @@ let targets : (string * (unit -> result)) list =
                 Apps.Redis_bench.run_get ctx ~keys
                   ~size:(Apps.Redis_bench.Fixed 65536) ~queries:keys ~seed:5))
     );
+    ( "serve_zipf_dilos_ra",
+      fun () ->
+        let keys = 4096 in
+        let ws = keys * 4300 in
+        (* Offered at ~1.1x a typical DiLOS capacity for this config so
+           the tracked response-time histogram exercises the queueing
+           regime, not just service time. *)
+        timed "serve_zipf_dilos_ra" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:(ws / 8)
+              (fun ctx ->
+                Apps.Serving.run ctx
+                  {
+                    Apps.Serving.stream =
+                      {
+                        Workload.Stream.keys;
+                        theta = 0.99;
+                        read_fraction = 0.95;
+                        value_size = Workload.Stream.Fixed 4080;
+                        arrival = Workload.Arrival.Poisson;
+                        rate_rps = 300_000.;
+                        seed = 42;
+                      };
+                    requests = 30_000;
+                    phases = 1;
+                    workers = 1;
+                  })) );
     ( "redis_lrange_guided",
       fun () ->
         let lists = 1024 and elements = 100_000 and elem = 512 in

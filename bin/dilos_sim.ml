@@ -73,21 +73,67 @@ let to_system sys prefetch =
   | S_aifm -> H.Aifm
   | S_aifm_rdma -> H.Aifm_rdma
 
+let parse_fault_spec faults =
+  match faults with
+  | None -> None
+  | Some s -> (
+      match Faults.Spec.parse s with
+      | Ok spec -> Some spec
+      | Error msg ->
+          Printf.eprintf "dilos_sim: bad --faults spec: %s\n" msg;
+          exit 2)
+
+let print_fault_summary fault_spec fault_seed stats =
+  match fault_spec with
+  | None -> ()
+  | Some spec ->
+      let g k = Sim.Stats.get stats k in
+      Printf.printf "faults:    %s (seed %d)\n"
+        (Format.asprintf "%a" Faults.Spec.pp spec)
+        fault_seed;
+      Printf.printf
+        "           comp-errors %d, timeouts %d, retries %d, nack-delays %d, \
+         dup-cqes %d, perm-failures %d\n"
+        (g "rdma_comp_errors") (g "rdma_timeouts") (g "rdma_retries")
+        (g "rdma_retrans_delays") (g "rdma_dup_completions")
+        (g "rdma_perm_failures")
+
+let print_breakdown stats =
+  let rows = Trace.breakdown stats in
+  if rows = [] then
+    print_endline "breakdown: no attributed faults (no remote fetches?)"
+  else begin
+    let us ns = float_of_int ns /. 1e3 in
+    let total_mean =
+      List.fold_left (fun acc r -> acc +. r.Trace.bd_mean) 0. rows
+    in
+    print_endline
+      "breakdown: component      count    mean(us)    p50(us)    p99(us)  \
+       share";
+    List.iter
+      (fun r ->
+        Printf.printf "           %-10s %9d %11.3f %10.3f %10.3f %5.1f%%\n"
+          r.Trace.bd_label r.Trace.bd_count (r.Trace.bd_mean /. 1e3)
+          (us r.Trace.bd_p50) (us r.Trace.bd_p99)
+          (if total_mean > 0. then 100. *. r.Trace.bd_mean /. total_mean
+           else 0.))
+      rows;
+    let mean_fault =
+      match Sim.Stats.histogram_opt stats "fault_ns" with
+      | Some h when Sim.Histogram.count h > 0 -> Sim.Histogram.mean h
+      | Some _ | None -> 0.
+    in
+    Printf.printf
+      "           components sum to %.3f us; measured mean fault %.3f us\n"
+      (total_mean /. 1e3) (mean_fault /. 1e3)
+  end
+
 let run_workload workload sys prefetch local_mb scale app_aware cores seed
     faults fault_seed trace_file trace_cats trace_validate metrics_file
     metrics_interval_us breakdown verbose =
   let system = to_system sys prefetch in
   let local_mem = local_mb * 1024 * 1024 in
-  let fault_spec =
-    match faults with
-    | None -> None
-    | Some s -> (
-        match Faults.Spec.parse s with
-        | Ok spec -> Some spec
-        | Error msg ->
-            Printf.eprintf "dilos_sim: bad --faults spec: %s\n" msg;
-            exit 2)
-  in
+  let fault_spec = parse_fault_spec faults in
   (* Attribution histograms are resolved at boot, so the flag must be
      set before the harness boots the kernel. *)
   if breakdown then Trace.set_attribution true;
@@ -214,19 +260,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
   Printf.printf "traffic:   rx %.2f MB, tx %.2f MB\n"
     (float_of_int result.H.rx_bytes /. 1e6)
     (float_of_int result.H.tx_bytes /. 1e6);
-  (match fault_spec with
-  | None -> ()
-  | Some spec ->
-      let g k = Sim.Stats.get result.H.run_stats k in
-      Printf.printf "faults:    %s (seed %d)\n"
-        (Format.asprintf "%a" Faults.Spec.pp spec)
-        fault_seed;
-      Printf.printf
-        "           comp-errors %d, timeouts %d, retries %d, nack-delays %d, \
-         dup-cqes %d, perm-failures %d\n"
-        (g "rdma_comp_errors") (g "rdma_timeouts") (g "rdma_retries")
-        (g "rdma_retrans_delays") (g "rdma_dup_completions")
-        (g "rdma_perm_failures"));
+  print_fault_summary fault_spec fault_seed result.H.run_stats;
   (match (trace_file, !tracer) with
   | Some file, Some tr ->
       Trace.write_json tr file;
@@ -258,36 +292,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
       Printf.printf "metrics:   %s (%d intervals of %d us)\n" file
         (Trace.Sampler.rows s) metrics_interval_us
   | (Some _ | None), _ -> ());
-  if breakdown then begin
-    let rows = Trace.breakdown result.H.run_stats in
-    if rows = [] then
-      print_endline "breakdown: no attributed faults (no remote fetches?)"
-    else begin
-      let us ns = float_of_int ns /. 1e3 in
-      let total_mean =
-        List.fold_left (fun acc r -> acc +. r.Trace.bd_mean) 0. rows
-      in
-      print_endline
-        "breakdown: component      count    mean(us)    p50(us)    p99(us)  \
-         share";
-      List.iter
-        (fun r ->
-          Printf.printf "           %-10s %9d %11.3f %10.3f %10.3f %5.1f%%\n"
-            r.Trace.bd_label r.Trace.bd_count (r.Trace.bd_mean /. 1e3)
-            (us r.Trace.bd_p50) (us r.Trace.bd_p99)
-            (if total_mean > 0. then 100. *. r.Trace.bd_mean /. total_mean
-             else 0.))
-        rows;
-      let mean_fault =
-        match Sim.Stats.histogram_opt result.H.run_stats "fault_ns" with
-        | Some h when Sim.Histogram.count h > 0 -> Sim.Histogram.mean h
-        | Some _ | None -> 0.
-      in
-      Printf.printf
-        "           components sum to %.3f us; measured mean fault %.3f us\n"
-        (total_mean /. 1e3) (mean_fault /. 1e3)
-    end
-  end;
+  if breakdown then print_breakdown result.H.run_stats;
   if verbose then begin
     print_endline "counters:";
     List.iter
@@ -408,9 +413,305 @@ let run_cmd, run_term =
   in
   (Cmd.v (Cmd.info "run" ~doc:"Run one workload on one system") term, term)
 
+(* ------------------------------------------------------------------ *)
+(* serve: open-loop Zipf serving harness (coordinated-omission-free
+   tail latency; see DESIGN.md §7). *)
+
+let value_size_conv =
+  let parse s =
+    if String.equal s "fb" then Ok Workload.Stream.Fb_mixed
+    else
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok (Workload.Stream.Fixed n)
+      | Some _ | None ->
+          Error (`Msg "value size must be a positive byte count or \"fb\"")
+  in
+  let print ppf = function
+    | Workload.Stream.Fixed n -> Format.fprintf ppf "%d" n
+    | Workload.Stream.Fb_mixed -> Format.pp_print_string ppf "fb"
+  in
+  Arg.conv (parse, print)
+
+let arrival_conv =
+  Arg.enum
+    [ ("poisson", Workload.Arrival.Poisson); ("fixed", Workload.Arrival.Fixed) ]
+
+let parse_sweep s =
+  let parts = String.split_on_char ',' s in
+  let rates =
+    List.filter_map
+      (fun p ->
+        let p = String.trim p in
+        if String.length p = 0 then None
+        else
+          match float_of_string_opt p with
+          | Some r when r > 0. -> Some r
+          | Some _ | None ->
+              Printf.eprintf "dilos_sim: bad --sweep rate %S\n" p;
+              exit 2)
+      parts
+  in
+  if rates = [] then begin
+    Printf.eprintf "dilos_sim: --sweep needs at least one rate\n";
+    exit 2
+  end;
+  rates
+
+(* Deterministic JSON: fixed field order, fixed float precision, no
+   wall-clock anywhere — the same seed must produce a byte-identical
+   file (CI asserts this). *)
+let serve_json oc ~system_name ~local_mb ~seed ~fault_desc
+    (points : (float * Apps.Serving.result) list) =
+  let p fmt = Printf.fprintf oc fmt in
+  let lat (r : Apps.Redis_bench.result) =
+    Printf.sprintf
+      "{\"kind\": \"%s\", \"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": \
+       %.3f}"
+      (Apps.Redis_bench.latency_kind_name r.Apps.Redis_bench.latency_kind)
+      r.Apps.Redis_bench.p50_us r.Apps.Redis_bench.p99_us
+      r.Apps.Redis_bench.p999_us
+  in
+  p "{\n  \"system\": \"%s\",\n  \"local_mb\": %d,\n  \"seed\": %d,\n"
+    system_name local_mb seed;
+  p "  \"faults\": %s,\n"
+    (match fault_desc with
+    | None -> "null"
+    | Some d -> Printf.sprintf "\"%s\"" d);
+  p "  \"points\": [\n";
+  List.iteri
+    (fun i (offered, (r : Apps.Serving.result)) ->
+      p "    {\"offered_rps\": %.1f, \"achieved_rps\": %.1f, " offered
+        r.Apps.Serving.achieved_rps;
+      p "\"completed\": %d, \"gets\": %d, \"sets\": %d, " r.Apps.Serving.completed
+        r.Apps.Serving.gets r.Apps.Serving.sets;
+      p "\"duration_ms\": %.3f, \"max_queue\": %d,\n"
+        (Sim.Time.to_ms r.Apps.Serving.duration)
+        r.Apps.Serving.max_queue;
+      p "     \"response\": %s,\n     \"service\": %s,\n"
+        (lat r.Apps.Serving.response) (lat r.Apps.Serving.service);
+      p "     \"phases\": [";
+      List.iteri
+        (fun j (ph : Apps.Serving.phase) ->
+          p "%s{\"phase\": %d, \"requests\": %d, \"response\": %s, \
+             \"service\": %s}"
+            (if j = 0 then "" else ", ")
+            ph.Apps.Serving.phase_index
+            ph.Apps.Serving.ph_response.Apps.Redis_bench.requests
+            (lat ph.Apps.Serving.ph_response)
+            (lat ph.Apps.Serving.ph_service))
+        r.Apps.Serving.phases;
+      p "]}%s\n" (if i = List.length points - 1 then "" else ","))
+    points;
+  p "  ]\n}\n"
+
+let run_serve sys prefetch local_mb seed keys value_size arrival rate zipf
+    rw_mix duration_s requests phases workers sweep json_file faults fault_seed
+    breakdown verbose =
+  let system = to_system sys prefetch in
+  let local_mem = local_mb * 1024 * 1024 in
+  let fault_spec = parse_fault_spec faults in
+  if breakdown then Trace.set_attribution true;
+  let rates = match sweep with None -> [ rate ] | Some s -> parse_sweep s in
+  let point offered =
+    let n =
+      if requests > 0 then requests
+      else Int.max 1 (int_of_float (Float.round (offered *. duration_s)))
+    in
+    let scfg =
+      {
+        Workload.Stream.keys;
+        theta = zipf;
+        read_fraction = rw_mix;
+        value_size;
+        arrival;
+        rate_rps = offered;
+        seed;
+      }
+    in
+    let cfg = { Apps.Serving.stream = scfg; requests = n; phases; workers } in
+    H.run system ~local_mem ?fault_spec ~fault_seed (fun ctx ->
+        Apps.Serving.run ctx cfg)
+  in
+  Printf.printf "system:    %s\n" (H.system_name system);
+  Printf.printf "local mem: %d MiB\n" local_mb;
+  Printf.printf
+    "workload:  %d keys, zipf %.2f, %.0f%% reads, %s arrivals, seed %d\n" keys
+    zipf (rw_mix *. 100.)
+    (match arrival with
+    | Workload.Arrival.Poisson -> "poisson"
+    | Workload.Arrival.Fixed -> "fixed")
+    seed;
+  print_endline
+    "  offered(rps)  achieved(rps)   done  maxq   resp p50/p99/p99.9 (us)      \
+     svc p50/p99 (us)";
+  let results =
+    List.map
+      (fun offered ->
+        let res = point offered in
+        let r = res.H.value in
+        let rr = r.Apps.Serving.response and sv = r.Apps.Serving.service in
+        Printf.printf
+          "  %12.0f  %13.0f %6d %5d   %8.1f %8.1f %8.1f   %8.1f %8.1f\n%!"
+          offered r.Apps.Serving.achieved_rps r.Apps.Serving.completed
+          r.Apps.Serving.max_queue rr.Apps.Redis_bench.p50_us
+          rr.Apps.Redis_bench.p99_us rr.Apps.Redis_bench.p999_us
+          sv.Apps.Redis_bench.p50_us sv.Apps.Redis_bench.p99_us;
+        if phases > 1 then
+          List.iter
+            (fun (ph : Apps.Serving.phase) ->
+              let pr = ph.Apps.Serving.ph_response in
+              Printf.printf
+                "      phase %d: %d reqs, resp p99 %.1f us, svc p99 %.1f us\n"
+                ph.Apps.Serving.phase_index pr.Apps.Redis_bench.requests
+                pr.Apps.Redis_bench.p99_us
+                ph.Apps.Serving.ph_service.Apps.Redis_bench.p99_us)
+            r.Apps.Serving.phases;
+        print_fault_summary fault_spec fault_seed res.H.run_stats;
+        if breakdown then print_breakdown res.H.run_stats;
+        if verbose then
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+            (Sim.Stats.counters res.H.run_stats);
+        (offered, r))
+      rates
+  in
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      serve_json oc ~system_name:(H.system_name system) ~local_mb ~seed
+        ~fault_desc:faults results;
+      close_out oc;
+      Printf.printf "report:    %s\n" file
+
+let serve_cmd =
+  let system =
+    Arg.(value & opt system_conv S_dilos & info [ "s"; "system" ] ~doc:"Memory system.")
+  in
+  let prefetch =
+    Arg.(
+      value
+      & opt prefetch_conv Dilos.Kernel.Readahead
+      & info [ "p"; "prefetch" ] ~doc:"DiLOS prefetcher (none|readahead|trend).")
+  in
+  let local_mb =
+    Arg.(value & opt int 4 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let keys =
+    Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"Keyspace size.")
+  in
+  let value_size =
+    Arg.(
+      value
+      & opt value_size_conv (Workload.Stream.Fixed 4080)
+      & info [ "value-size" ] ~docv:"BYTES|fb"
+          ~doc:
+            "Value size in bytes, or \"fb\" for the Facebook-photo mixed \
+             distribution. Default 4080 (one page with the SDS header).")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt arrival_conv Workload.Arrival.Poisson
+      & info [ "arrival" ] ~doc:"Arrival process (poisson|fixed).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 50_000.
+      & info [ "arrival-rate" ] ~docv:"RPS"
+          ~doc:"Offered load in requests per second of simulated time.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 0.99
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipf key-popularity skew; 0 = uniform, 0.99 = YCSB-style.")
+  in
+  let rw_mix =
+    Arg.(
+      value & opt float 0.95
+      & info [ "rw-mix" ] ~docv:"READ_FRACTION"
+          ~doc:"Fraction of requests that are GETs (rest are SETs).")
+  in
+  let duration_s =
+    Arg.(
+      value & opt float 0.25
+      & info [ "duration-s" ]
+          ~doc:
+            "Simulated seconds of offered load per point; the request count \
+             is rate * duration unless --requests overrides it.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 0
+      & info [ "requests" ]
+          ~doc:"Exact request count per point (0 = derive from duration).")
+  in
+  let phases =
+    Arg.(
+      value & opt int 1
+      & info [ "phases" ] ~doc:"Report percentiles per N equal-count phases.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ]
+          ~doc:"Server fibers draining the queue (1 = single-threaded Redis).")
+  in
+  let sweep =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Comma-separated offered loads (rps); runs one fresh system per \
+             point for an offered-vs-achieved knee curve. Overrides \
+             --arrival-rate.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the sweep report as JSON. Deterministic: same seed, \
+             byte-identical file.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:"Fault-injection scenario (same language as `run --faults`).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Fault campaign seed.")
+  in
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:"Print the per-fault latency attribution for every point.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump counters.") in
+  let term =
+    Term.(
+      const run_serve $ system $ prefetch $ local_mb $ seed $ keys $ value_size
+      $ arrival $ rate $ zipf $ rw_mix $ duration_s $ requests $ phases
+      $ workers $ sweep $ json_file $ faults $ fault_seed $ breakdown $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop Zipf serving harness: offered load on the simulated \
+          clock, response-time tails that include queueing delay \
+          (coordinated-omission-free), saturation-knee sweeps")
+    term
+
 let () =
   let doc = "DiLOS memory-disaggregation simulator" in
   (* [run] is also the default command, so
      `dilos_sim.exe --app quicksort --trace t.json` works without the
      subcommand name. *)
-  exit (Cmd.eval (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc) [ run_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc) [ run_cmd; serve_cmd ]))

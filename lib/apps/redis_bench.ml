@@ -6,10 +6,24 @@ let sample_size rng = function
   | Fixed n -> n
   | Fb_mixed -> Sim.Rng.pick rng fb_sizes
 
+(* Closed-loop benches measure the time a request spends being served
+   (issue -> completion); an open-loop driver measures the time from
+   the request's INTENDED arrival instant to completion, which
+   includes queueing delay under overload. Conflating the two is the
+   coordinated-omission bug: under load, service-time percentiles
+   systematically understate what a client would actually observe.
+   Every result is therefore labeled with what its histogram held. *)
+type latency_kind = Service_time | Response_time
+
+let latency_kind_name = function
+  | Service_time -> "service_time"
+  | Response_time -> "response_time"
+
 type result = {
   requests : int;
   time : Sim.Time.t;
   throughput_rps : float;
+  latency_kind : latency_kind;
   p50_us : float;
   p99_us : float;
   p999_us : float;
@@ -17,30 +31,69 @@ type result = {
 
 let key_of i = Bytes.of_string (Printf.sprintf "key:%010d" i)
 
-let result_of_hist ~requests ~time h =
+let result_of_hist ~requests ~time ~kind h =
   let q p = float_of_int (Sim.Histogram.quantile h p) /. 1_000. in
+  let secs = Sim.Time.to_s time in
   {
     requests;
     time;
-    throughput_rps = float_of_int requests /. Sim.Time.to_s time;
+    (* requests = 0 or a zero-duration phase must not emit nan/inf
+       (they poison --json reports); the defined shape is 0. *)
+    throughput_rps =
+      (if requests = 0 || secs <= 0. then 0. else float_of_int requests /. secs);
+    latency_kind = kind;
     p50_us = q 0.5;
     p99_us = q 0.99;
     p999_us = q 0.999;
   }
 
+(* --- Value integrity ---------------------------------------------- *)
+
+(* Values carry a deterministic sentinel at EVERY page boundary, not
+   just the first 8 bytes: a multi-page value whose tail page was
+   served from the wrong remote slot, or went stale across eviction,
+   fails verification even though its head page reads back fine. The
+   sentinel mixes the key index with the offset so two pages of the
+   same value (or the same page of two values) can never satisfy each
+   other's check. *)
+
+let page_bytes = 4096
+
+let sentinel ~index ~off =
+  Int64.logxor
+    (Int64.mul (Int64.of_int index) 0x9E3779B97F4A7C15L)
+    (Int64.of_int off)
+
+let fill_value v ~index =
+  let n = Bytes.length v in
+  Bytes.fill v 0 n (Char.chr (index land 0x7F));
+  let off = ref 0 in
+  while !off + 8 <= n do
+    Bytes.set_int64_le v !off (sentinel ~index ~off:!off);
+    off := !off + page_bytes
+  done
+
+let verify_value v ~index =
+  let n = Bytes.length v in
+  let ok = ref true in
+  let off = ref 0 in
+  while !ok && !off + 8 <= n do
+    if not (Int64.equal (Bytes.get_int64_le v !off) (sentinel ~index ~off:!off))
+    then ok := false
+    else off := !off + page_bytes
+  done;
+  !ok
+
+(* --- Closed-loop drivers ------------------------------------------ *)
+
 let run_get (ctx : Harness.ctx) ~keys ~size ~queries ~seed =
   let rds = Redis.create ctx ~keyspace_hint:keys in
   let m = Redis.mem rds in
   let rng = Sim.Rng.create seed in
-  let payload_rng = Sim.Rng.create (seed + 1) in
   for i = 0 to keys - 1 do
     let n = sample_size rng size in
     let v = Bytes.create n in
-    (* Fill sparsely: pattern at page boundaries is enough to verify
-       integrity without massive host-side RNG work. *)
-    Bytes.fill v 0 n (Char.chr (i land 0x7F));
-    Bytes.set_int64_le v 0 (Int64.of_int i);
-    ignore payload_rng;
+    fill_value v ~index:i;
     Redis.set rds ~key:(key_of i) ~value:v
   done;
   m.Memif.flush ();
@@ -50,13 +103,13 @@ let run_get (ctx : Harness.ctx) ~keys ~size ~queries ~seed =
     let i = Sim.Rng.int rng keys in
     let r0 = m.Memif.now () in
     (match Redis.get rds (key_of i) with
-    | Some v -> assert (Int64.to_int (Bytes.get_int64_le v 0) = i)
+    | Some v -> assert (verify_value v ~index:i)
     | None -> assert false);
     m.Memif.flush ();
     Sim.Histogram.add h (Int64.to_int (Sim.Time.sub (m.Memif.now ()) r0))
   done;
   let time = Sim.Time.sub (m.Memif.now ()) t0 in
-  result_of_hist ~requests:queries ~time h
+  result_of_hist ~requests:queries ~time ~kind:Service_time h
 
 let run_lrange (ctx : Harness.ctx) ~lists ~elements ~elem_size ~queries ~range
     ~seed =
@@ -81,7 +134,7 @@ let run_lrange (ctx : Harness.ctx) ~lists ~elements ~elem_size ~queries ~range
     Sim.Histogram.add h (Int64.to_int (Sim.Time.sub (m.Memif.now ()) r0))
   done;
   let time = Sim.Time.sub (m.Memif.now ()) t0 in
-  result_of_hist ~requests:queries ~time h
+  result_of_hist ~requests:queries ~time ~kind:Service_time h
 
 type bandwidth_result = {
   del_rx_mb : float;
@@ -99,9 +152,9 @@ let run_del_get_bandwidth (ctx : Harness.ctx) ~keys ~value_bytes ~del_fraction
   let rds = Redis.create ctx ~keyspace_hint:keys in
   let m = Redis.mem rds in
   let rng = Sim.Rng.create seed in
-  let v = Bytes.make value_bytes 'v' in
+  let v = Bytes.create value_bytes in
   for i = 0 to keys - 1 do
-    Bytes.set_int64_le v 0 (Int64.of_int i);
+    fill_value v ~index:i;
     Redis.set rds ~key:(key_of i) ~value:v
   done;
   m.Memif.flush ();
@@ -131,7 +184,7 @@ let run_del_get_bandwidth (ctx : Harness.ctx) ~keys ~value_bytes ~del_fraction
     (fun i ->
       if alive.(i) then
         match Redis.get rds (key_of i) with
-        | Some b -> assert (Int64.to_int (Bytes.get_int64_le b 0) = i)
+        | Some b -> assert (verify_value b ~index:i)
         | None -> assert false)
     order;
   m.Memif.flush ();

@@ -14,14 +14,45 @@ type value_size = Fixed of int | Fb_mixed
 
 val sample_size : Sim.Rng.t -> value_size -> int
 
+type latency_kind =
+  | Service_time
+      (** closed loop: issue -> completion of one request; excludes
+          any queueing the request would suffer behind earlier ones *)
+  | Response_time
+      (** open loop: INTENDED arrival -> completion; includes queueing
+          delay, which is where overload shows up *)
+
+val latency_kind_name : latency_kind -> string
+(** ["service_time"] / ["response_time"], for reports and JSON. *)
+
 type result = {
   requests : int;
   time : Sim.Time.t;
   throughput_rps : float;
+      (** 0 (not nan/inf) when [requests = 0] or [time = 0] *)
+  latency_kind : latency_kind;
   p50_us : float;
   p99_us : float;
   p999_us : float;
 }
+
+val result_of_hist :
+  requests:int -> time:Sim.Time.t -> kind:latency_kind -> Sim.Histogram.t -> result
+(** Summarise a latency histogram. Guards the zero-requests /
+    zero-duration cases with [throughput_rps = 0.]. *)
+
+val fill_value : bytes -> index:int -> unit
+(** Fill with the key's pattern byte and write a deterministic
+    sentinel (a function of [index] and the offset) at every page
+    boundary, so every page of a multi-page value is independently
+    checkable. *)
+
+val verify_value : bytes -> index:int -> bool
+(** Check every page-boundary sentinel written by {!fill_value}. *)
+
+val key_of : int -> bytes
+(** The canonical benchmark key for index [i] ("key:%010d"), shared
+    with the open-loop serving driver so both address one keyspace. *)
 
 val run_get :
   Harness.ctx -> keys:int -> size:value_size -> queries:int -> seed:int -> result

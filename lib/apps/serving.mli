@@ -1,0 +1,49 @@
+(** Open-loop Redis serving driver with SLO-grade tail reporting.
+
+    Replays a deterministic {!Workload.Stream} against the Redis
+    store: a generator fiber enqueues each request at its intended
+    arrival instant (it never waits for the server — the open-loop
+    property), worker fibers drain the queue. Each completion records
+    both the response time (intended arrival -> completion, what a
+    client of an open system observes) and the service time
+    (dequeue -> completion, what closed-loop benches report). Past the
+    saturation knee the two diverge without bound — the divergence the
+    closed-loop benches structurally cannot see (coordinated
+    omission). *)
+
+type config = {
+  stream : Workload.Stream.config;
+  requests : int;  (** total requests the generator issues *)
+  phases : int;  (** split the run into N equal-count report phases *)
+  workers : int;
+      (** server fibers draining the queue; 1 models single-threaded
+          Redis *)
+}
+
+val default_config : Workload.Stream.config -> requests:int -> config
+(** [phases = 1], [workers = 1]. *)
+
+type phase = {
+  phase_index : int;
+  ph_response : Redis_bench.result;  (** labeled [Response_time] *)
+  ph_service : Redis_bench.result;  (** labeled [Service_time] *)
+}
+
+type result = {
+  offered_rps : float;
+  achieved_rps : float;
+  completed : int;
+  gets : int;
+  sets : int;
+  duration : Sim.Time.t;
+  max_queue : int;  (** deepest the arrival queue ever got *)
+  response : Redis_bench.result;
+  service : Redis_bench.result;
+  phases : phase list;
+}
+
+val run : Harness.ctx -> config -> result
+(** Populate the keyspace (page-boundary sentinels, fully verified on
+    every GET), then serve [requests] open-loop. Deterministic: same
+    seed, same request stream, same result. Must run inside a harness
+    workload fiber. *)

@@ -47,6 +47,8 @@ let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
 
 let quantile t q =
   if t.total = 0 then 0
+  else if q <= 0. then t.minv
+  else if q >= 1. then t.maxv
   else begin
     let q = Float.max 0. (Float.min 1. q) in
     let target = int_of_float (ceil (q *. float_of_int t.total)) in

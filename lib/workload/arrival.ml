@@ -1,0 +1,51 @@
+(* Open-loop arrival processes on simulated time.
+
+   The generator owns the schedule: request k's intended arrival
+   instant is fixed by the process alone and never by the server's
+   progress. This is the open-loop property — under overload the
+   intended instants keep marching and queueing delay becomes visible
+   in response time, where a closed-loop driver would silently stop
+   offering load (coordinated omission).
+
+   Both processes produce integer-nanosecond gaps and carry the
+   sub-nanosecond residue forward, so a long run's mean rate converges
+   to the configured rate instead of accumulating rounding bias. *)
+
+type kind = Poisson | Fixed
+
+type t = {
+  kind : kind;
+  rate_rps : float;
+  mean_gap_ns : float;
+  rng : Sim.Rng.t;
+  mutable residue_ns : float; (* fractional ns owed to the schedule *)
+}
+
+let create ?(kind = Poisson) ~rate_rps ~seed () =
+  if not (rate_rps > 0.) then
+    invalid_arg "Arrival.create: rate must be positive";
+  {
+    kind;
+    rate_rps;
+    mean_gap_ns = 1e9 /. rate_rps;
+    rng = Sim.Rng.create seed;
+    residue_ns = 0.;
+  }
+
+let kind t = t.kind
+let rate_rps t = t.rate_rps
+
+(* Exponential inter-arrival via inverse CDF. [Sim.Rng.float] is in
+   [0, 1), so [1 - u] is in (0, 1] and the log is finite. *)
+let exp_gap t = -.t.mean_gap_ns *. Float.log (1. -. Sim.Rng.float t.rng)
+
+let next_gap t =
+  let ideal =
+    match t.kind with Poisson -> exp_gap t | Fixed -> t.mean_gap_ns
+  in
+  let owed = ideal +. t.residue_ns in
+  let gap = Float.max 0. (Float.round owed) in
+  t.residue_ns <- owed -. gap;
+  Int64.of_float gap
+
+let next_gap_time t : Sim.Time.t = next_gap t

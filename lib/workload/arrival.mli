@@ -1,0 +1,24 @@
+(** Seeded open-loop arrival processes on simulated time.
+
+    [Poisson] draws exponential inter-arrival gaps (memoryless, the
+    standard open-loop serving model); [Fixed] paces arrivals exactly
+    [1/rate] apart. Gaps are integer nanoseconds with the fractional
+    residue carried forward, so the long-run mean matches the
+    configured rate to within one draw. Same seed, same gap stream. *)
+
+type kind = Poisson | Fixed
+
+type t
+
+val create : ?kind:kind -> rate_rps:float -> seed:int -> unit -> t
+(** Default [kind] is [Poisson]. Raises [Invalid_argument] unless
+    [rate_rps > 0.]. *)
+
+val next_gap : t -> int64
+(** Nanoseconds until the next arrival (>= 0). *)
+
+val next_gap_time : t -> Sim.Time.t
+(** {!next_gap} as a simulated duration. *)
+
+val kind : t -> kind
+val rate_rps : t -> float

@@ -1,0 +1,86 @@
+(* Deterministic open-loop request stream.
+
+   One [next] call produces one request: its intended arrival instant
+   (cumulative over the arrival process, relative to stream start),
+   the Zipf-ranked key, the operation drawn from the read/write mix,
+   and a value size. Four independent sub-streams are derived from the
+   single seed in a fixed order, so changing e.g. the value-size
+   distribution cannot shift the key sequence — sweeps stay
+   comparable point to point. *)
+
+type op = Get | Set
+
+(* Facebook-photo-style mixed value sizes (same set the closed-loop
+   Redis bench uses for its Fb_mixed case). *)
+let fb_sizes = [| 4096; 8192; 16384; 32768; 65536; 131072 |]
+
+type value_size = Fixed of int | Fb_mixed
+
+type config = {
+  keys : int;
+  theta : float;
+  read_fraction : float;
+  value_size : value_size;
+  arrival : Arrival.kind;
+  rate_rps : float;
+  seed : int;
+}
+
+type req = {
+  arrival : Sim.Time.t; (* intended instant, relative to stream start *)
+  key : int;
+  op : op;
+  vsize : int;
+}
+
+type t = {
+  cfg : config;
+  zipf : Zipf.t;
+  arr : Arrival.t;
+  key_rng : Sim.Rng.t;
+  mix_rng : Sim.Rng.t;
+  size_rng : Sim.Rng.t;
+  mutable clock : Sim.Time.t;
+  mutable produced : int;
+}
+
+let create cfg =
+  if cfg.keys <= 0 then invalid_arg "Stream.create: keys must be positive";
+  if cfg.read_fraction < 0. || cfg.read_fraction > 1. then
+    invalid_arg "Stream.create: read_fraction must be in [0, 1]";
+  let master = Sim.Rng.create cfg.seed in
+  (* Sub-stream derivation order is part of the golden contract. *)
+  let key_rng = Sim.Rng.split master in
+  let mix_rng = Sim.Rng.split master in
+  let size_rng = Sim.Rng.split master in
+  let arrival_seed = Int64.to_int (Sim.Rng.next64 master) in
+  {
+    cfg;
+    zipf = Zipf.create ~n:cfg.keys ~theta:cfg.theta;
+    arr = Arrival.create ~kind:cfg.arrival ~rate_rps:cfg.rate_rps ~seed:arrival_seed ();
+    key_rng;
+    mix_rng;
+    size_rng;
+    clock = Sim.Time.zero;
+    produced = 0;
+  }
+
+let config t = t.cfg
+let produced t = t.produced
+
+let sample_size t =
+  match t.cfg.value_size with
+  | Fixed n -> n
+  | Fb_mixed -> Sim.Rng.pick t.size_rng fb_sizes
+
+let next t =
+  t.clock <- Sim.Time.add t.clock (Arrival.next_gap_time t.arr);
+  let key = Zipf.sample t.zipf t.key_rng in
+  let op =
+    if Sim.Rng.float t.mix_rng < t.cfg.read_fraction then Get else Set
+  in
+  let vsize = sample_size t in
+  t.produced <- t.produced + 1;
+  { arrival = t.clock; key; op; vsize }
+
+let op_name = function Get -> "get" | Set -> "set"

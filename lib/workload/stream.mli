@@ -1,0 +1,44 @@
+(** Deterministic open-loop request stream: seeded arrival instants,
+    Zipf key ranks, read/write mix and value sizes.
+
+    The stream is the workload's ground truth — a serving driver must
+    issue request [k] at [arrival] regardless of how far behind the
+    server is. Four sub-streams (keys, mix, sizes, arrivals) derive
+    from the one seed in a fixed order; the same seed yields the same
+    request sequence byte for byte. *)
+
+type op = Get | Set
+
+type value_size = Fixed of int | Fb_mixed
+
+val fb_sizes : int array
+(** The Facebook-photo-style size set behind [Fb_mixed]. *)
+
+type config = {
+  keys : int;  (** keyspace size; Zipf ranks map onto [0, keys) *)
+  theta : float;  (** Zipf skew; 0 = uniform *)
+  read_fraction : float;  (** probability a request is a GET *)
+  value_size : value_size;
+  arrival : Arrival.kind;
+  rate_rps : float;  (** offered load *)
+  seed : int;
+}
+
+type req = {
+  arrival : Sim.Time.t;
+      (** intended arrival instant, relative to stream start *)
+  key : int;
+  op : op;
+  vsize : int;
+}
+
+type t
+
+val create : config -> t
+val next : t -> req
+val config : t -> config
+
+val produced : t -> int
+(** Requests generated so far. *)
+
+val op_name : op -> string

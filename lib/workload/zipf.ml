@@ -1,0 +1,91 @@
+(* Zipf(theta) key-popularity sampler.
+
+   Probability of rank r (1-based) is proportional to 1/r^theta.
+   Construction precomputes Vose's alias table in O(n): sampling is
+   then two RNG draws and two array reads, independent of n — the
+   property that lets the open-loop generator draw keys at line rate
+   for millions of requests without perturbing the arrival process.
+
+   theta = 0 degenerates to uniform; theta ~ 0.99 is the YCSB-style
+   "hot keys" skew the serving literature sweeps. Determinism: the
+   table depends only on (n, theta); every draw consumes exactly two
+   values from the caller's Sim.Rng stream. *)
+
+type t = {
+  n : int;
+  theta : float;
+  prob : float array; (* alias-table cutoff per column *)
+  alias : int array; (* fallback column *)
+}
+
+let n t = t.n
+let theta t = t.theta
+
+let build_alias weights =
+  let n = Array.length weights in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 1. in
+  let alias = Array.init n Fun.id in
+  (* Two index stacks, filled in index order so construction is a pure
+     function of the weights (no hashtable, no float-order surprises
+     beyond the weights themselves). *)
+  let small = Array.make n 0 and large = Array.make n 0 in
+  let ns = ref 0 and nl = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if s < 1. then begin
+        small.(!ns) <- i;
+        incr ns
+      end
+      else begin
+        large.(!nl) <- i;
+        incr nl
+      end)
+    scaled;
+  while !ns > 0 && !nl > 0 do
+    decr ns;
+    let s = small.(!ns) in
+    let l = large.(!nl - 1) in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then begin
+      decr nl;
+      small.(!ns) <- l;
+      incr ns
+    end
+  done;
+  (* Leftovers (numerical dust) saturate to probability 1. *)
+  while !ns > 0 do
+    decr ns;
+    prob.(small.(!ns)) <- 1.
+  done;
+  while !nl > 0 do
+    decr nl;
+    prob.(large.(!nl)) <- 1.
+  done;
+  (prob, alias)
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.create: theta must be >= 0";
+  let weights =
+    Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) theta)
+  in
+  let prob, alias = build_alias weights in
+  { n; theta; prob; alias }
+
+let sample t rng =
+  let col = Sim.Rng.int rng t.n in
+  if Sim.Rng.float rng < t.prob.(col) then col else t.alias.(col)
+
+(* Theoretical probability of rank [i] (0-based), for distribution
+   tests: p_i = (1/(i+1)^theta) / H_{n,theta}. *)
+let prob_of t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.prob_of: rank out of range";
+  let h = ref 0. in
+  for r = 1 to t.n do
+    h := !h +. (1. /. Float.pow (float_of_int r) t.theta)
+  done;
+  1. /. Float.pow (float_of_int (i + 1)) t.theta /. !h

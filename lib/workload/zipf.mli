@@ -1,0 +1,23 @@
+(** Zipf(theta) key-popularity sampler over ranks [0, n).
+
+    Built once per workload with Vose's alias method: O(n)
+    construction, O(1) per draw (two RNG values from the caller's
+    stream), so key skew never throttles the open-loop arrival
+    process. [theta = 0.] is uniform; [theta = 0.99] is the YCSB-style
+    hot-key skew. Deterministic: the table is a pure function of
+    [(n, theta)] and each {!sample} consumes exactly two draws. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Raises [Invalid_argument] if [n <= 0] or [theta < 0.]. *)
+
+val sample : t -> Sim.Rng.t -> int
+(** A rank in [0, n); rank 0 is the hottest key. *)
+
+val n : t -> int
+val theta : t -> float
+
+val prob_of : t -> int -> float
+(** Theoretical probability of rank [i] — O(n); for distribution
+    tests and reporting, not the sampling path. *)

@@ -11,6 +11,8 @@ let () =
       ("aifm", Test_aifm.suite);
       ("apps", Test_apps.suite);
       ("redis", Test_redis.suite);
+      ("workload", Test_workload.suite);
+      ("serving", Test_serving.suite);
       ("misc", Test_misc.suite);
       ("units", Test_units.suite);
       ("vmem-model", Test_vmem_model.suite);

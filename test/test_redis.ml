@@ -293,6 +293,80 @@ let guided_paging_reduces_del_get_bandwidth () =
     true
     (total guided < total plain)
 
+(* ------------------------------------------------------------------ *)
+(* result_of_hist guards and value sentinels *)
+
+let result_of_hist_zero_guard () =
+  (* queries = 0 / zero duration used to produce nan/inf throughput;
+     the guard pins the whole shape to defined zeros. *)
+  let empty = Sim.Histogram.create () in
+  let r =
+    Apps.Redis_bench.result_of_hist ~requests:0 ~time:Sim.Time.zero
+      ~kind:Apps.Redis_bench.Service_time empty
+  in
+  check_int "requests" 0 r.Apps.Redis_bench.requests;
+  Alcotest.(check (float 0.)) "throughput is 0, not nan" 0.
+    r.Apps.Redis_bench.throughput_rps;
+  check_bool "throughput finite" true
+    (Float.is_finite r.Apps.Redis_bench.throughput_rps);
+  Alcotest.(check (float 0.)) "p50 defined" 0. r.Apps.Redis_bench.p50_us;
+  Alcotest.(check (float 0.)) "p999 defined" 0. r.Apps.Redis_bench.p999_us;
+  (* requests > 0 but zero elapsed time (all sub-tick): still finite. *)
+  let h = Sim.Histogram.create () in
+  Sim.Histogram.add h 100;
+  let r2 =
+    Apps.Redis_bench.result_of_hist ~requests:1 ~time:Sim.Time.zero
+      ~kind:Apps.Redis_bench.Response_time h
+  in
+  check_bool "zero-duration throughput finite" true
+    (Float.is_finite r2.Apps.Redis_bench.throughput_rps);
+  Alcotest.(check (float 0.)) "zero-duration throughput 0" 0.
+    r2.Apps.Redis_bench.throughput_rps
+
+let sentinel_roundtrip_and_detects_corruption () =
+  (* Multi-page value: a sentinel at every page boundary, each
+     independently checkable. *)
+  let v = Bytes.create 20_000 in
+  Apps.Redis_bench.fill_value v ~index:37;
+  check_bool "fresh value verifies" true
+    (Apps.Redis_bench.verify_value v ~index:37);
+  check_bool "wrong index rejected" false
+    (Apps.Redis_bench.verify_value v ~index:38);
+  (* Corrupt one byte inside the THIRD page's sentinel: a first-page
+     check alone would miss it. *)
+  let saved = Bytes.get v 8192 in
+  Bytes.set v 8192 (Char.chr (Char.code saved lxor 0xFF));
+  check_bool "page-3 corruption detected" false
+    (Apps.Redis_bench.verify_value v ~index:37);
+  Bytes.set v 8192 saved;
+  check_bool "restored value verifies" true
+    (Apps.Redis_bench.verify_value v ~index:37);
+  (* Small values (no room for a sentinel) still roundtrip. *)
+  let small = Bytes.create 5 in
+  Apps.Redis_bench.fill_value small ~index:2;
+  check_bool "tiny value verifies" true
+    (Apps.Redis_bench.verify_value small ~index:2)
+
+let get_bench_verifies_across_eviction () =
+  (* 200 x 8KB values >> 512KB local: every value round-trips through
+     the memory node and run_get checks every page sentinel. *)
+  let r =
+    run_on ~local_mem:(512 * 1024) (fun ctx ->
+        Apps.Redis_bench.run_get ctx ~keys:200
+          ~size:(Apps.Redis_bench.Fixed 8192) ~queries:300 ~seed:11)
+  in
+  check_int "queries ran (sentinels all verified)" 300
+    r.Apps.Redis_bench.requests
+
+let bench_reports_service_time () =
+  let r =
+    run_on ~local_mem:(1024 * 1024) (fun ctx ->
+        Apps.Redis_bench.run_get ctx ~keys:64
+          ~size:(Apps.Redis_bench.Fixed 4096) ~queries:64 ~seed:3)
+  in
+  Alcotest.(check string) "closed loop = service_time" "service_time"
+    (Apps.Redis_bench.latency_kind_name r.Apps.Redis_bench.latency_kind)
+
 let suite =
   [
     quick "sds roundtrip" sds_roundtrip;
@@ -312,4 +386,10 @@ let suite =
     quick "guide activates and helps lrange" guide_activates_and_helps_lrange;
     quick "guide get prefetches large values" guide_get_prefetches_large_values;
     quick "guided paging reduces del/get bandwidth" guided_paging_reduces_del_get_bandwidth;
+    quick "result_of_hist zero guard" result_of_hist_zero_guard;
+    quick "sentinel roundtrip and corruption detection"
+      sentinel_roundtrip_and_detects_corruption;
+    quick "get bench verifies sentinels across eviction"
+      get_bench_verifies_across_eviction;
+    quick "closed-loop bench reports service_time" bench_reports_service_time;
   ]

@@ -428,6 +428,60 @@ let histogram_merge () =
   check_int "merged count" 2 (Sim.Histogram.count a);
   check_int "merged max" 1_000_000 (Sim.Histogram.max_value a)
 
+let histogram_merge_into_fresh_dst () =
+  (* A fresh dst still carries the empty sentinels (minv = max_int,
+     maxv = 0); merge must adopt the source's extremes or quantile's
+     clamp would pin every answer to 0. *)
+  let dst = Sim.Histogram.create () and src = Sim.Histogram.create () in
+  List.iter (Sim.Histogram.add src) [ 500; 700; 900 ];
+  Sim.Histogram.merge_into ~dst src;
+  check_int "count" 3 (Sim.Histogram.count dst);
+  check_int "min adopted" 500 (Sim.Histogram.min_value dst);
+  check_int "max adopted" 900 (Sim.Histogram.max_value dst);
+  let p50 = Sim.Histogram.quantile dst 0.5 in
+  check_bool
+    (Printf.sprintf "median in [500, 900] (got %d)" p50)
+    true
+    (p50 >= 500 && p50 <= 900);
+  (* Merging an EMPTY histogram must not disturb the dst extremes. *)
+  Sim.Histogram.merge_into ~dst (Sim.Histogram.create ());
+  check_int "min unchanged by empty merge" 500 (Sim.Histogram.min_value dst);
+  check_int "max unchanged by empty merge" 900 (Sim.Histogram.max_value dst)
+
+let histogram_reset_restores_sentinels () =
+  let h = Sim.Histogram.create () in
+  List.iter (Sim.Histogram.add h) [ 10; 20; 1_000_000 ];
+  Sim.Histogram.reset h;
+  check_int "count zero" 0 (Sim.Histogram.count h);
+  check_int "empty min" 0 (Sim.Histogram.min_value h);
+  check_int "empty max" 0 (Sim.Histogram.max_value h);
+  check_int "empty quantile" 0 (Sim.Histogram.quantile h 0.99);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Sim.Histogram.mean h);
+  (* After reset the sentinels must track fresh values, not the
+     pre-reset extremes. *)
+  Sim.Histogram.add h 5;
+  check_int "min after reset+add" 5 (Sim.Histogram.min_value h);
+  check_int "max after reset+add" 5 (Sim.Histogram.max_value h);
+  check_int "p99 after reset+add" 5 (Sim.Histogram.quantile h 0.99)
+
+let histogram_quantile_extremes_single_sample () =
+  (* Nearest-rank at the edges: with one sample every quantile —
+     including q=0 and q=1 — is that sample. *)
+  let h = Sim.Histogram.create () in
+  Sim.Histogram.add h 123_456;
+  check_int "q=0" 123_456 (Sim.Histogram.quantile h 0.);
+  check_int "q=0.5" 123_456 (Sim.Histogram.quantile h 0.5);
+  check_int "q=1" 123_456 (Sim.Histogram.quantile h 1.);
+  (* Out-of-range q clamps rather than raising. *)
+  check_int "q<0 clamps" 123_456 (Sim.Histogram.quantile h (-1.));
+  check_int "q>1 clamps" 123_456 (Sim.Histogram.quantile h 2.);
+  (* Two distinct samples: q=0 reports the min, q=1 the max. *)
+  let h2 = Sim.Histogram.create () in
+  Sim.Histogram.add h2 10;
+  Sim.Histogram.add h2 1_000_000;
+  check_int "q=0 is min" 10 (Sim.Histogram.quantile h2 0.);
+  check_int "q=1 is max" 1_000_000 (Sim.Histogram.quantile h2 1.)
+
 let stats_counters () =
   let s = Sim.Stats.create () in
   check_int "missing reads 0" 0 (Sim.Stats.get s "x");
@@ -547,6 +601,9 @@ let suite =
     quick "histogram quantile accuracy" histogram_quantile_accuracy;
     quick "histogram empty" histogram_empty;
     quick "histogram merge" histogram_merge;
+    quick "histogram merge into fresh dst" histogram_merge_into_fresh_dst;
+    quick "histogram reset restores sentinels" histogram_reset_restores_sentinels;
+    quick "histogram quantile extremes" histogram_quantile_extremes_single_sample;
     quick "stats counters" stats_counters;
     quick "stats handles share cells" stats_handles_share_cells_with_string_api;
     quick "stats reset keeps handles valid" stats_reset_keeps_handles_valid;

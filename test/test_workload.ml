@@ -1,0 +1,257 @@
+open Util
+
+(* The open-loop generator is the ground truth the serving driver
+   replays: these tests pin its determinism (golden + same-seed
+   replay) and its distributions (Zipf frequencies vs theory, Poisson
+   mean inter-arrival, fixed-rate drift). *)
+
+let base_cfg =
+  {
+    Workload.Stream.keys = 100;
+    theta = 0.99;
+    read_fraction = 0.9;
+    value_size = Workload.Stream.Fixed 4080;
+    arrival = Workload.Arrival.Poisson;
+    rate_rps = 1_000_000.;
+    seed = 7;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let golden_stream () =
+  (* Hand-pinned first requests of the canonical config: any change to
+     seed derivation, draw order, or the samplers shows up here. *)
+  let expect =
+    [
+      (3L, 0, "get", 4080);
+      (702L, 25, "set", 4080);
+      (1365L, 3, "get", 4080);
+      (1717L, 3, "get", 4080);
+      (2701L, 6, "get", 4080);
+      (3108L, 57, "get", 4080);
+    ]
+  in
+  let s = Workload.Stream.create base_cfg in
+  List.iteri
+    (fun i (arr, key, op, vsize) ->
+      let r = Workload.Stream.next s in
+      check_i64 (Printf.sprintf "arrival %d" i) arr r.Workload.Stream.arrival;
+      check_int (Printf.sprintf "key %d" i) key r.Workload.Stream.key;
+      Alcotest.(check string)
+        (Printf.sprintf "op %d" i)
+        op
+        (Workload.Stream.op_name r.Workload.Stream.op);
+      check_int (Printf.sprintf "vsize %d" i) vsize r.Workload.Stream.vsize)
+    expect;
+  check_int "produced" (List.length expect) (Workload.Stream.produced s)
+
+let same_seed_identical () =
+  let a = Workload.Stream.create base_cfg in
+  let b = Workload.Stream.create base_cfg in
+  for i = 0 to 9_999 do
+    let ra = Workload.Stream.next a and rb = Workload.Stream.next b in
+    if ra <> rb then
+      Alcotest.failf "streams diverge at request %d" i
+  done
+
+let different_seed_differs () =
+  let a = Workload.Stream.create base_cfg in
+  let b =
+    Workload.Stream.create { base_cfg with Workload.Stream.seed = 8 }
+  in
+  let differs = ref false in
+  for _ = 0 to 99 do
+    let ra = Workload.Stream.next a and rb = Workload.Stream.next b in
+    if ra <> rb then differs := true
+  done;
+  check_bool "some request differs" true !differs
+
+let fb_sizes_drawn_from_set () =
+  let s =
+    Workload.Stream.create
+      { base_cfg with Workload.Stream.value_size = Workload.Stream.Fb_mixed }
+  in
+  for _ = 0 to 999 do
+    let r = Workload.Stream.next s in
+    check_bool "size in fb set" true
+      (Array.exists (fun v -> v = r.Workload.Stream.vsize)
+         Workload.Stream.fb_sizes)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Zipf distribution *)
+
+let zipf_matches_theory () =
+  let n = 100 and draws = 200_000 in
+  let z = Workload.Zipf.create ~n ~theta:0.99 in
+  let rng = Sim.Rng.create 11 in
+  let freq = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    check_bool "rank in range" true (k >= 0 && k < n);
+    freq.(k) <- freq.(k) + 1
+  done;
+  (* Top ranks: enough mass for a tight relative check. *)
+  for i = 0 to 19 do
+    let expect = Workload.Zipf.prob_of z i in
+    let got = float_of_int freq.(i) /. float_of_int draws in
+    let rel = Float.abs (got -. expect) /. expect in
+    if rel > 0.15 then
+      Alcotest.failf "rank %d: empirical %.4f vs theory %.4f (rel %.2f)" i got
+        expect rel
+  done;
+  (* Whole distribution: total variation distance small. *)
+  let tv = ref 0. in
+  for i = 0 to n - 1 do
+    tv :=
+      !tv
+      +. Float.abs
+           ((float_of_int freq.(i) /. float_of_int draws)
+           -. Workload.Zipf.prob_of z i)
+  done;
+  check_bool
+    (Printf.sprintf "total variation %.4f < 0.02" (!tv /. 2.))
+    true
+    (!tv /. 2. < 0.02);
+  (* Skew sanity: rank 0 is the hottest. *)
+  check_bool "rank 0 hottest" true
+    (freq.(0) > freq.(10) && freq.(10) > freq.(90))
+
+let zipf_uniform_at_theta_zero () =
+  let n = 50 and draws = 100_000 in
+  let z = Workload.Zipf.create ~n ~theta:0. in
+  let rng = Sim.Rng.create 3 in
+  let freq = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    freq.(k) <- freq.(k) + 1
+  done;
+  let expect = float_of_int draws /. float_of_int n in
+  Array.iteri
+    (fun i c ->
+      let rel = Float.abs (float_of_int c -. expect) /. expect in
+      if rel > 0.15 then
+        Alcotest.failf "uniform rank %d off by %.2f" i rel)
+    freq
+
+let zipf_probs_sum_to_one () =
+  let z = Workload.Zipf.create ~n:256 ~theta:0.99 in
+  let sum = ref 0. in
+  for i = 0 to 255 do
+    sum := !sum +. Workload.Zipf.prob_of z i
+  done;
+  Alcotest.(check (float 1e-9)) "probabilities sum to 1" 1.0 !sum
+
+let zipf_rejects_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Workload.Zipf.create ~n:0 ~theta:0.99));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Zipf.create: theta must be >= 0") (fun () ->
+      ignore (Workload.Zipf.create ~n:10 ~theta:(-1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes *)
+
+let poisson_mean_within_one_percent () =
+  let rate = 1_000_000. in
+  let a = Workload.Arrival.create ~rate_rps:rate ~seed:13 () in
+  let draws = 1_000_000 in
+  let sum = ref 0L in
+  for _ = 1 to draws do
+    let g = Workload.Arrival.next_gap a in
+    check_bool "gap nonnegative" true (Int64.compare g 0L >= 0);
+    sum := Int64.add !sum g
+  done;
+  let mean = Int64.to_float !sum /. float_of_int draws in
+  let ideal = 1e9 /. rate in
+  let rel = Float.abs (mean -. ideal) /. ideal in
+  check_bool
+    (Printf.sprintf "poisson mean %.2fns within 1%% of %.2fns" mean ideal)
+    true (rel < 0.01)
+
+let fixed_rate_no_drift () =
+  (* 333,333 rps: the ideal gap (3000.003 ns) is not an integer, so
+     without residue carry the schedule would drift by ~1us per 333k
+     requests. The residue keeps the cumulative schedule within one
+     nanosecond of ideal at every prefix. *)
+  let rate = 333_333. in
+  let a = Workload.Arrival.create ~kind:Workload.Arrival.Fixed ~rate_rps:rate
+      ~seed:1 ()
+  in
+  let draws = 1_000_000 in
+  let sum = ref 0L in
+  for i = 1 to draws do
+    sum := Int64.add !sum (Workload.Arrival.next_gap a);
+    let ideal = float_of_int i *. (1e9 /. rate) in
+    let err = Float.abs (Int64.to_float !sum -. ideal) in
+    if err > 1. then
+      Alcotest.failf "drift %.3fns after %d fixed-rate draws" err i
+  done
+
+let poisson_residue_preserves_rate () =
+  (* Same residue property for the random process: the long-run
+     achieved rate converges to the configured one even at a rate
+     whose mean gap has a fractional part. *)
+  let rate = 777_777. in
+  let a = Workload.Arrival.create ~rate_rps:rate ~seed:21 () in
+  let draws = 1_000_000 in
+  let sum = ref 0L in
+  for _ = 1 to draws do
+    sum := Int64.add !sum (Workload.Arrival.next_gap a)
+  done;
+  let achieved = float_of_int draws /. (Int64.to_float !sum /. 1e9) in
+  let rel = Float.abs (achieved -. rate) /. rate in
+  check_bool
+    (Printf.sprintf "achieved %.0f rps within 1%% of %.0f" achieved rate)
+    true (rel < 0.01)
+
+let arrival_rejects_bad_rate () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Arrival.create: rate must be positive") (fun () ->
+      ignore (Workload.Arrival.create ~rate_rps:0. ~seed:1 ()))
+
+let stream_mix_matches_read_fraction () =
+  let s =
+    Workload.Stream.create { base_cfg with Workload.Stream.read_fraction = 0.7 }
+  in
+  let n = 100_000 in
+  let gets = ref 0 in
+  for _ = 1 to n do
+    match (Workload.Stream.next s).Workload.Stream.op with
+    | Workload.Stream.Get -> incr gets
+    | Workload.Stream.Set -> ()
+  done;
+  let frac = float_of_int !gets /. float_of_int n in
+  check_bool
+    (Printf.sprintf "get fraction %.3f ~ 0.7" frac)
+    true
+    (Float.abs (frac -. 0.7) < 0.01)
+
+let stream_arrivals_monotone () =
+  let s = Workload.Stream.create base_cfg in
+  let last = ref Int64.min_int in
+  for _ = 1 to 10_000 do
+    let r = Workload.Stream.next s in
+    check_bool "arrivals nondecreasing" true
+      (Int64.compare r.Workload.Stream.arrival !last >= 0);
+    last := r.Workload.Stream.arrival
+  done
+
+let suite =
+  [
+    quick "golden stream" golden_stream;
+    quick "same seed, identical stream" same_seed_identical;
+    quick "different seed differs" different_seed_differs;
+    quick "fb sizes drawn from set" fb_sizes_drawn_from_set;
+    quick "zipf matches theory" zipf_matches_theory;
+    quick "zipf uniform at theta=0" zipf_uniform_at_theta_zero;
+    quick "zipf probs sum to 1" zipf_probs_sum_to_one;
+    quick "zipf rejects bad args" zipf_rejects_bad_args;
+    quick "poisson mean within 1% over 1M draws" poisson_mean_within_one_percent;
+    quick "fixed rate has no drift" fixed_rate_no_drift;
+    quick "poisson residue preserves rate" poisson_residue_preserves_rate;
+    quick "arrival rejects bad rate" arrival_rejects_bad_rate;
+    quick "stream mix matches read fraction" stream_mix_matches_read_fraction;
+    quick "stream arrivals monotone" stream_arrivals_monotone;
+  ]
