@@ -36,7 +36,7 @@ let fig2 () =
   Sim.Engine.spawn eng (fun () ->
       List.iter
         (fun size ->
-          let buf = Bytes.create size in
+          let buf = Sim.Bigbuf.create size in
           let t0 = Sim.Engine.now eng in
           Rdma.Qp.read qp ~raddr:0L ~buf ~off:0 ~len:size;
           let rd = Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t0) in

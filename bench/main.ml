@@ -15,7 +15,10 @@ let list_experiments () =
     Experiments.all;
   print_endline "  bechamel wall-clock primitive-operation costs";
   print_endline "perf targets (--json FILE [target...]):";
-  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.targets
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.targets;
+  print_endline "paper-scale perf targets (by explicit name only):";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.paperscale_targets;
+  print_endline "  --alloc-smoke   assert the fault path's allocation budget"
 
 let run_one key =
   match List.find_opt (fun (k, _, _) -> k = key) Experiments.all with
@@ -36,6 +39,7 @@ let () =
   | _ :: [ "list" ] -> list_experiments ()
   | _ :: [ "bechamel" ] -> Bechamel_suite.run ()
   | _ :: "--json" :: file :: keys -> Perf.run_json ~file keys
+  | _ :: [ "--alloc-smoke" ] -> Perf.alloc_smoke ()
   | _ :: [ "--json" ] ->
       Printf.eprintf "--json needs an output file (e.g. BENCH_base.json)\n";
       exit 1

@@ -162,6 +162,146 @@ let targets : (string * (unit -> result)) list =
                   ~elem_size:elem ~queries:lists ~range:100 ~seed:5)) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Paper-scale targets (BENCH_paperscale.json).
+
+   The paper's evaluation dims from Apps.Scale: 20 GiB working sets
+   against 8 GiB of local DRAM. These take minutes to hours of wall
+   clock, so they are NOT part of the default matrix — run them by
+   name:
+
+     dune exec bench/main.exe -- --json BENCH_paperscale.json \
+       paperscale_dataframe paperscale_quicksort *)
+
+let paper_dims name =
+  match Apps.Scale.dims Apps.Scale.Paper name with
+  | Some d -> d
+  | None -> invalid_arg ("no paper dims for " ^ name)
+
+let paperscale_targets : (string * (unit -> result)) list =
+  [
+    ( "paperscale_dataframe",
+      fun () ->
+        let d = paper_dims "dataframe" in
+        timed "paperscale_dataframe" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:d.Apps.Scale.local_mem
+              (fun ctx ->
+                let df = Apps.Dataframe.create ctx ~rows:d.Apps.Scale.scale ~seed:17 in
+                Apps.Dataframe.run_workload df)) );
+    ( "paperscale_quicksort",
+      fun () ->
+        let d = paper_dims "quicksort" in
+        timed "paperscale_quicksort" (fun () ->
+            H.run (H.Dilos Dilos.Kernel.Readahead) ~local_mem:d.Apps.Scale.local_mem
+              (fun ctx -> Apps.Quicksort.run ctx ~n:d.Apps.Scale.scale ~seed:42)) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-regression smoke (`--alloc-smoke`).
+
+   Two phases, two budgets:
+
+   - fault path: a read-only sweep over a working set 4x local memory
+     with prefetch off, so every measured access is a TLB miss plus a
+     remote fetch with eviction pressure behind it. The data path
+     proper is allocation-free; what remains is fiber machinery (each
+     fetch parks the fiber: effect continuations + timer/condvar nodes
+     across several sleeps) — ~580 words/fault as of this commit. The
+     budget has headroom for scheduler tweaks; a closure or record
+     sneaking back into the per-fault path (the pre-Bigbuf engine paid
+     several KB/fault in payload copies alone) still fails loudly.
+
+   - hit path: repeated u32 reads of one resident page, all TLB hits.
+     This is the tentpole's zero-alloc claim: the only allocation
+     allowed is the amortized time-flush sleep (mem_access_ns=1
+     against a 10 us pending cap = one sleep per ~10k accesses), so
+     anything above half a word per access means boxed addresses or
+     closures are back on the access path. (u64 reads are excluded by
+     construction: an [int64] crossing the Memif closure boundary is a
+     3-word box the language guarantees; int-returning accessors are
+     the ones the apps' hot loops use.) *)
+
+let alloc_budget_words_per_fault = 1024.
+let alloc_budget_words_per_hit = 0.5
+
+let alloc_smoke () =
+  let ws = mb 32 in
+  let pages = ws / 4096 in
+  let measured = ref None in
+  let r =
+    H.run (H.Dilos Dilos.Kernel.No_prefetch) ~local_mem:(ws / 4) (fun ctx ->
+        let mem = ctx.H.mem ~core:0 in
+        let base = mem.Apps.Memif.malloc ws in
+        for i = 0 to pages - 1 do
+          mem.Apps.Memif.write_u64_at base (i * 4096) (Int64.of_int i)
+        done;
+        mem.Apps.Memif.flush ();
+        (* One warm sweep so every code path has run (lazy init,
+           histogram growth) before the measured sweep. *)
+        for i = 0 to pages - 1 do
+          ignore (mem.Apps.Memif.read_u64_at base (i * 4096))
+        done;
+        mem.Apps.Memif.flush ();
+        let faults0 = Sim.Stats.get ctx.H.stats "major_faults" in
+        let words0 = Gc.minor_words () in
+        for i = 0 to pages - 1 do
+          ignore (mem.Apps.Memif.read_u64_at base (i * 4096))
+        done;
+        mem.Apps.Memif.flush ();
+        let words = Gc.minor_words () -. words0 in
+        let faults = Sim.Stats.get ctx.H.stats "major_faults" - faults0 in
+        (* Hit phase: one page, re-read; after the first access the
+           TLB caches its slab offset. *)
+        let hits = 1_000_000 in
+        ignore (mem.Apps.Memif.read_u32_at base 0);
+        let hw0 = Gc.minor_words () in
+        for _ = 1 to hits do
+          ignore (mem.Apps.Memif.read_u32_at base 0)
+        done;
+        let hit_words = Gc.minor_words () -. hw0 in
+        mem.Apps.Memif.flush ();
+        measured := Some (words, faults, hit_words, hits))
+  in
+  ignore r;
+  match !measured with
+  | None ->
+      prerr_endline "alloc-smoke: workload did not run";
+      exit 1
+  | Some (words, faults, hit_words, hits) ->
+      if faults < pages / 2 then begin
+        Printf.eprintf
+          "alloc-smoke: expected a fault per page in the measured sweep, got \
+           %d/%d\n"
+          faults pages;
+        exit 1
+      end;
+      let per_fault = words /. float_of_int faults in
+      let per_hit = hit_words /. float_of_int hits in
+      Printf.printf
+        "alloc-smoke: %.0f minor words / %d steady-state faults = %.1f \
+         words/fault (budget %.0f)\n"
+        words faults per_fault alloc_budget_words_per_fault;
+      Printf.printf
+        "alloc-smoke: %.0f minor words / %d TLB-hit u32 reads = %.4f \
+         words/access (budget %.1f)\n"
+        hit_words hits per_hit alloc_budget_words_per_hit;
+      let ok = ref true in
+      if per_fault > alloc_budget_words_per_fault then begin
+        Printf.eprintf
+          "alloc-smoke: FAIL — fault path allocates %.1f words/fault, budget \
+           %.0f\n"
+          per_fault alloc_budget_words_per_fault;
+        ok := false
+      end;
+      if per_hit > alloc_budget_words_per_hit then begin
+        Printf.eprintf
+          "alloc-smoke: FAIL — hit path allocates %.4f words/access, budget \
+           %.1f\n"
+          per_hit alloc_budget_words_per_hit;
+        ok := false
+      end;
+      if not !ok then exit 1
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -214,17 +354,18 @@ let run_json ~file keys =
   (* Before any boot: the attribution histograms are resolved per
      system at boot time, so flipping this later would miss them. *)
   Trace.set_attribution true;
+  let all = targets @ paperscale_targets in
   let chosen =
     match keys with
-    | [] -> targets
+    | [] -> targets (* paper-scale runs only by explicit name *)
     | ks ->
         List.map
           (fun k ->
-            match List.assoc_opt k targets with
+            match List.assoc_opt k all with
             | Some fn -> (k, fn)
             | None ->
                 Printf.eprintf "unknown bench target %S; targets are:\n" k;
-                List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) targets;
+                List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) all;
                 exit 1)
           ks
   in

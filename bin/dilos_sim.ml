@@ -64,6 +64,18 @@ let workload_conv =
       ("redis-lrange", W_redis_lrange);
     ]
 
+let workload_name = function
+  | W_seq_read -> "seq-read"
+  | W_seq_write -> "seq-write"
+  | W_quicksort -> "quicksort"
+  | W_kmeans -> "kmeans"
+  | W_snappy -> "snappy"
+  | W_dataframe -> "dataframe"
+  | W_pagerank -> "pagerank"
+  | W_bc -> "bc"
+  | W_redis_get -> "redis-get"
+  | W_redis_lrange -> "redis-lrange"
+
 let to_system sys prefetch =
   match sys with
   | S_dilos -> H.Dilos prefetch
@@ -128,11 +140,24 @@ let print_breakdown stats =
       (total_mean /. 1e3) (mean_fault /. 1e3)
   end
 
-let run_workload workload sys prefetch local_mb scale app_aware cores seed
-    faults fault_seed trace_file trace_cats trace_validate metrics_file
-    metrics_interval_us breakdown verbose =
+let run_workload workload sys prefetch local_mb scale scale_preset app_aware
+    cores seed faults fault_seed trace_file trace_cats trace_validate
+    metrics_file metrics_interval_us breakdown verbose =
   let system = to_system sys prefetch in
-  let local_mem = local_mb * 1024 * 1024 in
+  (* A preset pins both knobs to the canonical table (Apps.Scale);
+     explicit --scale/--local-mb are ignored when one is given. *)
+  let scale, local_mem =
+    match scale_preset with
+    | None -> (scale, local_mb * 1024 * 1024)
+    | Some preset -> (
+        match Apps.Scale.dims preset (workload_name workload) with
+        | Some d -> (d.Apps.Scale.scale, d.Apps.Scale.local_mem)
+        | None ->
+            Printf.eprintf "dilos_sim: no %s preset for workload %s\n"
+              (Apps.Scale.preset_name preset)
+              (workload_name workload);
+            exit 2)
+  in
   let fault_spec = parse_fault_spec faults in
   (* Attribution histograms are resolved at boot, so the flag must be
      set before the harness boots the kernel. *)
@@ -254,7 +279,7 @@ let run_workload workload sys prefetch local_mb scale app_aware cores seed
   in
   Printf.printf "system:    %s%s\n" (H.system_name system)
     (if app_aware then " + app-aware guide" else "");
-  Printf.printf "local mem: %d MiB\n" local_mb;
+  Printf.printf "local mem: %d MiB\n" (local_mem / (1024 * 1024));
   Printf.printf "result:    %s\n" describe;
   Printf.printf "simulated: %.3f ms\n" (Sim.Time.to_ms result.H.elapsed);
   Printf.printf "traffic:   rx %.2f MB, tx %.2f MB\n"
@@ -323,6 +348,18 @@ let run_cmd, run_term =
     Arg.(
       value & opt int 500_000
       & info [ "scale" ] ~doc:"Workload size (elements/rows/keys/pages).")
+  in
+  let scale_preset =
+    Arg.(
+      value
+      & opt (some (enum [ ("paper", Apps.Scale.Paper); ("reduced", Apps.Scale.Reduced) ])) None
+      & info [ "scale-preset" ]
+          ~docv:"PRESET"
+          ~doc:
+            "Run the workload at a canonical scale instead of --scale: \
+             $(b,paper) is the source paper's evaluation scale (20 GiB \
+             working sets, 8 GiB local DRAM), $(b,reduced) the seconds-long \
+             bench/CI scale. Overrides --scale and --local-mb.")
   in
   let app_aware =
     Arg.(
@@ -407,9 +444,9 @@ let run_cmd, run_term =
   let term =
     Term.(
       const run_workload $ workload $ system $ prefetch $ local_mb $ scale
-      $ app_aware $ cores $ seed $ faults $ fault_seed $ trace_file
-      $ trace_cats $ trace_validate $ metrics_file $ metrics_interval_us
-      $ breakdown $ verbose)
+      $ scale_preset $ app_aware $ cores $ seed $ faults $ fault_seed
+      $ trace_file $ trace_cats $ trace_validate $ metrics_file
+      $ metrics_interval_us $ breakdown $ verbose)
   in
   (Cmd.v (Cmd.info "run" ~doc:"Run one workload on one system") term, term)
 
@@ -533,7 +570,7 @@ let run_serve sys prefetch local_mb seed keys value_size arrival rate zipf
         Apps.Serving.run ctx cfg)
   in
   Printf.printf "system:    %s\n" (H.system_name system);
-  Printf.printf "local mem: %d MiB\n" local_mb;
+  Printf.printf "local mem: %d MiB\n" (local_mem / (1024 * 1024));
   Printf.printf
     "workload:  %d keys, zipf %.2f, %.0f%% reads, %s arrivals, seed %d\n" keys
     zipf (rw_mix *. 100.)

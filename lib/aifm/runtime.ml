@@ -9,7 +9,7 @@ let offset_mask = Int64.sub (Int64.shift_left 1L offset_bits) 1L
 let pending_cap_ns = 10_000
 
 type cstate =
-  | CLocal of bytes
+  | CLocal of Sim.Bigbuf.t
   | CRemote
   | CFetching of (unit -> unit) list ref (* waiters *)
 
@@ -194,8 +194,10 @@ let malloc t ~core:_ size =
   let oid = t.next_oid in
   t.next_oid <- oid + 1;
   let n_chunks = (size + chunk_size - 1) / chunk_size in
+  (* Object construction, not the deref path: chunk descriptors live
+     as long as the object, so per-malloc allocation is the point. *)
   let chunks =
-    Array.init n_chunks (fun i ->
+    (Array.init [@lint.allow "hot-alloc"]) n_chunks (fun i ->
         let len = Int.min chunk_size (size - (i * chunk_size)) in
         {
           len;
@@ -251,7 +253,7 @@ let issue_prefetch t o ci =
     | CRemote ->
         let waiters = ref [] in
         c.data <- CFetching waiters;
-        let buf = Bytes.create c.len in
+        let buf = Sim.Bigbuf.create c.len in
         let qp = t.prefetch_qps.(t.prefetch_rr) in
         t.prefetch_rr <- (t.prefetch_rr + 1) mod Array.length t.prefetch_qps;
         Sim.Stats.cincr t.hot.c_prefetch_issued;
@@ -296,7 +298,7 @@ let rec chunk_bytes t o ci ~write =
       Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.aifm_object_fault_sw_ns);
       let waiters = ref [] in
       c.data <- CFetching waiters;
-      let buf = Bytes.create c.len in
+      let buf = Sim.Bigbuf.create c.len in
       stream_detect t o ci;
       Rdma.Qp.read t.deref_qp ~raddr:c.craddr ~buf ~off:0 ~len:c.len;
       install t o ci buf;
@@ -314,8 +316,7 @@ let chunk_full_write t o ci =
       b
   | CFetching _ -> chunk_bytes t o ci ~write:true
   | CRemote ->
-      let b = Bytes.create c.len in
-      Bytes.fill b 0 c.len '\000';
+      let b = Sim.Bigbuf.create c.len (* zeroed *) in
       c.data <- CLocal b;
       c.dirty <- true;
       t.used <- t.used + c.len;
@@ -338,54 +339,54 @@ let locate t addr ~write =
   (b, coff)
 
 let check_span c off size =
-  if off + size > Bytes.length c then
+  if off + size > Sim.Bigbuf.length c then
     invalid_arg "Aifm: scalar access straddles a chunk boundary"
 
 let read_u8 t ~core addr =
   ignore core;
   let b, off = locate t addr ~write:false in
-  Char.code (Bytes.get b off)
+  Sim.Bigbuf.get_u8 b off
 
 let read_u16 t ~core addr =
   ignore core;
   let b, off = locate t addr ~write:false in
   check_span b off 2;
-  Bytes.get_uint16_le b off
+  Sim.Bigbuf.get_u16_le b off
 
 let read_u32 t ~core addr =
   ignore core;
   let b, off = locate t addr ~write:false in
   check_span b off 4;
-  Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+  Sim.Bigbuf.get_u32_le b off
 
 let read_u64 t ~core addr =
   ignore core;
   let b, off = locate t addr ~write:false in
   check_span b off 8;
-  Bytes.get_int64_le b off
+  Sim.Bigbuf.get_u64_le b off
 
 let write_u8 t ~core addr v =
   ignore core;
   let b, off = locate t addr ~write:true in
-  Bytes.set b off (Char.chr (v land 0xFF))
+  Sim.Bigbuf.set_u8 b off (v land 0xFF)
 
 let write_u16 t ~core addr v =
   ignore core;
   let b, off = locate t addr ~write:true in
   check_span b off 2;
-  Bytes.set_uint16_le b off (v land 0xFFFF)
+  Sim.Bigbuf.set_u16_le b off (v land 0xFFFF)
 
 let write_u32 t ~core addr v =
   ignore core;
   let b, off = locate t addr ~write:true in
   check_span b off 4;
-  Bytes.set_int32_le b off (Int32.of_int v)
+  Sim.Bigbuf.set_u32_le b off v
 
 let write_u64 t ~core addr v =
   ignore core;
   let b, off = locate t addr ~write:true in
   check_span b off 8;
-  Bytes.set_int64_le b off v
+  Sim.Bigbuf.set_u64_le b off v
 
 let bulk t addr buf off len ~write =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
@@ -402,8 +403,10 @@ let bulk t addr buf off len ~write =
       if write && coff = 0 && n = c.len then chunk_full_write t o ci
       else chunk_bytes t o ci ~write
     in
-    if write then Bytes.blit buf (off + !done_) b coff n
-    else Bytes.blit b coff buf (off + !done_) n;
+    if write then
+      Sim.Bigbuf.blit_from_bytes buf ~src_off:(off + !done_) b ~dst_off:coff
+        ~len:n
+    else Sim.Bigbuf.blit_to_bytes b ~src_off:coff buf ~dst_off:(off + !done_) ~len:n;
     charge t (n / 64 * Dilos.Params.mem_access_ns);
     pos := !pos + n;
     done_ := !done_ + n

@@ -10,8 +10,8 @@ type t = {
 
 let rows t = t.n
 
-let read_f64 mem addr = Int64.float_of_bits (mem.Memif.read_u64 addr)
-let write_f64 mem addr v = mem.Memif.write_u64 addr (Int64.bits_of_float v)
+let read_f64_at mem base off = Int64.float_of_bits (mem.Memif.read_u64_at base off)
+let write_f64_at mem base off v = mem.Memif.write_u64_at base off (Int64.bits_of_float v)
 
 (* Arithmetic cost of one row's worth of query work. *)
 let row_cost_ns = 2
@@ -31,21 +31,20 @@ let create (ctx : Harness.ctx) ~rows ~seed =
     }
   in
   for i = 0 to rows - 1 do
-    let off = Int64.of_int i in
     (* Peak-hour-skewed pickups. *)
     let hour =
       if Sim.Rng.float rng < 0.4 then 7 + Sim.Rng.int rng 4
       else Sim.Rng.int rng 24
     in
-    mem.Memif.write_u8 (Int64.add t.pickup_hour off) hour;
-    mem.Memif.write_u8 (Int64.add t.passenger_count off) (1 + Sim.Rng.int rng 6);
+    mem.Memif.write_u8_at t.pickup_hour i hour;
+    mem.Memif.write_u8_at t.passenger_count i (1 + Sim.Rng.int rng 6);
     (* Distances: mostly short, heavy tail. *)
     let dist = -3.2 *. log (1. -. Sim.Rng.float rng) in
-    write_f64 mem (Int64.add t.trip_distance (Int64.of_int (i * 8))) dist;
+    write_f64_at mem t.trip_distance (i * 8) dist;
     let fare = 2.5 +. (dist *. 2.8) +. (Sim.Rng.float rng *. 3.) in
-    write_f64 mem (Int64.add t.fare (Int64.of_int (i * 8))) fare;
+    write_f64_at mem t.fare (i * 8) fare;
     let dur = int_of_float ((dist /. 0.18) *. 60.) + Sim.Rng.int rng 300 in
-    t.mem.Memif.write_u32 (Int64.add t.duration_s (Int64.of_int (i * 4))) dur
+    t.mem.Memif.write_u32_at t.duration_s (i * 4) dur
   done;
   mem.Memif.flush ();
   t
@@ -53,7 +52,7 @@ let create (ctx : Harness.ctx) ~rows ~seed =
 let q_count_per_passenger t =
   let counts = Array.make 7 0 in
   for i = 0 to t.n - 1 do
-    let p = t.mem.Memif.read_u8 (Int64.add t.passenger_count (Int64.of_int i)) in
+    let p = t.mem.Memif.read_u8_at t.passenger_count i in
     counts.(p) <- counts.(p) + 1;
     t.mem.Memif.compute row_cost_ns
   done;
@@ -62,8 +61,8 @@ let q_count_per_passenger t =
 let q_avg_distance_per_hour t =
   let sums = Array.make 24 0. and counts = Array.make 24 0 in
   for i = 0 to t.n - 1 do
-    let h = t.mem.Memif.read_u8 (Int64.add t.pickup_hour (Int64.of_int i)) in
-    let d = read_f64 t.mem (Int64.add t.trip_distance (Int64.of_int (i * 8))) in
+    let h = t.mem.Memif.read_u8_at t.pickup_hour i in
+    let d = read_f64_at t.mem t.trip_distance (i * 8) in
     sums.(h) <- sums.(h) +. d;
     counts.(h) <- counts.(h) + 1;
     t.mem.Memif.compute row_cost_ns
@@ -75,7 +74,7 @@ let q_avg_distance_per_hour t =
 let q_fare_stats t =
   let sum = ref 0. and sumsq = ref 0. in
   for i = 0 to t.n - 1 do
-    let f = read_f64 t.mem (Int64.add t.fare (Int64.of_int (i * 8))) in
+    let f = read_f64_at t.mem t.fare (i * 8) in
     sum := !sum +. f;
     sumsq := !sumsq +. (f *. f);
     t.mem.Memif.compute row_cost_ns
@@ -90,11 +89,11 @@ let q_long_trips t =
   let out = t.mem.Memif.malloc (t.n * 8) in
   let count = ref 0 in
   for i = 0 to t.n - 1 do
-    let dur = t.mem.Memif.read_u32 (Int64.add t.duration_s (Int64.of_int (i * 4))) in
+    let dur = t.mem.Memif.read_u32_at t.duration_s (i * 4) in
     t.mem.Memif.compute row_cost_ns;
     if dur > 1800 then begin
-      let f = t.mem.Memif.read_u64 (Int64.add t.fare (Int64.of_int (i * 8))) in
-      t.mem.Memif.write_u64 (Int64.add out (Int64.of_int (!count * 8))) f;
+      let f = t.mem.Memif.read_u64_at t.fare (i * 8) in
+      t.mem.Memif.write_u64_at out (!count * 8) f;
       incr count
     end
   done;
@@ -107,21 +106,21 @@ let q_sort_by_distance t =
      quicksort them in place. *)
   let idx = t.mem.Memif.malloc (t.n * 16) in
   for i = 0 to t.n - 1 do
-    let d = t.mem.Memif.read_u64 (Int64.add t.trip_distance (Int64.of_int (i * 8))) in
-    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (i * 16))) d;
-    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) i
+    let d = t.mem.Memif.read_u64_at t.trip_distance (i * 8) in
+    t.mem.Memif.write_u64_at idx (i * 16) d;
+    t.mem.Memif.write_u32_at idx ((i * 16) + 8) i
   done;
-  let key i = Int64.float_of_bits (t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (i * 16)))) in
-  let get i = t.mem.Memif.read_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) in
+  let key i = Int64.float_of_bits (t.mem.Memif.read_u64_at idx (i * 16)) in
+  let get i = t.mem.Memif.read_u32_at idx ((i * 16) + 8) in
   let swap i j =
-    let ka = t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (i * 16))) in
+    let ka = t.mem.Memif.read_u64_at idx (i * 16) in
     let va = get i in
-    let kb = t.mem.Memif.read_u64 (Int64.add idx (Int64.of_int (j * 16))) in
+    let kb = t.mem.Memif.read_u64_at idx (j * 16) in
     let vb = get j in
-    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (i * 16))) kb;
-    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((i * 16) + 8))) vb;
-    t.mem.Memif.write_u64 (Int64.add idx (Int64.of_int (j * 16))) ka;
-    t.mem.Memif.write_u32 (Int64.add idx (Int64.of_int ((j * 16) + 8))) va
+    t.mem.Memif.write_u64_at idx (i * 16) kb;
+    t.mem.Memif.write_u32_at idx ((i * 16) + 8) vb;
+    t.mem.Memif.write_u64_at idx (j * 16) ka;
+    t.mem.Memif.write_u32_at idx ((j * 16) + 8) va
   in
   let rec qsort lo hi =
     if hi - lo < 12 then

@@ -22,11 +22,11 @@ let create (mem : Memif.t) ~size_hint =
 
 let count t = t.n
 
-let bucket_addr t key = Int64.add t.buckets (Int64.of_int ((hash key land t.mask) * 8))
+let bucket_off t key = (hash key land t.mask) * 8
 
-let entry_next t e = t.mem.Memif.read_u64 e
-let entry_key t e = t.mem.Memif.read_u64 (Int64.add e 8L)
-let entry_value t e = t.mem.Memif.read_u64 (Int64.add e 16L)
+let entry_next t e = t.mem.Memif.read_u64_at e 0
+let entry_key t e = t.mem.Memif.read_u64_at e 8
+let entry_value t e = t.mem.Memif.read_u64_at e 16
 
 let key_equals t e key =
   let kaddr = entry_key t e in
@@ -44,34 +44,34 @@ let find_entry t key =
     else if key_equals t e key then Some e
     else walk (entry_next t e)
   in
-  walk (t.mem.Memif.read_u64 (bucket_addr t key))
+  walk (t.mem.Memif.read_u64_at t.buckets (bucket_off t key))
 
 let insert t ~key ~value =
   match find_entry t key with
-  | Some e -> t.mem.Memif.write_u64 (Int64.add e 16L) value
+  | Some e -> t.mem.Memif.write_u64_at e 16 value
   | None ->
-      let baddr = bucket_addr t key in
-      let head = t.mem.Memif.read_u64 baddr in
+      let boff = bucket_off t key in
+      let head = t.mem.Memif.read_u64_at t.buckets boff in
       let e = t.mem.Memif.malloc entry_size in
       let kaddr = Sds.create t.mem key in
-      t.mem.Memif.write_u64 e head;
-      t.mem.Memif.write_u64 (Int64.add e 8L) kaddr;
-      t.mem.Memif.write_u64 (Int64.add e 16L) value;
-      t.mem.Memif.write_u64 baddr e;
+      t.mem.Memif.write_u64_at e 0 head;
+      t.mem.Memif.write_u64_at e 8 kaddr;
+      t.mem.Memif.write_u64_at e 16 value;
+      t.mem.Memif.write_u64_at t.buckets boff e;
       t.n <- t.n + 1
 
 let find t key =
   match find_entry t key with Some e -> Some (entry_value t e) | None -> None
 
 let remove t key =
-  let baddr = bucket_addr t key in
+  let boff = bucket_off t key in
   let rec walk prev e =
     if Int64.equal e 0L then None
     else if key_equals t e key then begin
       let next = entry_next t e in
       (match prev with
-      | None -> t.mem.Memif.write_u64 baddr next
-      | Some p -> t.mem.Memif.write_u64 p next);
+      | None -> t.mem.Memif.write_u64_at t.buckets boff next
+      | Some p -> t.mem.Memif.write_u64_at p 0 next);
       let v = entry_value t e in
       Sds.free t.mem (entry_key t e);
       t.mem.Memif.free e;
@@ -80,4 +80,4 @@ let remove t key =
     end
     else walk (Some e) (entry_next t e)
   in
-  walk None (t.mem.Memif.read_u64 baddr)
+  walk None (t.mem.Memif.read_u64_at t.buckets boff)

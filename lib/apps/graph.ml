@@ -2,11 +2,13 @@ type csr = { n : int; m : int; offsets : int64; edges : int64; out_deg : int64 }
 
 let edge_cost_ns = 1
 
-let u32 mem a = mem.Memif.read_u32 a
-let f64 mem a = Int64.float_of_bits (mem.Memif.read_u64 a)
-let set_f64 mem a v = mem.Memif.write_u64 a (Int64.bits_of_float v)
+let u32 mem base i = mem.Memif.read_u32_at base (i * 4)
+let set_u32 mem base i v = mem.Memif.write_u32_at base (i * 4) v
+let i32 mem base i = Memif.read_i32_at mem base (i * 4)
+let set_i32 mem base i v = Memif.write_i32_at mem base (i * 4) v
+let f64 mem base i = Int64.float_of_bits (mem.Memif.read_u64_at base (i * 8))
+let set_f64 mem base i v = mem.Memif.write_u64_at base (i * 8) (Int64.bits_of_float v)
 let off32 base i = Int64.add base (Int64.of_int (i * 4))
-let off64 base i = Int64.add base (Int64.of_int (i * 8))
 
 let generate (ctx : Harness.ctx) ~n ~avg_deg ~seed =
   let mem = ctx.Harness.mem ~core:0 in
@@ -32,7 +34,7 @@ let generate (ctx : Harness.ctx) ~n ~avg_deg ~seed =
   let out_deg = mem.Memif.malloc (n * 4) in
   let pos = ref 0 in
   for v = 0 to n - 1 do
-    mem.Memif.write_u32 (off32 offsets v) !pos;
+    set_u32 mem offsets v !pos;
     let lst = in_lists.(v) in
     let k = List.length lst in
     if k > 0 then begin
@@ -43,9 +45,9 @@ let generate (ctx : Harness.ctx) ~n ~avg_deg ~seed =
     end;
     in_lists.(v) <- []
   done;
-  mem.Memif.write_u32 (off32 offsets n) !pos;
+  set_u32 mem offsets n !pos;
   for v = 0 to n - 1 do
-    mem.Memif.write_u32 (off32 out_deg v) out_deg_host.(v)
+    set_u32 mem out_deg v out_deg_host.(v)
   done;
   mem.Memif.flush ();
   { n; m = !pos; offsets; edges; out_deg }
@@ -70,7 +72,7 @@ let pagerank (ctx : Harness.ctx) g ~iters ~threads =
   let scores_next = mem0.Memif.malloc (n * 8) in
   let init = 1. /. float_of_int n in
   for v = 0 to n - 1 do
-    set_f64 mem0 (off64 scores v) init
+    set_f64 mem0 scores v init
   done;
   mem0.Memif.flush ();
   let t0 = mem0.Memif.now () in
@@ -85,17 +87,17 @@ let pagerank (ctx : Harness.ctx) g ~iters ~threads =
       for _ = 1 to iters do
         let cur_a = !cur in
         for v = lo to hi do
-          let s = u32 mem (off32 g.offsets v) in
-          let e = u32 mem (off32 g.offsets (v + 1)) in
+          let s = u32 mem g.offsets v in
+          let e = u32 mem g.offsets (v + 1) in
           let acc = ref 0. in
           for ei = s to e - 1 do
-            let u = u32 mem (off32 g.edges ei) in
-            let deg = u32 mem (off32 g.out_deg u) in
+            let u = u32 mem g.edges ei in
+            let deg = u32 mem g.out_deg u in
             if deg > 0 then
-              acc := !acc +. (f64 mem (off64 cur_a u) /. float_of_int deg);
+              acc := !acc +. (f64 mem cur_a u /. float_of_int deg);
             mem.Memif.compute edge_cost_ns
           done;
-          set_f64 mem (off64 !nxt v) (base +. (damping *. !acc))
+          set_f64 mem !nxt v (base +. (damping *. !acc))
         done;
         mem.Memif.flush ();
         Barrier.wait barrier;
@@ -109,7 +111,7 @@ let pagerank (ctx : Harness.ctx) g ~iters ~threads =
       done);
   let sum = ref 0. in
   for v = 0 to n - 1 do
-    sum := !sum +. f64 mem0 (off64 !cur v)
+    sum := !sum +. f64 mem0 !cur v
   done;
   let dt = Sim.Time.sub (mem0.Memif.now ()) t0 in
   { pr_time = dt; iterations = iters; score_sum = !sum }
@@ -138,57 +140,57 @@ let betweenness (ctx : Harness.ctx) g ~sources ~threads ~seed =
           incr next_src;
           (* Init. *)
           for v = 0 to n - 1 do
-            Memif.write_i32 mem (off32 dist v) (-1);
-            set_f64 mem (off64 sigma v) 0.;
-            set_f64 mem (off64 delta v) 0.
+            set_i32 mem dist v (-1);
+            set_f64 mem sigma v 0.;
+            set_f64 mem delta v 0.
           done;
-          Memif.write_i32 mem (off32 dist s) 0;
-          set_f64 mem (off64 sigma s) 1.;
-          mem.Memif.write_u32 (off32 order 0) s;
+          set_i32 mem dist s 0;
+          set_f64 mem sigma s 1.;
+          set_u32 mem order 0 s;
           let head = ref 0 and tail = ref 1 in
           (* Forward BFS, counting shortest paths. *)
           while !head < !tail do
-            let v = u32 mem (off32 order !head) in
+            let v = u32 mem order !head in
             incr head;
-            let dv = Memif.read_i32 mem (off32 dist v) in
-            let sv = f64 mem (off64 sigma v) in
-            let s0 = u32 mem (off32 g.offsets v) in
-            let e0 = u32 mem (off32 g.offsets (v + 1)) in
+            let dv = i32 mem dist v in
+            let sv = f64 mem sigma v in
+            let s0 = u32 mem g.offsets v in
+            let e0 = u32 mem g.offsets (v + 1) in
             for ei = s0 to e0 - 1 do
-              let w = u32 mem (off32 g.edges ei) in
+              let w = u32 mem g.edges ei in
               mem.Memif.compute edge_cost_ns;
-              let dw = Memif.read_i32 mem (off32 dist w) in
+              let dw = i32 mem dist w in
               if dw < 0 then begin
-                Memif.write_i32 mem (off32 dist w) (dv + 1);
-                mem.Memif.write_u32 (off32 order !tail) w;
+                set_i32 mem dist w (dv + 1);
+                set_u32 mem order !tail w;
                 incr tail;
-                set_f64 mem (off64 sigma w) sv
+                set_f64 mem sigma w sv
               end
               else if dw = dv + 1 then
-                set_f64 mem (off64 sigma w) (f64 mem (off64 sigma w) +. sv)
+                set_f64 mem sigma w (f64 mem sigma w +. sv)
             done
           done;
           (* Dependency accumulation in reverse BFS order. *)
           for i = !tail - 1 downto 0 do
-            let v = u32 mem (off32 order i) in
-            let dv = Memif.read_i32 mem (off32 dist v) in
-            let sv = f64 mem (off64 sigma v) in
+            let v = u32 mem order i in
+            let dv = i32 mem dist v in
+            let sv = f64 mem sigma v in
             let acc = ref 0. in
-            let s0 = u32 mem (off32 g.offsets v) in
-            let e0 = u32 mem (off32 g.offsets (v + 1)) in
+            let s0 = u32 mem g.offsets v in
+            let e0 = u32 mem g.offsets (v + 1) in
             for ei = s0 to e0 - 1 do
-              let w = u32 mem (off32 g.edges ei) in
+              let w = u32 mem g.edges ei in
               mem.Memif.compute edge_cost_ns;
-              if Memif.read_i32 mem (off32 dist w) = dv + 1 then begin
-                let sw = f64 mem (off64 sigma w) in
+              if i32 mem dist w = dv + 1 then begin
+                let sw = f64 mem sigma w in
                 if sw > 0. then
-                  acc := !acc +. (sv /. sw *. (1. +. f64 mem (off64 delta w)))
+                  acc := !acc +. (sv /. sw *. (1. +. f64 mem delta w))
               end
             done;
-            set_f64 mem (off64 delta v) !acc;
+            set_f64 mem delta v !acc;
             if v <> s then
-              set_f64 mem (off64 centrality v)
-                (f64 mem (off64 centrality v) +. !acc)
+              set_f64 mem centrality v
+                (f64 mem centrality v +. !acc)
           done;
           work ()
         end
@@ -201,7 +203,7 @@ let betweenness (ctx : Harness.ctx) g ~sources ~threads ~seed =
       mem.Memif.free order);
   let maxc = ref 0. in
   for v = 0 to n - 1 do
-    let c = f64 mem0 (off64 centrality v) in
+    let c = f64 mem0 centrality v in
     if c > !maxc then maxc := c
   done;
   let dt = Sim.Time.sub (mem0.Memif.now ()) t0 in

@@ -51,6 +51,14 @@ let memif_of_dilos k ~core =
     write_u64 = (fun a v -> write_u64 k ~core a v);
     read_bytes = (fun a b o l -> read_bytes k ~core a b o l);
     write_bytes = (fun a b o l -> write_bytes k ~core a b o l);
+    read_u8_at = (fun a off -> read_u8_at k ~core a off);
+    read_u16_at = (fun a off -> read_u16_at k ~core a off);
+    read_u32_at = (fun a off -> read_u32_at k ~core a off);
+    read_u64_at = (fun a off -> read_u64_at k ~core a off);
+    write_u8_at = (fun a off v -> write_u8_at k ~core a off v);
+    write_u16_at = (fun a off v -> write_u16_at k ~core a off v);
+    write_u32_at = (fun a off v -> write_u32_at k ~core a off v);
+    write_u64_at = (fun a off v -> write_u64_at k ~core a off v);
     compute = (fun ns -> compute k ~core ns);
     flush = (fun () -> flush k ~core);
     touch = (fun a -> touch k ~core a);
@@ -73,6 +81,14 @@ let memif_of_fastswap k ~core =
     write_u64 = (fun a v -> write_u64 k ~core a v);
     read_bytes = (fun a b o l -> read_bytes k ~core a b o l);
     write_bytes = (fun a b o l -> write_bytes k ~core a b o l);
+    read_u8_at = (fun a off -> read_u8_at k ~core a off);
+    read_u16_at = (fun a off -> read_u16_at k ~core a off);
+    read_u32_at = (fun a off -> read_u32_at k ~core a off);
+    read_u64_at = (fun a off -> read_u64_at k ~core a off);
+    write_u8_at = (fun a off v -> write_u8_at k ~core a off v);
+    write_u16_at = (fun a off v -> write_u16_at k ~core a off v);
+    write_u32_at = (fun a off v -> write_u32_at k ~core a off v);
+    write_u64_at = (fun a off v -> write_u64_at k ~core a off v);
     compute = (fun ns -> compute k ~core ns);
     flush = (fun () -> flush k ~core);
     touch = (fun a -> touch k ~core a);
@@ -95,6 +111,20 @@ let memif_of_aifm k ~core =
     write_u64 = (fun a v -> write_u64 k ~core a v);
     read_bytes = (fun a b o l -> read_bytes k ~core a b o l);
     write_bytes = (fun a b o l -> write_bytes k ~core a b o l);
+    (* AIFM's handle-based runtime has no slab-offset fast path; the
+       [_at] variants just recombine base+off. *)
+    read_u8_at = (fun a off -> read_u8 k ~core (Int64.add a (Int64.of_int off)));
+    read_u16_at = (fun a off -> read_u16 k ~core (Int64.add a (Int64.of_int off)));
+    read_u32_at = (fun a off -> read_u32 k ~core (Int64.add a (Int64.of_int off)));
+    read_u64_at = (fun a off -> read_u64 k ~core (Int64.add a (Int64.of_int off)));
+    write_u8_at =
+      (fun a off v -> write_u8 k ~core (Int64.add a (Int64.of_int off)) v);
+    write_u16_at =
+      (fun a off v -> write_u16 k ~core (Int64.add a (Int64.of_int off)) v);
+    write_u32_at =
+      (fun a off v -> write_u32 k ~core (Int64.add a (Int64.of_int off)) v);
+    write_u64_at =
+      (fun a off v -> write_u64 k ~core (Int64.add a (Int64.of_int off)) v);
     compute = (fun ns -> compute k ~core ns);
     flush = (fun () -> flush k ~core);
     touch = (fun a -> touch k ~core a);

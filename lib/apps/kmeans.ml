@@ -22,21 +22,21 @@ let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
   let rng = Sim.Rng.create seed in
   let points = mem.Memif.malloc (n * 4) in
   let labels = mem.Memif.malloc n in
-  let paddr i = Int64.add points (Int64.of_int (i * 4)) in
+  let pget i = Memif.read_i32_at mem points (i * 4) in
   for i = 0 to n - 1 do
-    Memif.write_i32 mem (paddr i) (Sim.Rng.int rng 1_000_000)
+    Memif.write_i32_at mem points (i * 4) (Sim.Rng.int rng 1_000_000)
   done;
   mem.Memif.flush ();
   let t0 = mem.Memif.now () in
   (* k-means++-flavoured seeding: random probes across the data set
      (the irregular phase). *)
   let centroids = Array.make k 0. in
-  centroids.(0) <- float_of_int (Memif.read_i32 mem (paddr (Sim.Rng.int rng n)));
+  centroids.(0) <- float_of_int (pget (Sim.Rng.int rng n));
   for c = 1 to k - 1 do
     let best = ref neg_infinity and best_p = ref 0 in
     for _ = 1 to 64 do
       let p = Sim.Rng.int rng n in
-      let v = float_of_int (Memif.read_i32 mem (paddr p)) in
+      let v = float_of_int (pget p) in
       let d =
         Array.fold_left
           (fun acc cv -> Float.min acc (Float.abs (v -. cv)))
@@ -49,7 +49,7 @@ let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
         best_p := p
       end
     done;
-    centroids.(c) <- float_of_int (Memif.read_i32 mem (paddr !best_p))
+    centroids.(c) <- float_of_int (pget !best_p)
   done;
   (* Lloyd iterations with chunked distance matrices. *)
   let inertia = ref 0. in
@@ -72,11 +72,10 @@ let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
       let dist = alloc_chunk_buf (m * k * 8) in
       (* Pass 1: materialize the chunk's distance matrix. *)
       for i = 0 to m - 1 do
-        let v = float_of_int (Memif.read_i32 mem (paddr (!base + i))) in
+        let v = float_of_int (pget (!base + i)) in
         for c = 0 to k - 1 do
           let d = Float.abs (v -. centroids.(c)) in
-          mem.Memif.write_u64
-            (Int64.add dist (Int64.of_int (((i * k) + c) * 8)))
+          mem.Memif.write_u64_at dist (((i * k) + c) * 8)
             (Int64.bits_of_float d);
           mem.Memif.compute cell_cost_ns
         done
@@ -87,16 +86,15 @@ let run (ctx : Harness.ctx) ~n ~k ~iters ~seed =
         for c = 0 to k - 1 do
           let d =
             Int64.float_of_bits
-              (mem.Memif.read_u64
-                 (Int64.add dist (Int64.of_int (((i * k) + c) * 8))))
+              (mem.Memif.read_u64_at dist (((i * k) + c) * 8))
           in
           if d < !best_d then begin
             best_d := d;
             best := c
           end
         done;
-        mem.Memif.write_u8 (Int64.add labels (Int64.of_int (!base + i))) !best;
-        let v = float_of_int (Memif.read_i32 mem (paddr (!base + i))) in
+        mem.Memif.write_u8_at labels (!base + i) !best;
+        let v = float_of_int (pget (!base + i)) in
         sums.(!best) <- sums.(!best) +. v;
         counts.(!best) <- counts.(!best) + 1;
         inertia := !inertia +. (!best_d *. !best_d)

@@ -25,6 +25,20 @@ type t = {
   write_u64 : int64 -> int64 -> unit;
   read_bytes : int64 -> bytes -> int -> int -> unit;
   write_bytes : int64 -> bytes -> int -> int -> unit;
+  read_u8_at : int64 -> int -> int;
+      (** [_at] variants access [base + off] where [off] is a plain
+          [int] byte offset. Semantically identical to the [int64]
+          accessors at [Int64.add base (Int64.of_int off)], but the
+          paging backends resolve them without boxing a fresh [int64]
+          per access — the indexed-array idiom ([a.(i)]) every
+          application hot loop uses. *)
+  read_u16_at : int64 -> int -> int;
+  read_u32_at : int64 -> int -> int;
+  read_u64_at : int64 -> int -> int64;
+  write_u8_at : int64 -> int -> int -> unit;
+  write_u16_at : int64 -> int -> int -> unit;
+  write_u32_at : int64 -> int -> int -> unit;
+  write_u64_at : int64 -> int -> int64 -> unit;
   compute : int -> unit;  (** charge CPU nanoseconds *)
   flush : unit -> unit;
   touch : int64 -> unit;
@@ -35,3 +49,9 @@ val read_i32 : t -> int64 -> int
 (** Sign-extending 32-bit read (helper over [read_u32]). *)
 
 val write_i32 : t -> int64 -> int -> unit
+
+val read_i32_at : t -> int64 -> int -> int
+(** Sign-extending 32-bit read at [base + off] (helper over
+    [read_u32_at]). *)
+
+val write_i32_at : t -> int64 -> int -> int -> unit

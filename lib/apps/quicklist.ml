@@ -11,57 +11,55 @@ let ziplist_capacity = 1024 (* bytes of payload per node, Redis-ish *)
 
 let create (mem : Memif.t) =
   let base = mem.Memif.malloc header_size in
-  mem.Memif.write_u64 base 0L;
-  mem.Memif.write_u64 (Int64.add base 8L) 0L;
-  mem.Memif.write_u32 (Int64.add base 16L) 0;
-  mem.Memif.write_u32 (Int64.add base 20L) 0;
+  mem.Memif.write_u64_at base 0 0L;
+  mem.Memif.write_u64_at base 8 0L;
+  mem.Memif.write_u32_at base 16 0;
+  mem.Memif.write_u32_at base 20 0;
   base
 
-let head_node (mem : Memif.t) t = mem.Memif.read_u64 t
-let tail_node (mem : Memif.t) t = mem.Memif.read_u64 (Int64.add t 8L)
-let length (mem : Memif.t) t = mem.Memif.read_u32 (Int64.add t 16L)
-let node_count (mem : Memif.t) t = mem.Memif.read_u32 (Int64.add t 20L)
+let head_node (mem : Memif.t) t = mem.Memif.read_u64_at t 0
+let tail_node (mem : Memif.t) t = mem.Memif.read_u64_at t 8
+let length (mem : Memif.t) t = mem.Memif.read_u32_at t 16
+let node_count (mem : Memif.t) t = mem.Memif.read_u32_at t 20
 
 let new_node (mem : Memif.t) =
   let zl = Ziplist.create mem ~capacity:ziplist_capacity in
   let node = mem.Memif.malloc node_size in
-  mem.Memif.write_u64 (Int64.add node (Int64.of_int node_next_off)) 0L;
-  mem.Memif.write_u64 (Int64.add node (Int64.of_int node_prev_off)) 0L;
-  mem.Memif.write_u64 (Int64.add node (Int64.of_int node_zl_off)) zl;
-  mem.Memif.write_u32 (Int64.add node (Int64.of_int node_count_off)) 0;
-  mem.Memif.write_u32
-    (Int64.add node (Int64.of_int node_zlbytes_off))
+  mem.Memif.write_u64_at node node_next_off 0L;
+  mem.Memif.write_u64_at node node_prev_off 0L;
+  mem.Memif.write_u64_at node node_zl_off zl;
+  mem.Memif.write_u32_at node node_count_off 0;
+  mem.Memif.write_u32_at node node_zlbytes_off
     (Ziplist.header_size + ziplist_capacity);
   node
 
-let node_zl (mem : Memif.t) node =
-  mem.Memif.read_u64 (Int64.add node (Int64.of_int node_zl_off))
+let node_zl (mem : Memif.t) node = mem.Memif.read_u64_at node node_zl_off
 
 let bump_node_count (mem : Memif.t) node =
-  let a = Int64.add node (Int64.of_int node_count_off) in
-  mem.Memif.write_u32 a (mem.Memif.read_u32 a + 1)
+  mem.Memif.write_u32_at node node_count_off
+    (mem.Memif.read_u32_at node node_count_off + 1)
 
 let push_tail (mem : Memif.t) t elem =
   let tail = tail_node mem t in
   let target =
     if Int64.equal tail 0L then begin
       let node = new_node mem in
-      mem.Memif.write_u64 t node;
-      mem.Memif.write_u64 (Int64.add t 8L) node;
-      mem.Memif.write_u32 (Int64.add t 20L) 1;
+      mem.Memif.write_u64_at t 0 node;
+      mem.Memif.write_u64_at t 8 node;
+      mem.Memif.write_u32_at t 20 1;
       node
     end
     else if Ziplist.try_append mem (node_zl mem tail) elem then begin
       bump_node_count mem tail;
-      mem.Memif.write_u32 (Int64.add t 16L) (length mem t + 1);
+      mem.Memif.write_u32_at t 16 (length mem t + 1);
       0L (* done *)
     end
     else begin
       let node = new_node mem in
-      mem.Memif.write_u64 (Int64.add tail (Int64.of_int node_next_off)) node;
-      mem.Memif.write_u64 (Int64.add node (Int64.of_int node_prev_off)) tail;
-      mem.Memif.write_u64 (Int64.add t 8L) node;
-      mem.Memif.write_u32 (Int64.add t 20L) (node_count mem t + 1);
+      mem.Memif.write_u64_at tail node_next_off node;
+      mem.Memif.write_u64_at node node_prev_off tail;
+      mem.Memif.write_u64_at t 8 node;
+      mem.Memif.write_u32_at t 20 (node_count mem t + 1);
       node
     end
   in
@@ -69,7 +67,7 @@ let push_tail (mem : Memif.t) t elem =
     if not (Ziplist.try_append mem (node_zl mem target) elem) then
       invalid_arg "Quicklist: element larger than a fresh ziplist";
     bump_node_count mem target;
-    mem.Memif.write_u32 (Int64.add t 16L) (length mem t + 1)
+    mem.Memif.write_u32_at t 16 (length mem t + 1)
   end
 
 let range (mem : Memif.t) t ~count ?(on_node = fun _ -> ()) () =
@@ -84,14 +82,14 @@ let range (mem : Memif.t) t ~count ?(on_node = fun _ -> ()) () =
            acc := b :: !acc;
            decr remaining)
      with Exit -> ());
-    node := mem.Memif.read_u64 (Int64.add !node (Int64.of_int node_next_off))
+    node := mem.Memif.read_u64_at !node node_next_off
   done;
   List.rev !acc
 
 let iter_nodes (mem : Memif.t) t f =
   let node = ref (head_node mem t) in
   while not (Int64.equal !node 0L) do
-    let next = mem.Memif.read_u64 (Int64.add !node (Int64.of_int node_next_off)) in
+    let next = mem.Memif.read_u64_at !node node_next_off in
     f !node;
     node := next
   done

@@ -11,9 +11,8 @@ let run (ctx : Harness.ctx) ~n ~seed =
   let mem = ctx.Harness.mem ~core:0 in
   let rng = Sim.Rng.create seed in
   let base = mem.Memif.malloc (n * 4) in
-  let addr i = Int64.add base (Int64.of_int (i * 4)) in
-  let get i = Memif.read_i32 mem (addr i) in
-  let set i v = Memif.write_i32 mem (addr i) v in
+  let get i = Memif.read_i32_at mem base (i * 4) in
+  let set i v = Memif.write_i32_at mem base (i * 4) v in
   for i = 0 to n - 1 do
     set i (Sim.Rng.int rng 0x3FFFFFFF)
   done;

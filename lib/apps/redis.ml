@@ -28,12 +28,12 @@ let mem t = t.m
 
 let robj_create t ty ptr =
   let o = t.m.Memif.malloc robj_size in
-  t.m.Memif.write_u8 o ty;
-  t.m.Memif.write_u64 (Int64.add o 8L) ptr;
+  t.m.Memif.write_u8_at o 0 ty;
+  t.m.Memif.write_u64_at o 8 ptr;
   o
 
-let robj_type t o = t.m.Memif.read_u8 o
-let robj_ptr t o = t.m.Memif.read_u64 (Int64.add o 8L)
+let robj_type t o = t.m.Memif.read_u8_at o 0
+let robj_ptr t o = t.m.Memif.read_u64_at o 8
 
 let robj_free t o =
   (match robj_type t o with

@@ -1,0 +1,44 @@
+type preset = Paper | Reduced
+
+type dims = {
+  scale : int; (* the workload's --scale knob (elements/rows/keys/pages) *)
+  local_mem : int; (* local DRAM budget, bytes *)
+  ws_bytes : int; (* resulting working set, bytes (for reporting) *)
+}
+
+let gib n = n * 1024 * 1024 * 1024
+let mib n = n * 1024 * 1024
+
+(* Paper-scale working sets are the 20 GiB sort/analytics data sets of
+   the paper's evaluation (Fig. 7), with 8 GiB of local DRAM (a 40%
+   ratio, the paper's mid-range point). Service-style workloads get
+   GB-class keyspaces at 25% local. Reduced dims are the bench/CI
+   defaults: the same shapes a few hundred times smaller, sized so the
+   full matrix runs in seconds. *)
+let table =
+  [
+    (* name,        paper (scale, local, ws),             reduced *)
+    ("seq-read", ((gib 20 / 4096, gib 8, gib 20), (mib 128 / 4096, mib 16, mib 128)));
+    ("seq-write", ((gib 20 / 4096, gib 8, gib 20), (mib 128 / 4096, mib 16, mib 128)));
+    ("quicksort", ((gib 20 / 4, gib 8, gib 20), (2_000_000, mib 1, 8 * 1_000_000)));
+    ("dataframe", ((gib 20 / 40, gib 8, gib 20), (1_000_000, mib 5, 40 * 1_000_000)));
+    ("kmeans", ((gib 4 / 4, gib 1, gib 4), (1_000_000, mib 1, 4 * 1_000_000)));
+    ("snappy", ((gib 1 / 1024, mib 512, gib 4), (1024, mib 2, mib 4)));
+    ("pagerank", ((16_000_000, gib 1, gib 4), (30_000, mib 2, mib 8)));
+    ("bc", ((16_000_000, gib 1, gib 4), (30_000, mib 2, mib 8)));
+    ("redis-get", ((2_000_000, gib 2, gib 8), (65_536, mib 64, mib 256)));
+    ("redis-lrange", ((16_000_000, gib 2, gib 8), (100_000, mib 8, mib 52)));
+  ]
+
+let preset_name = function Paper -> "paper" | Reduced -> "reduced"
+
+let dims preset name =
+  match List.assoc_opt name table with
+  | None -> None
+  | Some (paper, reduced) ->
+      let scale, local_mem, ws_bytes =
+        match preset with Paper -> paper | Reduced -> reduced
+      in
+      Some { scale; local_mem; ws_bytes }
+
+let workloads = List.map fst table

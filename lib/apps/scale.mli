@@ -1,0 +1,27 @@
+(** Canonical workload dimensions for the two scales the repo runs at.
+
+    [Paper] is the evaluation scale of the source paper — 20 GiB
+    sort/analytics working sets with 8 GiB of local DRAM, GB-class
+    keyspaces for the service workloads. [Reduced] is the bench/CI
+    scale: the same shapes a few hundred times smaller, so the full
+    matrix runs in seconds. The table is consumed by
+    [bin/dilos_sim --scale-preset] and by the paper-scale bench
+    targets; EXPERIMENTS.md renders it for the reader. *)
+
+type preset = Paper | Reduced
+
+type dims = {
+  scale : int; (* the workload's --scale knob (elements/rows/keys/pages) *)
+  local_mem : int; (* local DRAM budget, bytes *)
+  ws_bytes : int; (* resulting working set, bytes (for reporting) *)
+}
+
+val preset_name : preset -> string
+
+val dims : preset -> string -> dims option
+(** [dims preset workload] — dimensions for a workload name as spelled
+    on the [dilos_sim] command line (e.g. ["quicksort"],
+    ["redis-lrange"]), or [None] for workloads with no preset. *)
+
+val workloads : string list
+(** Workload names that have preset entries, in table order. *)

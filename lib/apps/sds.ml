@@ -4,13 +4,13 @@ let total_size n = header_size + n + 1
 let create (mem : Memif.t) payload =
   let n = Bytes.length payload in
   let base = mem.Memif.malloc (total_size n) in
-  mem.Memif.write_u32 base n;
-  mem.Memif.write_u32 (Int64.add base 4L) n;
+  mem.Memif.write_u32_at base 0 n;
+  mem.Memif.write_u32_at base 4 n;
   mem.Memif.write_bytes (Int64.add base (Int64.of_int header_size)) payload 0 n;
-  mem.Memif.write_u8 (Int64.add base (Int64.of_int (header_size + n))) 0;
+  mem.Memif.write_u8_at base (header_size + n) 0;
   base
 
-let len (mem : Memif.t) base = mem.Memif.read_u32 base
+let len (mem : Memif.t) base = mem.Memif.read_u32_at base 0
 let data_addr base = Int64.add base (Int64.of_int header_size)
 
 let get (mem : Memif.t) base =

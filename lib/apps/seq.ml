@@ -10,21 +10,19 @@ let run (ctx : Harness.ctx) ~size_bytes ~mode =
   let base = mem.Memif.malloc size_bytes in
   (* Populate. *)
   for i = 0 to n_pages - 1 do
-    mem.Memif.write_u64 (Int64.add base (Int64.of_int (i * page))) (Int64.of_int i)
+    mem.Memif.write_u64_at base (i * page) (Int64.of_int i)
   done;
   mem.Memif.flush ();
   let t0 = mem.Memif.now () in
   (match mode with
   | Read ->
       for i = 0 to n_pages - 1 do
-        let v = mem.Memif.read_u64 (Int64.add base (Int64.of_int (i * page))) in
+        let v = mem.Memif.read_u64_at base (i * page) in
         assert (Int64.equal v (Int64.of_int i))
       done
   | Write ->
       for i = 0 to n_pages - 1 do
-        mem.Memif.write_u64
-          (Int64.add base (Int64.of_int (i * page)))
-          (Int64.of_int (i * 2))
+        mem.Memif.write_u64_at base (i * page) (Int64.of_int (i * 2))
       done);
   mem.Memif.flush ();
   let phase_time = Sim.Time.sub (mem.Memif.now ()) t0 in

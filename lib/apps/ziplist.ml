@@ -5,15 +5,15 @@ let header_size = 12
 
 let create (mem : Memif.t) ~capacity =
   let base = mem.Memif.malloc (header_size + capacity) in
-  mem.Memif.write_u32 base header_size;
-  mem.Memif.write_u16 (Int64.add base 4L) 0;
-  mem.Memif.write_u16 (Int64.add base 6L) 0;
-  mem.Memif.write_u32 (Int64.add base 8L) (header_size + capacity);
+  mem.Memif.write_u32_at base 0 header_size;
+  mem.Memif.write_u16_at base 4 0;
+  mem.Memif.write_u16_at base 6 0;
+  mem.Memif.write_u32_at base 8 (header_size + capacity);
   base
 
-let used_bytes (mem : Memif.t) t = mem.Memif.read_u32 t
-let length (mem : Memif.t) t = mem.Memif.read_u16 (Int64.add t 4L)
-let capacity_bytes t (mem : Memif.t) = mem.Memif.read_u32 (Int64.add t 8L)
+let used_bytes (mem : Memif.t) t = mem.Memif.read_u32_at t 0
+let length (mem : Memif.t) t = mem.Memif.read_u16_at t 4
+let capacity_bytes t (mem : Memif.t) = mem.Memif.read_u32_at t 8
 
 let try_append (mem : Memif.t) t entry =
   let n = Bytes.length entry in
@@ -22,36 +22,35 @@ let try_append (mem : Memif.t) t entry =
   let cap = capacity_bytes t mem in
   if used + 2 + n > cap then false
   else begin
-    let at = Int64.add t (Int64.of_int used) in
-    mem.Memif.write_u16 at n;
-    mem.Memif.write_bytes (Int64.add at 2L) entry 0 n;
-    mem.Memif.write_u32 t (used + 2 + n);
-    mem.Memif.write_u16 (Int64.add t 4L) (length mem t + 1);
+    mem.Memif.write_u16_at t used n;
+    mem.Memif.write_bytes (Int64.add t (Int64.of_int (used + 2))) entry 0 n;
+    mem.Memif.write_u32_at t 0 (used + 2 + n);
+    mem.Memif.write_u16_at t 4 (length mem t + 1);
     true
   end
 
 let iter (mem : Memif.t) t f =
   let count = length mem t in
-  let pos = ref (Int64.add t (Int64.of_int header_size)) in
+  let pos = ref header_size in
   for _ = 1 to count do
-    let n = mem.Memif.read_u16 !pos in
+    let n = mem.Memif.read_u16_at t !pos in
     let b = Bytes.create n in
-    mem.Memif.read_bytes (Int64.add !pos 2L) b 0 n;
+    mem.Memif.read_bytes (Int64.add t (Int64.of_int (!pos + 2))) b 0 n;
     f b;
-    pos := Int64.add !pos (Int64.of_int (2 + n))
+    pos := !pos + 2 + n
   done
 
 let nth (mem : Memif.t) t i =
   if i < 0 || i >= length mem t then None
   else begin
-    let pos = ref (Int64.add t (Int64.of_int header_size)) in
+    let pos = ref header_size in
     for _ = 1 to i do
-      let n = mem.Memif.read_u16 !pos in
-      pos := Int64.add !pos (Int64.of_int (2 + n))
+      let n = mem.Memif.read_u16_at t !pos in
+      pos := !pos + 2 + n
     done;
-    let n = mem.Memif.read_u16 !pos in
+    let n = mem.Memif.read_u16_at t !pos in
     let b = Bytes.create n in
-    mem.Memif.read_bytes (Int64.add !pos 2L) b 0 n;
+    mem.Memif.read_bytes (Int64.add t (Int64.of_int (!pos + 2))) b 0 n;
     Some b
   end
 

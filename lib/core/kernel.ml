@@ -30,7 +30,7 @@ type core_state = {
   core_id : int;
   trk : int; (* trace track for this core's fault timeline *)
   tlb_vpn : int array;
-  tlb_bytes : bytes array;
+  tlb_off : int array; (* slab byte offset of the cached page *)
   tlb_written : bool array;
   mutable pending : int;
 }
@@ -71,6 +71,7 @@ type t = {
   aspace : Vmem.Address_space.t;
   pt : Vmem.Page_table.t;
   frames : Vmem.Frame.t;
+  slab : Sim.Bigbuf.t; (* the frame pool's backing slab, cached *)
   pm : Page_manager.t;
   comm : Comm.t;
   tracker : Hit_tracker.t;
@@ -95,21 +96,23 @@ let page_tag t addr = Vmem.Pte.tag (Vmem.Page_table.get t.pt (Vmem.Addr.vpn addr
 let quiesce t = Page_manager.quiesce t.pm
 
 let make_core id =
-  let dummy = Bytes.create 0 in
   {
     core_id = id;
     trk = Trace.track (Printf.sprintf "cpu%d" id);
     tlb_vpn = Array.make tlb_entries (-1);
-    tlb_bytes = Array.make tlb_entries dummy;
+    tlb_off = Array.make tlb_entries 0;
     tlb_written = Array.make tlb_entries false;
     pending = 0;
   }
 
+(* TLB arrays are always indexed by [vpn land tlb_mask], which is in
+   range by construction: use unchecked loads on the hit path. *)
 let invalidate t vpn =
   Array.iter
     (fun cs ->
       let i = vpn land tlb_mask in
-      if cs.tlb_vpn.(i) = vpn then cs.tlb_vpn.(i) <- -1)
+      if Array.unsafe_get cs.tlb_vpn i = vpn then
+        Array.unsafe_set cs.tlb_vpn i (-1))
     t.cores
 
 let boot ~eng ~server ?nic_config (cfg : config) =
@@ -176,6 +179,7 @@ let boot ~eng ~server ?nic_config (cfg : config) =
       aspace;
       pt;
       frames;
+      slab = Vmem.Frame.slab frames;
       pm;
       comm;
       tracker = Hit_tracker.create pt;
@@ -230,12 +234,49 @@ let map_fetched t vpn frame =
   Page_manager.note_mapped t.pm vpn;
   Sim.Condvar.broadcast t.mapping_changed
 
+(* A prefetch candidate that survived [prepare_prefetch]: either a
+   whole-page fetch (coalescible into a page extent when its vpn run
+   is contiguous) or an Action-vector scatter WR that must go out as
+   its own scatter/gather chain element. *)
+type pf_prepared =
+  | Pf_page of { vpn : int; frame : int }
+  | Pf_wr of Rdma.Qp.read_wr
+
+let prefetch_finish t ~flow ~p_t0 vpn frame =
+  map_fetched t vpn frame;
+  Hit_tracker.note_prefetched t.tracker vpn;
+  if Trace.enabled cat_prefetch then
+    Trace.complete cat_prefetch ~name:"prefetch" ~track:trk_prefetch ~t0:p_t0
+      ~async:true ~flow_in:flow
+      ~args:[ ("vpn", Trace.I vpn) ]
+      ()
+
+(* Prefetch is opportunistic: on permanent RDMA failure just undo the
+   transition — Fetching goes back to a plain Remote (a full-page
+   refetch is always correct; any consumed Action vector only skipped
+   bytes the app never reads) and the frame returns to the pool so
+   nobody deadlocks waiting on it. A later demand fault fetches the
+   page for real. *)
+let prefetch_abort t vpn frame =
+  Sim.Stats.cincr t.hot.c_prefetch_aborted;
+  if Trace.enabled cat_prefetch then
+    Trace.instant cat_prefetch ~name:"prefetch_abort" ~track:trk_prefetch
+      ~args:[ ("vpn", Trace.I vpn) ]
+      ();
+  (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
+  | Vmem.Pte.Fetching ->
+      Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ())
+  | Vmem.Pte.Local | Vmem.Pte.Remote | Vmem.Pte.Unmapped | Vmem.Pte.Action ->
+      ());
+  Page_manager.release_frame t.pm frame;
+  Sim.Condvar.broadcast t.mapping_changed
+
 (* Checks and PTE transition for one prefetch candidate: skipped when
    memory is tight, when the page is not remote, or when it lies
    outside DDC ranges (shed work instead of blocking). Marks the page
    Fetching and counts it immediately — before any posting — so later
    candidates in the same batch observe the transition; returns the
-   work request still to be posted, if any. *)
+   work still to be posted, if any. *)
 let prepare_prefetch t ?(flow = 0) vpn =
   if Page_manager.free_frames t.pm > t.prefetch_low then begin
     let base = Vmem.Addr.base vpn in
@@ -247,75 +288,112 @@ let prepare_prefetch t ?(flow = 0) vpn =
           match Page_manager.try_alloc_frame t.pm with
           | None -> None
           | Some frame ->
-              let segs =
-                match tag with
-                | Vmem.Pte.Action ->
-                    action_segs t ~payload:(Vmem.Pte.payload pte) ~base
-                | _ -> full_page_segs base
-              in
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_fetching ());
               Sim.Stats.cincr t.hot.c_prefetch_issued;
               let p_t0 = Sim.Engine.now t.eng in
-              let finish () =
-                map_fetched t vpn frame;
-                Hit_tracker.note_prefetched t.tracker vpn;
-                if Trace.enabled cat_prefetch then
-                  Trace.complete cat_prefetch ~name:"prefetch"
-                    ~track:trk_prefetch ~t0:p_t0 ~async:true ~flow_in:flow
-                    ~args:[ ("vpn", Trace.I vpn) ]
-                    ()
-              in
-              if segs = [] then begin
-                finish ();
-                None
-              end
-              else begin
-                (* Prefetch is opportunistic: on permanent RDMA failure
-                   just undo the transition — Fetching goes back to a
-                   plain Remote (a full-page refetch is always correct;
-                   any consumed Action vector only skipped bytes the app
-                   never reads) and the frame returns to the pool so
-                   nobody deadlocks waiting on it. A later demand fault
-                   fetches the page for real. *)
-                let abort () =
-                  Sim.Stats.cincr t.hot.c_prefetch_aborted;
-                  if Trace.enabled cat_prefetch then
-                    Trace.instant cat_prefetch ~name:"prefetch_abort"
-                      ~track:trk_prefetch
-                      ~args:[ ("vpn", Trace.I vpn) ]
-                      ();
-                  (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
-                  | Vmem.Pte.Fetching ->
-                      Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ())
-                  | Vmem.Pte.Local | Vmem.Pte.Remote | Vmem.Pte.Unmapped
-                  | Vmem.Pte.Action ->
-                      ());
-                  Page_manager.release_frame t.pm frame;
-                  Sim.Condvar.broadcast t.mapping_changed
-                in
-                Some
-                  {
-                    Rdma.Qp.r_segs = segs;
-                    r_buf = Vmem.Frame.data t.frames frame;
-                    r_on_complete = finish;
-                    r_on_error = Some abort;
-                  }
-              end)
+              match tag with
+              | Vmem.Pte.Action -> (
+                  (* Partial-page fetch: the vector's dead ranges stay
+                     whatever the recycled frame held, so clear them
+                     (host-side only, no simulated charge). *)
+                  Vmem.Frame.fill_page t.frames frame '\000';
+                  let segs =
+                    action_segs t ~payload:(Vmem.Pte.payload pte) ~base
+                  in
+                  match segs with
+                  | [] ->
+                      prefetch_finish t ~flow ~p_t0 vpn frame;
+                      None
+                  | segs ->
+                      Some
+                        (Pf_wr
+                           {
+                             Rdma.Qp.r_segs = segs;
+                             r_buf = Vmem.Frame.sub_view t.frames frame;
+                             r_on_complete =
+                               (fun () -> prefetch_finish t ~flow ~p_t0 vpn frame);
+                             r_on_error =
+                               Some (fun () -> prefetch_abort t vpn frame);
+                           }))
+              | _ -> Some (Pf_page { vpn; frame }))
     end
     else None
   end
   else None
 
+(* Post one fault's surviving prefetch candidates as a single chain:
+   one doorbell, per-op service unchanged. Maximal runs of
+   consecutive-vpn whole-page fetches ride one coalesced page extent
+   each (one chained engine event instead of one per page, see
+   {!Rdma.Qp.post_read_pages}); Action-vector WRs post individually at
+   the same instant, preserving the chain's WR order and therefore the
+   exact event sequence of the uncoalesced path. *)
+let post_prefetch_window t ~core ~flow prepared =
+  match prepared with
+  | [] -> ()
+  | prepared ->
+      let qp = Comm.prefetch_qp t.comm ~core in
+      let arr = Array.of_list prepared in
+      let n = Array.length arr in
+      Rdma.Qp.note_read_batch qp ~wrs:n;
+      let p_t0 = Sim.Engine.now t.eng in
+      let i = ref 0 in
+      while !i < n do
+        match arr.(!i) with
+        | Pf_wr wr ->
+            Rdma.Qp.post_read ?on_error:wr.Rdma.Qp.r_on_error qp
+              ~segs:wr.Rdma.Qp.r_segs ~buf:wr.Rdma.Qp.r_buf
+              ~on_complete:wr.Rdma.Qp.r_on_complete;
+            incr i
+        | Pf_page { vpn = vpn0; frame = _ } ->
+            let count = ref 1 in
+            while
+              !i + !count < n
+              && (match arr.(!i + !count) with
+                 | Pf_page { vpn; _ } -> vpn = vpn0 + !count
+                 | Pf_wr _ -> false)
+            do
+              incr count
+            done;
+            let count = !count in
+            let offs = Array.make count 0 in
+            let frames_run = Array.make count 0 in
+            for k = 0 to count - 1 do
+              match arr.(!i + k) with
+              | Pf_page { frame; _ } ->
+                  offs.(k) <- Vmem.Frame.offset t.frames frame;
+                  frames_run.(k) <- frame
+              | Pf_wr _ -> assert false
+            done;
+            Rdma.Qp.post_read_pages qp ~raddr0:(Vmem.Addr.base vpn0)
+              ~buf:(Vmem.Frame.slab t.frames) ~offs ~count
+              ~on_page:(fun k ->
+                prefetch_finish t ~flow ~p_t0 (vpn0 + k) frames_run.(k))
+              ~on_page_error:
+                (Some (fun k -> prefetch_abort t (vpn0 + k) frames_run.(k)));
+            i := !i + count
+      done
+
 (* Asynchronous page prefetch; also the guide's pf_prefetch. *)
 let issue_prefetch t ~core vpn =
   match prepare_prefetch t vpn with
   | None -> ()
-  | Some wr ->
+  | Some (Pf_wr wr) ->
       Rdma.Qp.post_read
         ?on_error:wr.Rdma.Qp.r_on_error
         (Comm.prefetch_qp t.comm ~core)
         ~segs:wr.Rdma.Qp.r_segs ~buf:wr.Rdma.Qp.r_buf
         ~on_complete:wr.Rdma.Qp.r_on_complete
+  | Some (Pf_page { vpn; frame }) ->
+      let p_t0 = Sim.Engine.now t.eng in
+      Rdma.Qp.post_read_pages
+        (Comm.prefetch_qp t.comm ~core)
+        ~raddr0:(Vmem.Addr.base vpn)
+        ~buf:(Vmem.Frame.slab t.frames)
+        ~offs:[| Vmem.Frame.offset t.frames frame |]
+        ~count:1
+        ~on_page:(fun _ -> prefetch_finish t ~flow:0 ~p_t0 vpn frame)
+        ~on_page_error:(Some (fun _ -> prefetch_abort t vpn frame))
 
 let prefetch_ops t ~core =
   {
@@ -327,19 +405,18 @@ let prefetch_ops t ~core =
         let pte = Vmem.Page_table.get t.pt vpn in
         let off = Vmem.Addr.offset addr in
         if Vmem.Pte.tag pte = Vmem.Pte.Local && off + len <= Vmem.Addr.page_size
-        then begin
-          let b = Vmem.Frame.data t.frames (Vmem.Pte.frame pte) in
-          k (Bytes.sub b off len)
-        end
+        then
+          let foff = Vmem.Frame.offset t.frames (Vmem.Pte.frame pte) in
+          k (Sim.Bigbuf.to_bytes t.slab ~off:(foff + off) ~len)
         else begin
           Sim.Stats.cincr t.hot.c_subpage_fetches;
           Sim.Stats.cadd t.hot.c_subpage_bytes len;
-          let buf = Bytes.create len in
+          let buf = Sim.Bigbuf.create len in
           Rdma.Qp.post_read
             (Comm.guide_qp t.comm ~core)
             ~segs:[ { Rdma.Qp.raddr = addr; loff = 0; len } ]
             ~buf
-            ~on_complete:(fun () -> k buf)
+            ~on_complete:(fun () -> k (Sim.Bigbuf.to_bytes buf ~off:0 ~len))
         end);
     pf_is_local =
       (fun addr ->
@@ -357,6 +434,7 @@ let major_fault t cs vpn pte =
   (* Decode the entry and mark it Fetching atomically (no intervening
      sleep): a concurrent fault on another core must observe Fetching
      and wait instead of issuing a duplicate READ (§4.2). *)
+  let partial = Vmem.Pte.tag pte = Vmem.Pte.Action in
   let segs =
     match Vmem.Pte.tag pte with
     | Vmem.Pte.Action -> action_segs t ~payload:(Vmem.Pte.payload pte) ~base
@@ -367,6 +445,10 @@ let major_fault t cs vpn pte =
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_pte_check_ns);
   let alloc_t0 = Sim.Engine.now t.eng in
   let frame = Page_manager.alloc_frame t.pm in
+  (* A vectored (partial-page) fetch leaves the vector's dead ranges
+     holding whatever the recycled frame last contained; clear them
+     (host-side only, no simulated charge — see Frame.alloc). *)
+  if partial then Vmem.Frame.fill_page t.frames frame '\000';
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_page_alloc_ns);
   let alloc_ns = elapsed_ns t alloc_t0 in
   let fetch_t0 = Sim.Engine.now t.eng in
@@ -395,7 +477,7 @@ let major_fault t cs vpn pte =
       ?fa
       (Comm.fault_qp t.comm ~core:cs.core_id)
       ~segs
-      ~buf:(Vmem.Frame.data t.frames frame)
+      ~buf:(Vmem.Frame.sub_view t.frames frame)
       ~on_complete:(fun () ->
         completed := true;
         wake_fault ())
@@ -441,12 +523,13 @@ let major_fault t cs vpn pte =
        triggered (0 = tracing off = no flow). *)
     let flow = if Trace.enabled cat_prefetch then Trace.flow () else 0 in
     (* All surviving candidates go out as one WR chain: one doorbell,
-       per-op service unchanged (see Qp.post_read_batch). *)
+       per-op service unchanged; contiguous page runs additionally
+       collapse into single chained events (see post_prefetch_window). *)
     match List.filter_map (prepare_prefetch t ~flow) wanted with
     | [] -> ()
-    | wrs ->
+    | prepared ->
         pf_flow := flow;
-        Rdma.Qp.post_read_batch (Comm.prefetch_qp t.comm ~core:cs.core_id) wrs
+        post_prefetch_window t ~core:cs.core_id ~flow prepared
   end;
   let rec await () =
     if not !completed then
@@ -539,6 +622,9 @@ let handle_fault t cs vpn _pte_at_trap =
             if Vmem.Page_table.get t.pt vpn <> Vmem.Pte.zero then
               Vmem.Frame.free t.frames frame
             else begin
+              (* This is the one path that must actually deliver a zero
+                 page (Frame.alloc recycles frames dirty). *)
+              Vmem.Frame.fill_page t.frames frame '\000';
               Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
               if vma.Vmem.Address_space.ddc then Page_manager.note_mapped t.pm vpn;
               Sim.Condvar.broadcast t.mapping_changed;
@@ -554,46 +640,52 @@ let handle_fault t cs vpn _pte_at_trap =
 (* ------------------------------------------------------------------ *)
 (* Data path                                                           *)
 
-let frame_bytes_slow t cs vpn ~write =
+(* The TLB caches the page's byte offset into the frame slab; a hit is
+   two array loads and integer arithmetic — no heap objects. *)
+let frame_off_slow t cs vpn ~write =
   flush_core t cs;
   let rec loop () =
     match Vmem.Mmu.access t.pt ~vpn ~write with
     | Vmem.Mmu.Frame f ->
-        let b = Vmem.Frame.data t.frames f in
+        (* The MMU just set the dirty bit; tell the page manager (a
+           possibly-redundant hint — overcounting is fine). *)
+        if write then Page_manager.note_dirtied t.pm;
+        let off = Vmem.Frame.offset t.frames f in
         let i = vpn land tlb_mask in
-        cs.tlb_vpn.(i) <- vpn;
-        cs.tlb_bytes.(i) <- b;
-        cs.tlb_written.(i) <- write;
+        Array.unsafe_set cs.tlb_vpn i vpn;
+        Array.unsafe_set cs.tlb_off i off;
+        Array.unsafe_set cs.tlb_written i write;
         cs.pending <- cs.pending + 20;
-        b
+        off
     | Vmem.Mmu.Fault pte ->
         handle_fault t cs vpn pte;
         loop ()
   in
   loop ()
 
-let page_for_read t cs vpn =
+let page_off_for_read t cs vpn =
   let i = vpn land tlb_mask in
-  if cs.tlb_vpn.(i) = vpn then begin
+  if Array.unsafe_get cs.tlb_vpn i = vpn then begin
     charge t cs Params.mem_access_ns;
-    cs.tlb_bytes.(i)
+    Array.unsafe_get cs.tlb_off i
   end
-  else frame_bytes_slow t cs vpn ~write:false
+  else frame_off_slow t cs vpn ~write:false
 
-let page_for_write t cs vpn =
+let page_off_for_write t cs vpn =
   let i = vpn land tlb_mask in
-  if cs.tlb_vpn.(i) = vpn then begin
-    if not cs.tlb_written.(i) then begin
+  if Array.unsafe_get cs.tlb_vpn i = vpn then begin
+    if not (Array.unsafe_get cs.tlb_written i) then begin
       (* First store through a read-loaded translation: the hardware
          walker would set the dirty bit now. *)
       Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
-      cs.tlb_written.(i) <- true;
+      Page_manager.note_dirtied t.pm;
+      Array.unsafe_set cs.tlb_written i true;
       charge t cs 5
     end;
     charge t cs Params.mem_access_ns;
-    cs.tlb_bytes.(i)
+    Array.unsafe_get cs.tlb_off i
   end
-  else frame_bytes_slow t cs vpn ~write:true
+  else frame_off_slow t cs vpn ~write:true
 
 let split addr = (Vmem.Addr.vpn addr, Vmem.Addr.offset addr)
 
@@ -601,51 +693,118 @@ let check_span off size =
   if off + size > Vmem.Addr.page_size then
     invalid_arg "Kernel: scalar access straddles a page boundary"
 
+(* Scalar accessors: translation yields a slab offset whose page-sized
+   span is valid by construction, and [check_span] bounds [off], so the
+   unsafe slab accessors cannot escape the mapped frame. *)
+
 let read_u8 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
-  Char.code (Bytes.get (page_for_read t cs vpn) off)
+  Sim.Bigbuf.unsafe_get_u8 t.slab (page_off_for_read t cs vpn + off)
 
 let read_u16 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 2;
-  Bytes.get_uint16_le (page_for_read t cs vpn) off
+  Sim.Bigbuf.unsafe_get_u16_le t.slab (page_off_for_read t cs vpn + off)
 
 let read_u32 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 4;
-  Int32.to_int (Bytes.get_int32_le (page_for_read t cs vpn) off) land 0xFFFFFFFF
+  Sim.Bigbuf.unsafe_get_u32_le t.slab (page_off_for_read t cs vpn + off)
 
 let read_u64 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 8;
-  Bytes.get_int64_le (page_for_read t cs vpn) off
+  Sim.Bigbuf.unsafe_get_u64_le t.slab (page_off_for_read t cs vpn + off)
 
 let write_u8 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
-  Bytes.set (page_for_write t cs vpn) off (Char.chr (v land 0xFF))
+  Sim.Bigbuf.unsafe_set_u8 t.slab (page_off_for_write t cs vpn + off) (v land 0xFF)
 
 let write_u16 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 2;
-  Bytes.set_uint16_le (page_for_write t cs vpn) off (v land 0xFFFF)
+  Sim.Bigbuf.unsafe_set_u16_le t.slab (page_off_for_write t cs vpn + off) v
 
 let write_u32 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 4;
-  Bytes.set_int32_le (page_for_write t cs vpn) off (Int32.of_int v)
+  Sim.Bigbuf.unsafe_set_u32_le t.slab (page_off_for_write t cs vpn + off) v
 
 let write_u64 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 8;
-  Bytes.set_int64_le (page_for_write t cs vpn) off v
+  Sim.Bigbuf.unsafe_set_u64_le t.slab (page_off_for_write t cs vpn + off) v
+
+(* [_at] variants: base address plus an int byte offset, splitting the
+   effective address with int arithmetic only. App hot loops use these
+   to index into an arena without constructing a boxed Int64 per
+   access. *)
+
+let eff base off = Int64.to_int base + off
+
+let read_u8_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 in
+  Sim.Bigbuf.unsafe_get_u8 t.slab (page_off_for_read t cs vpn + (a land 4095))
+
+let read_u16_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 2;
+  Sim.Bigbuf.unsafe_get_u16_le t.slab (page_off_for_read t cs vpn + o)
+
+let read_u32_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 4;
+  Sim.Bigbuf.unsafe_get_u32_le t.slab (page_off_for_read t cs vpn + o)
+
+let read_u64_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 8;
+  Sim.Bigbuf.unsafe_get_u64_le t.slab (page_off_for_read t cs vpn + o)
+
+let write_u8_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 in
+  Sim.Bigbuf.unsafe_set_u8 t.slab
+    (page_off_for_write t cs vpn + (a land 4095))
+    (v land 0xFF)
+
+let write_u16_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 2;
+  Sim.Bigbuf.unsafe_set_u16_le t.slab (page_off_for_write t cs vpn + o) v
+
+let write_u32_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 4;
+  Sim.Bigbuf.unsafe_set_u32_le t.slab (page_off_for_write t cs vpn + o) v
+
+let write_u64_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let vpn = a lsr 12 and o = a land 4095 in
+  check_span o 8;
+  Sim.Bigbuf.unsafe_set_u64_le t.slab (page_off_for_write t cs vpn + o) v
 
 let bulk t ~core addr buf off len ~write =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
@@ -655,11 +814,15 @@ let bulk t ~core addr buf off len ~write =
   while !done_ < len do
     let vpn, poff = split !pos in
     let n = Int.min (len - !done_) (Vmem.Addr.page_size - poff) in
-    let page =
-      if write then page_for_write t cs vpn else page_for_read t cs vpn
-    in
-    if write then Bytes.blit buf (off + !done_) page poff n
-    else Bytes.blit page poff buf (off + !done_) n;
+    if write then
+      let page_off = page_off_for_write t cs vpn in
+      Sim.Bigbuf.blit_from_bytes buf ~src_off:(off + !done_) t.slab
+        ~dst_off:(page_off + poff) ~len:n
+    else begin
+      let page_off = page_off_for_read t cs vpn in
+      Sim.Bigbuf.blit_to_bytes t.slab ~src_off:(page_off + poff) buf
+        ~dst_off:(off + !done_) ~len:n
+    end;
     (* One access charge per cache line moved. *)
     charge t cs (n / 64 * Params.mem_access_ns);
     pos := Int64.add !pos (Int64.of_int n);
@@ -671,7 +834,7 @@ let write_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:
 
 let touch t ~core addr =
   let cs = core_state t core in
-  ignore (page_for_read t cs (Vmem.Addr.vpn addr))
+  ignore (page_off_for_read t cs (Vmem.Addr.vpn addr))
 
 (* ------------------------------------------------------------------ *)
 (* Memory management                                                   *)

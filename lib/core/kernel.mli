@@ -71,6 +71,22 @@ val write_u64 : t -> core:int -> int64 -> int64 -> unit
 val read_bytes : t -> core:int -> int64 -> bytes -> int -> int -> unit
 val write_bytes : t -> core:int -> int64 -> bytes -> int -> int -> unit
 
+(** [_at] variants take a base address plus an [int] byte offset and
+    split the effective address with int arithmetic only — app hot
+    loops use them to walk an arena without boxing an [Int64] per
+    access. Semantics (including page-straddle checks and simulated
+    charges) are identical to the plain accessors at
+    [Int64.add base (Int64.of_int off)]. *)
+
+val read_u8_at : t -> core:int -> int64 -> int -> int
+val read_u16_at : t -> core:int -> int64 -> int -> int
+val read_u32_at : t -> core:int -> int64 -> int -> int
+val read_u64_at : t -> core:int -> int64 -> int -> int64
+val write_u8_at : t -> core:int -> int64 -> int -> int -> unit
+val write_u16_at : t -> core:int -> int64 -> int -> int -> unit
+val write_u32_at : t -> core:int -> int64 -> int -> int -> unit
+val write_u64_at : t -> core:int -> int64 -> int -> int64 -> unit
+
 val compute : t -> core:int -> int -> unit
 (** Charge [ns] of CPU work to the core (batched; see {!flush}). *)
 

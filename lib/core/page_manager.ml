@@ -65,6 +65,11 @@ type t = {
   mutable next_log_id : int;
   wb_inflight : (int, unit) Hashtbl.t;
   mutable invalidate : int -> unit;
+  (* Conservative count of dirty resident pages (may overcount, never
+     undercounts): gates the cleaner's clock scan, which is pure host
+     work and O(clock length) when every page is clean. An overcount
+     self-heals when a full scan finds nothing to write. *)
+  mutable dirty_hint : int;
   frames_avail : Sim.Condvar.t;
   reclaim_work : Sim.Condvar.t;
   wb_done : Sim.Condvar.t;
@@ -107,6 +112,7 @@ let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
     next_log_id = 1;
     wb_inflight = Hashtbl.create 16;
     invalidate = (fun _ -> ());
+    dirty_hint = 0;
     frames_avail = Sim.Condvar.create eng;
     reclaim_work = Sim.Condvar.create eng;
     wb_done = Sim.Condvar.create eng;
@@ -117,7 +123,15 @@ let create ~eng ~stats ~pt ~frames ~evict_qp ?reclaim_guide () =
 
 let set_invalidate t f = t.invalidate <- f
 let free_frames t = Vmem.Frame.free_count t.frames
-let note_mapped t vpn = Clock.push t.clock vpn
+
+(* Called on every (possibly redundant) clean->dirty transition the
+   kernel's store path observes. Redundant calls only overcount. *)
+let note_dirtied t = t.dirty_hint <- t.dirty_hint + 1
+
+let note_mapped t vpn =
+  if Vmem.Pte.dirty (Vmem.Page_table.get t.pt vpn) then
+    t.dirty_hint <- t.dirty_hint + 1;
+  Clock.push t.clock vpn
 
 let vector_segments t ~payload =
   match Hashtbl.find_opt t.vector_log payload with
@@ -148,6 +162,7 @@ let guide_segments t vpn =
    current) or the guide says nothing on it is live. With a guide,
    leave an Action PTE so the refetch moves only live bytes. *)
 let drop_without_write t vpn pte =
+  if Vmem.Pte.dirty pte then t.dirty_hint <- Int.max 0 (t.dirty_hint - 1);
   let frame = Vmem.Pte.frame pte in
   let new_pte =
     match guide_segments t vpn with
@@ -170,6 +185,7 @@ let writeback t vpn pte ~then_evict =
     (* Clear dirty before the copy is snapshotted: a store racing with
        the write-back must re-dirty the page so we notice. *)
     Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_dirty;
+    t.dirty_hint <- Int.max 0 (t.dirty_hint - 1);
     t.invalidate vpn;
     (* The guide trims the write-back for the cleaner as well as for
        eviction (§4.4: the cleaner writes only the used area). The
@@ -180,16 +196,24 @@ let writeback t vpn pte ~then_evict =
       | other -> other
     in
     let base = Vmem.Addr.base vpn in
+    (* Segments address the frame pool's slab directly (loff is a slab
+       byte offset) — no per-writeback view allocation. *)
+    let foff = Vmem.Frame.offset t.frames frame in
     let segs =
       match segs_opt with
       | Some segs ->
           List.map
             (fun (off, len) ->
-              { Rdma.Qp.raddr = Int64.add base (Int64.of_int off); loff = off; len })
+              {
+                Rdma.Qp.raddr = Int64.add base (Int64.of_int off);
+                loff = foff + off;
+                len;
+              })
             segs
-      | None -> [ { Rdma.Qp.raddr = base; loff = 0; len = Vmem.Addr.page_size } ]
+      | None ->
+          [ { Rdma.Qp.raddr = base; loff = foff; len = Vmem.Addr.page_size } ]
     in
-    let buf = Vmem.Frame.data t.frames frame in
+    let buf = Vmem.Frame.slab t.frames in
     (* Permanent write failure: nothing reached the memory node (the
        transfer only applies on success), so the remote copy is the
        consistent pre-write page. Re-dirty the PTE — clear_dirty above
@@ -202,6 +226,7 @@ let writeback t vpn pte ~then_evict =
       (match Vmem.Pte.tag (Vmem.Page_table.get t.pt vpn) with
       | Vmem.Pte.Local ->
           Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
+          t.dirty_hint <- t.dirty_hint + 1;
           Clock.push t.clock vpn
       | Vmem.Pte.Unmapped | Vmem.Pte.Remote | Vmem.Pte.Fetching
       | Vmem.Pte.Action ->
@@ -303,7 +328,10 @@ let reclaimer_fiber t () =
 let cleaner_fiber t () =
   while t.running do
     Sim.Engine.sleep t.eng Params.cleaner_period;
-    if t.running then begin
+    (* Skipping the scan when no page can be dirty has no simulated
+       effect: a scan that finds nothing posts no write-backs and
+       sleeps for zero scanned pages. *)
+    if t.running && t.dirty_hint > 0 then begin
       let scanned = ref 0 and i = ref 0 in
       while !scanned < Params.cleaner_batch && !i < Clock.length t.clock do
         (match Clock.peek_nth t.clock !i with
@@ -321,6 +349,9 @@ let cleaner_fiber t () =
             end);
         incr i
       done;
+      (* Ground truth from a complete scan: nothing dirty (in-flight
+         write-backs were dirty-cleared when posted). *)
+      if !scanned = 0 && !i >= Clock.length t.clock then t.dirty_hint <- 0;
       if !scanned > 0 then
         Sim.Engine.sleep t.eng (Sim.Time.ns (!scanned * 120))
     end

@@ -56,6 +56,12 @@ val release_frame : t -> int -> unit
 val note_mapped : t -> int -> unit
 (** Tell the LRU clock a page just became [Local] at [vpn]. *)
 
+val note_dirtied : t -> unit
+(** Hint that a resident page just transitioned clean->dirty (the
+    store path calls this; redundant calls are harmless). Gates the
+    periodic cleaner's clock scan so an all-clean resident set costs
+    nothing to re-scan. *)
+
 val vector_segments : t -> payload:int -> (int * int) list
 (** Decode an [Action] PTE payload into its logged fetch vector
     (consumed: the log entry is removed). *)

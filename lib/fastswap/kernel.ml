@@ -14,7 +14,7 @@ type core_state = {
   core_id : int;
   trk : int; (* trace track for this core's fault timeline *)
   tlb_vpn : int array;
-  tlb_bytes : bytes array;
+  tlb_off : int array; (* slab byte offset of the cached page *)
   tlb_written : bool array;
   mutable pending : int;
 }
@@ -56,6 +56,7 @@ type t = {
   aspace : Vmem.Address_space.t;
   pt : Vmem.Page_table.t;
   frames : Vmem.Frame.t;
+  slab : Sim.Bigbuf.t; (* the frame pool's backing slab, cached *)
   cache : Swap_cache.t;
   qps : Rdma.Qp.t array; (* one per core: faults + readahead share it *)
   lru : int Queue.t; (* mapped-page reclaim scan order *)
@@ -85,21 +86,23 @@ let free_frames t = Vmem.Frame.free_count t.frames
 let swap_cache_size t = Swap_cache.size t.cache
 
 let make_core id =
-  let dummy = Bytes.create 0 in
   {
     core_id = id;
     trk = Trace.track (Printf.sprintf "cpu%d" id);
     tlb_vpn = Array.make tlb_entries (-1);
-    tlb_bytes = Array.make tlb_entries dummy;
+    tlb_off = Array.make tlb_entries 0;
     tlb_written = Array.make tlb_entries false;
     pending = 0;
   }
 
+(* TLB arrays are always indexed by [vpn land tlb_mask], in range by
+   construction: use unchecked loads on the hit path. *)
 let invalidate t vpn =
   Array.iter
     (fun cs ->
       let i = vpn land tlb_mask in
-      if cs.tlb_vpn.(i) = vpn then cs.tlb_vpn.(i) <- -1)
+      if Array.unsafe_get cs.tlb_vpn i = vpn then
+        Array.unsafe_set cs.tlb_vpn i (-1))
     t.cores
 
 let lru_push t vpn =
@@ -159,12 +162,12 @@ let rec evict_one t ~qp ~budget =
                         below instead of silently lost. *)
                      Vmem.Page_table.update t.pt vpn Vmem.Pte.clear_dirty;
                      invalidate t vpn;
-                     let buf = Vmem.Frame.data t.frames frame in
                      let sp =
                        Trace.begin_ cat_swap ~name:"swap_out" ~track:trk_reclaim
                          ()
                      in
-                     Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf ~off:0
+                     Rdma.Qp.write qp ~raddr:(Vmem.Addr.base vpn) ~buf:t.slab
+                       ~off:(Vmem.Frame.offset t.frames frame)
                        ~len:Vmem.Addr.page_size;
                      Trace.end_ sp ();
                      Sim.Stats.cincr t.hot.c_writebacks
@@ -251,6 +254,7 @@ let boot ~eng ~server (cfg : config) =
       aspace = Vmem.Address_space.create ();
       pt = Vmem.Page_table.create ();
       frames;
+      slab = Vmem.Frame.slab frames;
       cache = Swap_cache.create ();
       qps =
         Array.init cfg.cores (fun i ->
@@ -336,6 +340,20 @@ let alloc_frame_fault t cs =
       in
       acquire ()
 
+(* Readahead is speculative: on permanent failure drop the swap-cache
+   entry (inside the callback, before any waiter runs, so nobody maps
+   a garbage frame) and let a demand fault refetch the page. *)
+let ra_page_error t vpn e =
+  e.Swap_cache.io_inflight <- false;
+  (match Swap_cache.find t.cache vpn with
+  | Some e' when e' == e ->
+      Swap_cache.remove t.cache vpn;
+      Vmem.Frame.free t.frames e.Swap_cache.frame;
+      Sim.Stats.cincr t.hot.c_ra_aborted;
+      Sim.Condvar.broadcast t.frames_avail
+  | Some _ | None -> ());
+  Sim.Condvar.broadcast t.io_done
+
 let swapin_cluster t cs vpn_fault =
   (* Aligned cluster readahead: fetch the 8-page cluster containing
      the fault. The faulted page's IO is posted first; the rest queue
@@ -344,70 +362,75 @@ let swapin_cluster t cs vpn_fault =
   let win = t.ra_window in
   let start = vpn_fault land lnot (win - 1) in
   (* Swap-cache insertion happens per page, up front; the surviving
-     fetches then go out as one WR chain (single doorbell, identical
-     per-op service — see Qp.post_read_batch). *)
-  let wrs = ref [] in
-  let submit vpn =
-    let pte = Vmem.Page_table.get t.pt vpn in
-    if
-      vpn <> vpn_fault
-      && Vmem.Pte.tag pte = Vmem.Pte.Remote
-      && (not (Swap_cache.mem t.cache vpn))
-      && Vmem.Frame.free_count t.frames > 1
-    then begin
-      match Vmem.Frame.alloc t.frames with
-      | None -> ()
-      | Some frame ->
-          let e = { Swap_cache.frame; io_inflight = true } in
-          Swap_cache.insert t.cache vpn e;
-          lru_push t vpn;
-          Sim.Stats.cincr t.hot.c_readahead_pages;
-          wrs :=
-            {
-              Rdma.Qp.r_segs =
-                [
-                  {
-                    Rdma.Qp.raddr = Vmem.Addr.base vpn;
-                    loff = 0;
-                    len = Vmem.Addr.page_size;
-                  };
-                ];
-              r_buf = Vmem.Frame.data t.frames frame;
-              r_on_complete =
-                (fun () ->
-                  e.Swap_cache.io_inflight <- false;
-                  Sim.Condvar.broadcast t.io_done);
-              r_on_error =
-                (* Readahead is speculative: on permanent failure drop
-                   the swap-cache entry (inside the callback, before
-                   any waiter runs, so nobody maps a garbage frame)
-                   and let a demand fault refetch the page. *)
-                Some
-                  (fun () ->
-                    e.Swap_cache.io_inflight <- false;
-                    (match Swap_cache.find t.cache vpn with
-                    | Some e' when e' == e ->
-                        Swap_cache.remove t.cache vpn;
-                        Vmem.Frame.free t.frames e.Swap_cache.frame;
-                        Sim.Stats.cincr t.hot.c_ra_aborted;
-                        Sim.Condvar.broadcast t.frames_avail
-                    | Some _ | None -> ());
-                    Sim.Condvar.broadcast t.io_done);
-            }
-            :: !wrs
-    end
-  in
+     fetches then go out as one chain: single doorbell, and each
+     maximal run of consecutive pages rides one coalesced extent
+     (one chained engine event — see Qp.post_read_pages). *)
   if t.cfg.readahead && win > 1 then begin
-    for v = start to start + win - 1 do
-      submit v
+    let vpns = Array.make win 0 in
+    let frames_ra = Array.make win 0 in
+    let entries = Array.make win None in
+    let n = ref 0 in
+    for vpn = start to start + win - 1 do
+      let pte = Vmem.Page_table.get t.pt vpn in
+      if
+        vpn <> vpn_fault
+        && Vmem.Pte.tag pte = Vmem.Pte.Remote
+        && (not (Swap_cache.mem t.cache vpn))
+        && Vmem.Frame.free_count t.frames > 1
+      then
+        match Vmem.Frame.alloc t.frames with
+        | None -> ()
+        | Some frame ->
+            let e = { Swap_cache.frame; io_inflight = true } in
+            Swap_cache.insert t.cache vpn e;
+            lru_push t vpn;
+            Sim.Stats.cincr t.hot.c_readahead_pages;
+            vpns.(!n) <- vpn;
+            frames_ra.(!n) <- frame;
+            entries.(!n) <- Some e;
+            incr n
     done;
-    (if Trace.enabled cat_swap then
-       let pages = List.length !wrs in
-       if pages > 0 then
-         Trace.instant cat_swap ~name:"readahead" ~track:cs.trk
-           ~args:[ ("vpn", Trace.I vpn_fault); ("pages", Trace.I pages) ]
-           ());
-    Rdma.Qp.post_read_batch qp (List.rev !wrs)
+    let n = !n in
+    if n > 0 then begin
+      if Trace.enabled cat_swap then
+        Trace.instant cat_swap ~name:"readahead" ~track:cs.trk
+          ~args:[ ("vpn", Trace.I vpn_fault); ("pages", Trace.I n) ]
+          ();
+      Rdma.Qp.note_read_batch qp ~wrs:n;
+      let entry k =
+        match entries.(k) with Some e -> e | None -> assert false
+      in
+      let i = ref 0 in
+      while !i < n do
+        let first = !i in
+        let vpn0 = vpns.(first) in
+        let count = ref 1 in
+        while
+          first + !count < n && vpns.(first + !count) = vpn0 + !count
+        do
+          incr count
+        done;
+        let count = !count in
+        (* [offs] must stay immutable until the window's last page
+           completes (Qp.post_read_pages contract) and windows overlap
+           in flight, so a fresh array per window is the correct
+           ownership — pooling it would be a use-after-repost bug. *)
+        let offs =
+          (Array.init count (fun k ->
+               Vmem.Frame.offset t.frames frames_ra.(first + k))
+          [@lint.allow "hot-alloc"])
+        in
+        Rdma.Qp.post_read_pages qp ~raddr0:(Vmem.Addr.base vpn0) ~buf:t.slab
+          ~offs ~count
+          ~on_page:(fun k ->
+            let e = entry (first + k) in
+            e.Swap_cache.io_inflight <- false;
+            Sim.Condvar.broadcast t.io_done)
+          ~on_page_error:
+            (Some (fun k -> ra_page_error t (vpn0 + k) (entry (first + k))));
+        i := first + count
+      done
+    end
   end
 
 (* Map a swap-cache entry whose IO has finished. *)
@@ -469,8 +492,14 @@ let rec major_fault t cs vpn =
       Sim.Condvar.broadcast t.io_done)
     t.qps.(cs.core_id)
     ~segs:
-      [ { Rdma.Qp.raddr = Vmem.Addr.base vpn; loff = 0; len = Vmem.Addr.page_size } ]
-    ~buf:(Vmem.Frame.data t.frames frame)
+      [
+        {
+          Rdma.Qp.raddr = Vmem.Addr.base vpn;
+          loff = Vmem.Frame.offset t.frames frame;
+          len = Vmem.Addr.page_size;
+        };
+      ]
+    ~buf:t.slab
     ~on_complete:(fun () ->
       e.Swap_cache.io_inflight <- false;
       (match !waiter with Some wake -> wake () | None -> ());
@@ -532,6 +561,9 @@ and handle_fault_inner t cs vpn =
           if Vmem.Page_table.get t.pt vpn <> Vmem.Pte.zero then
             Vmem.Frame.free t.frames frame
           else begin
+            (* The one path that must deliver an actually-zero page
+               (Frame.alloc recycles frames dirty). *)
+            Vmem.Frame.fill_page t.frames frame '\000';
             Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_local ~frame ~writable:true);
             lru_push t vpn;
             Sim.Stats.cincr t.hot.c_zero_fill
@@ -562,31 +594,31 @@ and handle_fault_inner t cs vpn =
             (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0) + 570)
       | None -> major_fault t cs vpn)
 
-let frame_bytes_slow t cs vpn ~write =
+let frame_off_slow t cs vpn ~write =
   flush_core t cs;
   let rec loop () =
     match Vmem.Mmu.access t.pt ~vpn ~write with
     | Vmem.Mmu.Frame f ->
-        let b = Vmem.Frame.data t.frames f in
+        let off = Vmem.Frame.offset t.frames f in
         let i = vpn land tlb_mask in
-        cs.tlb_vpn.(i) <- vpn;
-        cs.tlb_bytes.(i) <- b;
-        cs.tlb_written.(i) <- write;
+        Array.unsafe_set cs.tlb_vpn i vpn;
+        Array.unsafe_set cs.tlb_off i off;
+        Array.unsafe_set cs.tlb_written i write;
         cs.pending <- cs.pending + 20;
-        b
+        off
     | Vmem.Mmu.Fault pte ->
         handle_fault t cs vpn pte;
         loop ()
   in
   loop ()
 
-let page_for_read t cs vpn =
+let page_off_for_read t cs vpn =
   let i = vpn land tlb_mask in
-  if cs.tlb_vpn.(i) = vpn then begin
+  if Array.unsafe_get cs.tlb_vpn i = vpn then begin
     charge t cs Dilos.Params.mem_access_ns;
-    cs.tlb_bytes.(i)
+    Array.unsafe_get cs.tlb_off i
   end
-  else frame_bytes_slow t cs vpn ~write:false
+  else frame_off_slow t cs vpn ~write:false
 
 (* Dirtying a page that came back from swap releases its swap slot
    and goes through write-protect handling; pages that never swapped
@@ -597,21 +629,21 @@ let charge_dirtying t cs vpn =
     charge t cs Dilos.Params.fastswap_dirty_write_ns
   end
 
-let page_for_write t cs vpn =
+let page_off_for_write t cs vpn =
   let i = vpn land tlb_mask in
-  if cs.tlb_vpn.(i) = vpn then begin
-    if not cs.tlb_written.(i) then begin
+  if Array.unsafe_get cs.tlb_vpn i = vpn then begin
+    if not (Array.unsafe_get cs.tlb_written i) then begin
       Vmem.Page_table.update t.pt vpn Vmem.Pte.set_dirty;
-      cs.tlb_written.(i) <- true;
+      Array.unsafe_set cs.tlb_written i true;
       charge_dirtying t cs vpn
     end;
     charge t cs Dilos.Params.mem_access_ns;
-    cs.tlb_bytes.(i)
+    Array.unsafe_get cs.tlb_off i
   end
   else begin
-    let b = frame_bytes_slow t cs vpn ~write:true in
+    let off = frame_off_slow t cs vpn ~write:true in
     charge_dirtying t cs vpn;
-    b
+    off
   end
 
 let split addr = (Vmem.Addr.vpn addr, Vmem.Addr.offset addr)
@@ -620,51 +652,115 @@ let check_span off size =
   if off + size > Vmem.Addr.page_size then
     invalid_arg "Fastswap: scalar access straddles a page boundary"
 
+(* Scalar accessors: translation yields a slab offset whose page-sized
+   span is valid by construction, and [check_span] bounds [off], so the
+   unsafe slab accessors cannot escape the mapped frame. *)
+
 let read_u8 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
-  Char.code (Bytes.get (page_for_read t cs vpn) off)
+  Sim.Bigbuf.unsafe_get_u8 t.slab (page_off_for_read t cs vpn + off)
 
 let read_u16 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 2;
-  Bytes.get_uint16_le (page_for_read t cs vpn) off
+  Sim.Bigbuf.unsafe_get_u16_le t.slab (page_off_for_read t cs vpn + off)
 
 let read_u32 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 4;
-  Int32.to_int (Bytes.get_int32_le (page_for_read t cs vpn) off) land 0xFFFFFFFF
+  Sim.Bigbuf.unsafe_get_u32_le t.slab (page_off_for_read t cs vpn + off)
 
 let read_u64 t ~core addr =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 8;
-  Bytes.get_int64_le (page_for_read t cs vpn) off
+  Sim.Bigbuf.unsafe_get_u64_le t.slab (page_off_for_read t cs vpn + off)
 
 let write_u8 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
-  Bytes.set (page_for_write t cs vpn) off (Char.chr (v land 0xFF))
+  Sim.Bigbuf.unsafe_set_u8 t.slab (page_off_for_write t cs vpn + off) (v land 0xFF)
 
 let write_u16 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 2;
-  Bytes.set_uint16_le (page_for_write t cs vpn) off (v land 0xFFFF)
+  Sim.Bigbuf.unsafe_set_u16_le t.slab (page_off_for_write t cs vpn + off) v
 
 let write_u32 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 4;
-  Bytes.set_int32_le (page_for_write t cs vpn) off (Int32.of_int v)
+  Sim.Bigbuf.unsafe_set_u32_le t.slab (page_off_for_write t cs vpn + off) v
 
 let write_u64 t ~core addr v =
   let cs = core_state t core in
   let vpn, off = split addr in
   check_span off 8;
-  Bytes.set_int64_le (page_for_write t cs vpn) off v
+  Sim.Bigbuf.unsafe_set_u64_le t.slab (page_off_for_write t cs vpn + off) v
+
+(* [_at] variants: see Dilos.Kernel — base + int offset, no Int64
+   boxing per access. *)
+
+let eff base off = Int64.to_int base + off
+
+let read_u8_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  Sim.Bigbuf.unsafe_get_u8 t.slab
+    (page_off_for_read t cs (a lsr 12) + (a land 4095))
+
+let read_u16_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 2;
+  Sim.Bigbuf.unsafe_get_u16_le t.slab (page_off_for_read t cs (a lsr 12) + o)
+
+let read_u32_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 4;
+  Sim.Bigbuf.unsafe_get_u32_le t.slab (page_off_for_read t cs (a lsr 12) + o)
+
+let read_u64_at t ~core base off =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 8;
+  Sim.Bigbuf.unsafe_get_u64_le t.slab (page_off_for_read t cs (a lsr 12) + o)
+
+let write_u8_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  Sim.Bigbuf.unsafe_set_u8 t.slab
+    (page_off_for_write t cs (a lsr 12) + (a land 4095))
+    (v land 0xFF)
+
+let write_u16_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 2;
+  Sim.Bigbuf.unsafe_set_u16_le t.slab (page_off_for_write t cs (a lsr 12) + o) v
+
+let write_u32_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 4;
+  Sim.Bigbuf.unsafe_set_u32_le t.slab (page_off_for_write t cs (a lsr 12) + o) v
+
+let write_u64_at t ~core base off v =
+  let cs = core_state t core in
+  let a = eff base off in
+  let o = a land 4095 in
+  check_span o 8;
+  Sim.Bigbuf.unsafe_set_u64_le t.slab (page_off_for_write t cs (a lsr 12) + o) v
 
 let bulk t ~core addr buf off len ~write =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
@@ -674,9 +770,15 @@ let bulk t ~core addr buf off len ~write =
   while !done_ < len do
     let vpn, poff = split !pos in
     let n = Int.min (len - !done_) (Vmem.Addr.page_size - poff) in
-    let page = if write then page_for_write t cs vpn else page_for_read t cs vpn in
-    if write then Bytes.blit buf (off + !done_) page poff n
-    else Bytes.blit page poff buf (off + !done_) n;
+    if write then
+      let page_off = page_off_for_write t cs vpn in
+      Sim.Bigbuf.blit_from_bytes buf ~src_off:(off + !done_) t.slab
+        ~dst_off:(page_off + poff) ~len:n
+    else begin
+      let page_off = page_off_for_read t cs vpn in
+      Sim.Bigbuf.blit_to_bytes t.slab ~src_off:(page_off + poff) buf
+        ~dst_off:(off + !done_) ~len:n
+    end;
     charge t cs (n / 64 * Dilos.Params.mem_access_ns);
     pos := Int64.add !pos (Int64.of_int n);
     done_ := !done_ + n
@@ -687,7 +789,7 @@ let write_bytes t ~core addr buf off len = bulk t ~core addr buf off len ~write:
 
 let touch t ~core addr =
   let cs = core_state t core in
-  ignore (page_for_read t cs (Vmem.Addr.vpn addr))
+  ignore (page_off_for_read t cs (Vmem.Addr.vpn addr))
 
 let mmap t ~len ?name () = Vmem.Address_space.mmap t.aspace ~len ~ddc:true ?name ()
 

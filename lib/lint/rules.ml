@@ -10,12 +10,14 @@ let all : Rule.t list =
     { Rule.id = Rule_stats_handle.id; doc = Rule_stats_handle.doc };
     { Rule.id = Rule_effect.id; doc = Rule_effect.doc };
     { Rule.id = Rule_trace_span.id; doc = Rule_trace_span.doc };
+    { Rule.id = Rule_hot_alloc.id; doc = Rule_hot_alloc.doc };
   ]
 
 let ids = List.map (fun r -> r.Rule.id) all
 
-(* Expression-position checks (R1, R2, R3, R4, R6). *)
-let check_expression ~ctx ~sort_in_scope ~span_end_in_scope e : Rule.site list =
+(* Expression-position checks (R1, R2, R3, R4, R6, R7). *)
+let check_expression ~ctx ~sort_in_scope ~span_end_in_scope ~cold_in_scope e :
+    Rule.site list =
   List.concat
     [
       Rule_wallclock.check ~ctx e;
@@ -23,6 +25,7 @@ let check_expression ~ctx ~sort_in_scope ~span_end_in_scope e : Rule.site list =
       Rule_hashtbl_order.check ~ctx ~sort_in_scope e;
       Rule_stats_handle.check ~ctx e;
       Rule_trace_span.check ~ctx ~span_end_in_scope e;
+      Rule_hot_alloc.check ~ctx ~cold_in_scope e;
     ]
 
 (* Longident-position checks (R5): catches module opens and type

@@ -1,11 +1,31 @@
 let block_size = 4096
 let block_shift = 12
 
-type t = { size : int64; blocks : (int, bytes) Hashtbl.t }
+(* Dense off-heap slab instead of a hashtable of 4 KiB [bytes]
+   blocks. The slab is lazily committed by the kernel (fresh anonymous
+   mapping, see [Sim.Bigbuf.create]), so a paper-scale store costs
+   physical memory only for blocks actually written — the same
+   sparseness the hashtable bought, without per-block heap objects or
+   hashing on the transfer path. Reads of never-written memory still
+   observe zeros. [touched] tracks which blocks have been written
+   (1 bit per block) purely for the [resident_blocks] diagnostic. *)
+type t = {
+  size : int64;
+  slab : Sim.Bigbuf.t;
+  touched : Bytes.t;
+  mutable resident : int;
+}
 
 let create ~size =
   if Int64.compare size 0L < 0 then invalid_arg "Page_store.create: negative size";
-  { size; blocks = Hashtbl.create 4096 }
+  let bytes_ = Int64.to_int size in
+  let blocks = (bytes_ + block_size - 1) / block_size in
+  {
+    size;
+    slab = Sim.Bigbuf.create bytes_;
+    touched = Bytes.make ((blocks + 7) / 8) '\000';
+    resident = 0;
+  }
 
 let size t = t.size
 
@@ -16,41 +36,46 @@ let check t addr len =
     || Int64.compare (Int64.add addr (Int64.of_int len)) t.size > 0
   then invalid_arg (Printf.sprintf "Page_store: range [0x%Lx,+%d) out of bounds" addr len)
 
-let block t idx =
-  match Hashtbl.find_opt t.blocks idx with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make block_size '\000' in
-      Hashtbl.add t.blocks idx b;
-      b
-
-(* Walk the blocks spanned by [addr, addr+len) and apply [f block
-   block_off dst_off n] to each piece. *)
-let iter_span addr len f =
-  let pos = ref addr and remaining = ref len and done_ = ref 0 in
-  while !remaining > 0 do
-    let idx = Int64.to_int (Int64.shift_right_logical !pos block_shift) in
-    let boff = Int64.to_int (Int64.logand !pos (Int64.of_int (block_size - 1))) in
-    let n = Int.min !remaining (block_size - boff) in
-    f idx boff !done_ n;
-    pos := Int64.add !pos (Int64.of_int n);
-    remaining := !remaining - n;
-    done_ := !done_ + n
-  done
+let mark_touched t ~addr ~len =
+  if len > 0 then begin
+    let first = Int64.to_int (Int64.shift_right_logical addr block_shift) in
+    let last =
+      Int64.to_int
+        (Int64.shift_right_logical
+           (Int64.add addr (Int64.of_int (len - 1)))
+           block_shift)
+    in
+    for idx = first to last do
+      let byte = idx lsr 3 and bit = 1 lsl (idx land 7) in
+      let v = Char.code (Bytes.unsafe_get t.touched byte) in
+      if v land bit = 0 then begin
+        Bytes.unsafe_set t.touched byte (Char.unsafe_chr (v lor bit));
+        t.resident <- t.resident + 1
+      end
+    done
+  end
 
 let read t ~addr ~dst ~off ~len =
   check t addr len;
-  iter_span addr len (fun idx boff piece n ->
-      match Hashtbl.find_opt t.blocks idx with
-      | Some b -> Bytes.blit b boff dst (off + piece) n
-      | None -> Bytes.fill dst (off + piece) n '\000')
+  Sim.Bigbuf.blit t.slab ~src_off:(Int64.to_int addr) dst ~dst_off:off ~len
 
 let write t ~addr ~src ~off ~len =
   check t addr len;
-  iter_span addr len (fun idx boff piece n ->
-      Bytes.blit src (off + piece) (block t idx) boff n)
+  mark_touched t ~addr ~len;
+  Sim.Bigbuf.blit src ~src_off:off t.slab ~dst_off:(Int64.to_int addr) ~len
 
-let resident_blocks t = Hashtbl.length t.blocks
+let read_bytes t ~addr ~dst ~off ~len =
+  check t addr len;
+  Sim.Bigbuf.blit_to_bytes t.slab ~src_off:(Int64.to_int addr) dst ~dst_off:off
+    ~len
+
+let write_bytes t ~addr ~src ~off ~len =
+  check t addr len;
+  mark_touched t ~addr ~len;
+  Sim.Bigbuf.blit_from_bytes src ~src_off:off t.slab
+    ~dst_off:(Int64.to_int addr) ~len
+
+let resident_blocks t = t.resident
 
 let target t =
   {

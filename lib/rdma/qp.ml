@@ -1,6 +1,8 @@
+module Buf = Sim.Bigbuf
+
 type target = {
-  t_read : int64 -> bytes -> int -> int -> unit;
-  t_write : int64 -> bytes -> int -> int -> unit;
+  t_read : int64 -> Buf.t -> int -> int -> unit;
+  t_write : int64 -> Buf.t -> int -> int -> unit;
 }
 
 let cat_rdma = Trace.category "rdma"
@@ -10,6 +12,10 @@ let op_name = function Nic.Read -> "read" | Nic.Write -> "write"
 let dns a b = Int64.to_int (Sim.Time.sub a b)
 
 type seg = { raddr : int64; loff : int; len : int }
+
+let page_size = 4096
+let empty_buf : Buf.t = Buf.create 0
+let ignore_page (_ : int) = ()
 
 (* Counter cells resolved once at [create]; posting is per-fault /
    per-prefetch hot path and must not hash counter names. *)
@@ -28,6 +34,13 @@ type hstats = {
   c_perm_failures : Sim.Stats.counter;
 }
 
+(* The steady-state fault path must not allocate per completion, so
+   the healthy-path completion callback is not a closure: it is a
+   [comp] record recycled through a per-QP free list, carrying a
+   permanent [c_fn] thunk scheduled on the engine. Likewise [extent]
+   records stand in for a whole contiguous run of page READs (one
+   chained engine event instead of [count] heap entries), and write
+   snapshots are pooled page-sized slabs. *)
 type t = {
   eng : Sim.Engine.t;
   nic : Nic.t;
@@ -45,7 +58,50 @@ type t = {
   trk : int; (* trace track: one timeline row per QP *)
   mutable next_free : Sim.Time.t;
   mutable inflight : int;
+  mutable comp_pool : comp array;
+  mutable comp_len : int;
+  mutable ext_pool : extent array;
+  mutable ext_len : int;
+  mutable snap_pool : Buf.t array;
+  mutable snap_len : int;
 }
+
+and comp = {
+  c_qp : t;
+  mutable c_op : Nic.op;
+  mutable c_bytes : int;
+  mutable c_segments : int;
+  mutable c_segs : seg list;
+  mutable c_buf : Buf.t;
+  mutable c_snap : Buf.t;
+  mutable c_snap_base : int;
+  mutable c_release_snap : bool;
+  mutable c_t0 : Sim.Time.t;
+  mutable c_on_complete : unit -> unit;
+  mutable c_fn : unit -> unit;
+}
+
+and extent = {
+  e_qp : t;
+  mutable e_raddr0 : int64;
+  mutable e_buf : Buf.t;
+  mutable e_offs : int array;
+  mutable e_count : int;
+  mutable e_idx : int;
+  mutable e_comp : Sim.Time.t; (* completion instant of page [e_idx] *)
+  mutable e_occ : Sim.Time.t; (* per-page service (occupancy) delta *)
+  mutable e_seq0 : int; (* engine seq reserved for page 0 *)
+  mutable e_t0 : Sim.Time.t; (* post instant, for per-page spans *)
+  mutable e_on_page : int -> unit;
+  mutable e_fn : unit -> unit;
+}
+
+(* Reference-path switch for the extent equivalence suite: with
+   coalescing off, [post_read_pages] degrades to the per-page posting
+   loop (one engine event per page), which must produce bit-identical
+   counters, traces and timings. *)
+let coalescing = ref true
+let set_coalescing v = coalescing := v
 
 let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     ?(extra_completion_delay = Sim.Time.zero) ~name () =
@@ -87,6 +143,12 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     trk = Trace.track name;
     next_free = Sim.Time.zero;
     inflight = 0;
+    comp_pool = [||];
+    comp_len = 0;
+    ext_pool = [||];
+    ext_len = 0;
+    snap_pool = [||];
+    snap_len = 0;
   }
 
 let name t = t.name
@@ -113,7 +175,7 @@ let validate t segs buf =
   List.iter
     (fun s ->
       Region.check t.region ~rkey:t.rkey ~addr:s.raddr ~len:s.len;
-      if s.loff < 0 || s.loff + s.len > Bytes.length buf then
+      if s.loff < 0 || s.loff + s.len > Buf.length buf then
         invalid_arg "Qp: segment outside local buffer")
     segs
 
@@ -139,6 +201,154 @@ let meter t op bytes_ =
 
 let fcount t sel =
   match t.hstats with None -> () | Some h -> Sim.Stats.cincr (sel h)
+
+(* -- pools ------------------------------------------------------- *)
+
+let snap_take t =
+  if t.snap_len = 0 then Buf.create page_size
+  else begin
+    t.snap_len <- t.snap_len - 1;
+    t.snap_pool.(t.snap_len)
+  end
+
+let snap_release t b =
+  if Buf.length b = page_size then begin
+    let cap = Array.length t.snap_pool in
+    if t.snap_len = cap then begin
+      let np = Array.make (if cap = 0 then 8 else cap * 2) empty_buf in
+      Array.blit t.snap_pool 0 np 0 t.snap_len;
+      t.snap_pool <- np
+    end;
+    t.snap_pool.(t.snap_len) <- b;
+    t.snap_len <- t.snap_len + 1
+  end
+
+let comp_fire c =
+  let t = c.c_qp in
+  t.inflight <- t.inflight - 1;
+  meter t c.c_op c.c_bytes;
+  (match c.c_op with
+  | Nic.Read ->
+      List.iter (fun s -> t.target.t_read s.raddr c.c_buf s.loff s.len) c.c_segs
+  | Nic.Write ->
+      let snap = c.c_snap and base = c.c_snap_base in
+      List.iter
+        (fun s -> t.target.t_write s.raddr snap (s.loff - base) s.len)
+        c.c_segs;
+      if c.c_release_snap then snap_release t snap);
+  if Trace.enabled cat_rdma then
+    Trace.complete cat_rdma ~name:(op_name c.c_op) ~track:t.trk ~t0:c.c_t0
+      ~async:true
+      ~args:[ ("bytes", Trace.I c.c_bytes); ("segments", Trace.I c.c_segments) ]
+      ();
+  let k = c.c_on_complete in
+  (* Scrub payload references and recycle before invoking the
+     continuation, so a continuation that posts a new WR can reuse
+     this very record. *)
+  c.c_segs <- [];
+  c.c_buf <- empty_buf;
+  c.c_snap <- empty_buf;
+  c.c_on_complete <- ignore;
+  let cap = Array.length t.comp_pool in
+  if t.comp_len = cap then begin
+    let np = Array.make (if cap = 0 then 8 else cap * 2) c in
+    Array.blit t.comp_pool 0 np 0 t.comp_len;
+    t.comp_pool <- np
+  end;
+  t.comp_pool.(t.comp_len) <- c;
+  t.comp_len <- t.comp_len + 1;
+  k ()
+
+let comp_take t =
+  if t.comp_len = 0 then begin
+    let c =
+      {
+        c_qp = t;
+        c_op = Nic.Read;
+        c_bytes = 0;
+        c_segments = 0;
+        c_segs = [];
+        c_buf = empty_buf;
+        c_snap = empty_buf;
+        c_snap_base = 0;
+        c_release_snap = false;
+        c_t0 = Sim.Time.zero;
+        c_on_complete = ignore;
+        c_fn = ignore;
+      }
+    in
+    c.c_fn <- (fun () -> comp_fire c);
+    c
+  end
+  else begin
+    t.comp_len <- t.comp_len - 1;
+    t.comp_pool.(t.comp_len)
+  end
+
+let extent_fire e =
+  let t = e.e_qp in
+  let i = e.e_idx in
+  t.inflight <- t.inflight - 1;
+  meter t Nic.Read page_size;
+  let raddr = Int64.add e.e_raddr0 (Int64.of_int (i * page_size)) in
+  t.target.t_read raddr e.e_buf e.e_offs.(i) page_size;
+  if Trace.enabled cat_rdma then
+    Trace.complete cat_rdma ~name:"read" ~track:t.trk ~t0:e.e_t0 ~async:true
+      ~args:[ ("bytes", Trace.I page_size); ("segments", Trace.I 1) ]
+      ();
+  let next = i + 1 in
+  if next < e.e_count then begin
+    e.e_idx <- next;
+    (* Identical WRs back-to-back on one send engine complete exactly
+       one occupancy apart (service starts at [next_free] for every WR
+       after the first), so the chained hop re-arms arithmetically. *)
+    e.e_comp <- Sim.Time.add e.e_comp e.e_occ;
+    Sim.Engine.at_reserved t.eng ~seq:(e.e_seq0 + next) e.e_comp e.e_fn;
+    e.e_on_page i
+  end
+  else begin
+    let k = e.e_on_page in
+    e.e_buf <- empty_buf;
+    e.e_offs <- [||];
+    e.e_on_page <- ignore_page;
+    let cap = Array.length t.ext_pool in
+    if t.ext_len = cap then begin
+      let np = Array.make (if cap = 0 then 4 else cap * 2) e in
+      Array.blit t.ext_pool 0 np 0 t.ext_len;
+      t.ext_pool <- np
+    end;
+    t.ext_pool.(t.ext_len) <- e;
+    t.ext_len <- t.ext_len + 1;
+    k i
+  end
+
+let ext_take t =
+  if t.ext_len = 0 then begin
+    let e =
+      {
+        e_qp = t;
+        e_raddr0 = 0L;
+        e_buf = empty_buf;
+        e_offs = [||];
+        e_count = 0;
+        e_idx = 0;
+        e_comp = Sim.Time.zero;
+        e_occ = Sim.Time.zero;
+        e_seq0 = 0;
+        e_t0 = Sim.Time.zero;
+        e_on_page = ignore_page;
+        e_fn = ignore;
+      }
+    in
+    e.e_fn <- (fun () -> extent_fire e);
+    e
+  end
+  else begin
+    t.ext_len <- t.ext_len - 1;
+    t.ext_pool.(t.ext_len)
+  end
+
+(* -- posting ----------------------------------------------------- *)
 
 (* One service attempt of a work request under a fault plan. Each
    attempt re-arms the send engine (doorbell + occupancy) and draws
@@ -250,7 +460,11 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
            fcount t (fun h -> h.c_timeouts);
            fail_attempt ~ended:timeout_at ~reason:"timeout"))
 
-let post ?on_error ?fa t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
+(* Shared post path. [snap]/[snap_base]/[release_snap] carry the write
+   snapshot (rebased so pooled page-sized snapshots work even when
+   [buf] is a whole multi-GB slab); for reads [snap] is unused. *)
+let post ?on_error ?fa t op ~segs ~buf ~snap ~snap_base ~release_snap
+    ~on_complete =
   validate t segs buf;
   let bytes_ = total_len segs in
   let segments = List.length segs in
@@ -258,6 +472,29 @@ let post ?on_error ?fa t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
   let posted = Sim.Time.add now (Nic.doorbell t.nic) in
   match t.faults with
   | Some plan ->
+      let transfer () =
+        match op with
+        | Nic.Read ->
+            List.iter (fun s -> t.target.t_read s.raddr buf s.loff s.len) segs
+        | Nic.Write ->
+            List.iter
+              (fun s -> t.target.t_write s.raddr snap (s.loff - snap_base) s.len)
+              segs;
+            if release_snap then snap_release t snap
+      in
+      (* Exactly one of [transfer] / permanent failure ever happens, so
+         the snapshot is returned to the pool exactly once. Wrapping
+         only a present [on_error] preserves the transparent unbounded
+         retry of [None]. *)
+      let on_error =
+        match on_error with
+        | Some f when release_snap ->
+            Some
+              (fun () ->
+                snap_release t snap;
+                f ())
+        | other -> other
+      in
       t.inflight <- t.inflight + 1;
       attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error ~fa
         ~posted ~try_no:1
@@ -278,27 +515,26 @@ let post ?on_error ?fa t op ~segs ~buf ~(transfer : unit -> unit) ~on_complete =
           a.Trace.fa_queue_ns <- a.Trace.fa_queue_ns + dns start now;
           a.Trace.fa_wire_ns <- a.Trace.fa_wire_ns + dns completion start
       | None -> ());
-      Sim.Engine.at t.eng completion (fun () ->
-          t.inflight <- t.inflight - 1;
-          meter t op bytes_;
-          transfer ();
-          if Trace.enabled cat_rdma then
-            Trace.complete cat_rdma ~name:(op_name op) ~track:t.trk ~t0:now
-              ~async:true
-              ~args:
-                [ ("bytes", Trace.I bytes_); ("segments", Trace.I segments) ]
-              ();
-          on_complete ())
+      let c = comp_take t in
+      c.c_op <- op;
+      c.c_bytes <- bytes_;
+      c.c_segments <- segments;
+      c.c_segs <- segs;
+      c.c_buf <- buf;
+      c.c_snap <- snap;
+      c.c_snap_base <- snap_base;
+      c.c_release_snap <- release_snap;
+      c.c_t0 <- now;
+      c.c_on_complete <- on_complete;
+      Sim.Engine.at t.eng completion c.c_fn
 
 let post_read ?on_error ?fa t ~segs ~buf ~on_complete =
-  let transfer () =
-    List.iter (fun s -> t.target.t_read s.raddr buf s.loff s.len) segs
-  in
-  post ?on_error ?fa t Nic.Read ~segs ~buf ~transfer ~on_complete
+  post ?on_error ?fa t Nic.Read ~segs ~buf ~snap:empty_buf ~snap_base:0
+    ~release_snap:false ~on_complete
 
 type read_wr = {
   r_segs : seg list;
-  r_buf : bytes;
+  r_buf : Buf.t;
   r_on_complete : unit -> unit;
   r_on_error : (unit -> unit) option;
 }
@@ -358,34 +594,170 @@ let post_read_batch t wrs =
             in
             t.inflight <- t.inflight + 1;
             count t Nic.Read bytes_;
-            Sim.Engine.at t.eng completion (fun () ->
-                t.inflight <- t.inflight - 1;
-                meter t Nic.Read bytes_;
-                List.iter
-                  (fun s -> t.target.t_read s.raddr wr.r_buf s.loff s.len)
-                  wr.r_segs;
-                if Trace.enabled cat_rdma then
-                  Trace.complete cat_rdma ~name:"read" ~track:t.trk ~t0:now
-                    ~async:true
-                    ~args:
-                      [
-                        ("bytes", Trace.I bytes_); ("segments", Trace.I segments);
-                      ]
-                    ();
-                wr.r_on_complete ()))
+            let c = comp_take t in
+            c.c_op <- Nic.Read;
+            c.c_bytes <- bytes_;
+            c.c_segments <- segments;
+            c.c_segs <- wr.r_segs;
+            c.c_buf <- wr.r_buf;
+            c.c_snap <- empty_buf;
+            c.c_snap_base <- 0;
+            c.c_release_snap <- false;
+            c.c_t0 <- now;
+            c.c_on_complete <- wr.r_on_complete;
+            Sim.Engine.at t.eng completion c.c_fn)
           wrs
   end
 
+(* Batch bookkeeping for callers that post a fetch window through
+   [post_read_pages] / [post_read] directly instead of building
+   [read_wr] records: one doorbell's worth of counter + trace, exactly
+   what [post_read_batch] emits before its per-WR loop. *)
+let note_read_batch t ~wrs =
+  if wrs > 0 then begin
+    (match t.hstats with
+    | Some h -> Sim.Stats.cincr h.c_read_batches
+    | None -> ());
+    if Trace.enabled cat_rdma then
+      Trace.instant cat_rdma ~name:"read_batch" ~track:t.trk
+        ~args:[ ("wrs", Trace.I wrs) ]
+        ()
+  end
+
+(* A contiguous run of full-page READs as ONE chained engine event.
+
+   Equivalence to the per-page path, which the goldens pin down:
+   identical full-page WRs posted back-to-back at one instant have
+   start_i = start_0 + i*occ (WR i>0 is never doorbell-limited), hence
+   completion_i = completion_0 + i*occ, and [next_free] ends at
+   start_0 + count*occ — all reproduced arithmetically. Counters are
+   bumped at post time with count/count*4096 (the same sums the
+   per-page loop accumulates at the same instant). Engine sequence
+   numbers for all [count] completions are reserved up front
+   ([Engine.reserve_seqs]), so every per-page completion fires at the
+   exact (time, seq) slot the uncoalesced path would have used: the
+   global event order is bit-identical, and per-page observers
+   (mapping broadcasts, io_done waiters, traces, bandwidth meter)
+   see exactly what they used to.
+
+   [offs] gives each page's destination byte offset in [buf] (frames
+   are not contiguous even when remote pages are); the array must stay
+   untouched by the caller until the last page completes. Under a
+   fault plan pages fall back to independent per-WR attempts with
+   bounded retry, as [post_read_batch] does. *)
+let post_read_pages t ~raddr0 ~buf ~offs ~count ~on_page ~on_page_error =
+  if count <= 0 then invalid_arg "Qp.post_read_pages: count must be positive";
+  if count > Array.length offs then
+    invalid_arg "Qp.post_read_pages: count exceeds offs";
+  let blen = Buf.length buf in
+  for i = 0 to count - 1 do
+    let raddr = Int64.add raddr0 (Int64.of_int (i * page_size)) in
+    Region.check t.region ~rkey:t.rkey ~addr:raddr ~len:page_size;
+    let off = Array.unsafe_get offs i in
+    if off < 0 || off + page_size > blen then
+      invalid_arg "Qp.post_read_pages: page outside local buffer"
+  done;
+  let now = Sim.Engine.now t.eng in
+  let posted = Sim.Time.add now (Nic.doorbell t.nic) in
+  match t.faults with
+  | Some plan ->
+      for i = 0 to count - 1 do
+        let raddr = Int64.add raddr0 (Int64.of_int (i * page_size)) in
+        let off = offs.(i) in
+        let transfer () = t.target.t_read raddr buf off page_size in
+        let on_error =
+          match on_page_error with
+          | None -> None
+          | Some f -> Some (fun () -> f i)
+        in
+        t.inflight <- t.inflight + 1;
+        attempt t plan Nic.Read ~bytes_:page_size ~segments:1 ~transfer
+          ~on_complete:(fun () -> on_page i)
+          ~on_error ~fa:None ~posted ~try_no:1
+      done
+  | None ->
+      let occ = occupancy t ~bytes_:page_size ~segments:1 in
+      let latency =
+        Nic.latency t.nic Nic.Read ~bytes_:page_size ~segments:1
+          ~huge_pages:t.huge_pages
+      in
+      if not !coalescing then
+        (* Reference path: one engine event per page, exactly the
+           healthy [post_read_batch] loop. *)
+        for i = 0 to count - 1 do
+          let raddr = Int64.add raddr0 (Int64.of_int (i * page_size)) in
+          let start = Sim.Time.max posted t.next_free in
+          t.next_free <- Sim.Time.add start occ;
+          let completion =
+            Sim.Time.add (Sim.Time.add start latency) t.extra_completion_delay
+          in
+          t.inflight <- t.inflight + 1;
+          (match t.hstats with
+          | None -> ()
+          | Some h ->
+              Sim.Stats.cincr h.c_reads;
+              Sim.Stats.cadd h.c_read_bytes page_size);
+          let c = comp_take t in
+          c.c_op <- Nic.Read;
+          c.c_bytes <- page_size;
+          c.c_segments <- 1;
+          c.c_segs <- [ { raddr; loff = offs.(i); len = page_size } ];
+          c.c_buf <- buf;
+          c.c_snap <- empty_buf;
+          c.c_snap_base <- 0;
+          c.c_release_snap <- false;
+          c.c_t0 <- now;
+          c.c_on_complete <- (fun () -> on_page i);
+          Sim.Engine.at t.eng completion c.c_fn
+        done
+      else begin
+        let start0 = Sim.Time.max posted t.next_free in
+        t.next_free <-
+          Sim.Time.add start0 (Int64.mul occ (Int64.of_int count));
+        let comp0 =
+          Sim.Time.add (Sim.Time.add start0 latency) t.extra_completion_delay
+        in
+        t.inflight <- t.inflight + count;
+        (match t.hstats with
+        | None -> ()
+        | Some h ->
+            Sim.Stats.cadd h.c_reads count;
+            Sim.Stats.cadd h.c_read_bytes (count * page_size));
+        let seq0 = Sim.Engine.reserve_seqs t.eng count in
+        let e = ext_take t in
+        e.e_raddr0 <- raddr0;
+        e.e_buf <- buf;
+        e.e_offs <- offs;
+        e.e_count <- count;
+        e.e_idx <- 0;
+        e.e_comp <- comp0;
+        e.e_occ <- occ;
+        e.e_seq0 <- seq0;
+        e.e_t0 <- now;
+        e.e_on_page <- on_page;
+        Sim.Engine.at_reserved t.eng ~seq:seq0 comp0 e.e_fn
+      end
+
 let post_write ?on_error t ~segs ~buf ~on_complete =
+  validate t segs buf;
   (* Snapshot the payload at post time: the NIC reads local memory when
      the WR is posted, not when the ack returns. Retransmissions of a
      timed-out attempt resend the same snapshot (the WR's payload),
-     which keeps a retried WRITE idempotent. *)
-  let snapshot = Bytes.copy buf in
-  let transfer () =
-    List.iter (fun s -> t.target.t_write s.raddr snapshot s.loff s.len) segs
+     which keeps a retried WRITE idempotent. Only the segment-covered
+     span is copied, rebased to the lowest segment offset, so a pooled
+     page-sized snapshot serves the common writeback even when [buf]
+     is a whole frame slab. *)
+  let base = List.fold_left (fun a s -> Int.min a s.loff) max_int segs in
+  let hi = List.fold_left (fun a s -> Int.max a (s.loff + s.len)) 0 segs in
+  let span = hi - base in
+  let snap, release_snap =
+    if span <= page_size then (snap_take t, true) else (Buf.create span, false)
   in
-  post t Nic.Write ~segs ~buf ~transfer ?on_error ~on_complete
+  List.iter
+    (fun s -> Buf.blit buf ~src_off:s.loff snap ~dst_off:(s.loff - base) ~len:s.len)
+    segs;
+  post ?on_error t Nic.Write ~segs ~buf ~snap ~snap_base:base ~release_snap
+    ~on_complete
 
 let sync t post_fn ~segs ~buf =
   Sim.Engine.suspend t.eng (fun wake ->

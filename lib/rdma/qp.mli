@@ -7,13 +7,21 @@
     QP therefore pipeline — throughput is bandwidth-bound, single-op
     latency matches {!Nic.latency}. Requests on different QPs do not
     interfere, modelling the paper's shared-nothing per-core queues
-    (§4.5). *)
+    (§4.5).
+
+    Local buffers are off-heap slabs ({!Sim.Bigbuf}): a caller may
+    pass a whole multi-GB frame slab with per-segment offsets into it,
+    so page movement never materializes intermediate heap buffers.
+    Completion dispatch on the healthy path is allocation-free —
+    completion records and write snapshots recycle through per-QP free
+    lists, and contiguous page runs ride one chained engine event
+    ({!post_read_pages}). *)
 
 type target = {
-  t_read : int64 -> bytes -> int -> int -> unit;
+  t_read : int64 -> Sim.Bigbuf.t -> int -> int -> unit;
       (** [t_read raddr dst dst_off len]: copy remote bytes into a
           local buffer (executed at completion time). *)
-  t_write : int64 -> bytes -> int -> int -> unit;
+  t_write : int64 -> Sim.Bigbuf.t -> int -> int -> unit;
       (** [t_write raddr src src_off len]: copy local bytes into
           remote memory (source snapshotted at post time). *)
 }
@@ -46,7 +54,7 @@ val post_read :
   ?fa:Trace.fetch_attrib ->
   t ->
   segs:seg list ->
-  buf:bytes ->
+  buf:Sim.Bigbuf.t ->
   on_complete:(unit -> unit) ->
   unit
 (** Asynchronous one-sided READ. May be called from fibers or plain
@@ -76,16 +84,17 @@ val post_write :
   ?on_error:(unit -> unit) ->
   t ->
   segs:seg list ->
-  buf:bytes ->
+  buf:Sim.Bigbuf.t ->
   on_complete:(unit -> unit) ->
   unit
-(** Asynchronous one-sided WRITE. The payload is snapshotted when
-    posted; retried attempts resend the same snapshot, keeping the
-    WR idempotent. [on_error] as in {!post_read}. *)
+(** Asynchronous one-sided WRITE. The segment-covered span of the
+    payload is snapshotted when posted (into a pooled page-sized
+    buffer when it fits); retried attempts resend the same snapshot,
+    keeping the WR idempotent. [on_error] as in {!post_read}. *)
 
 type read_wr = {
   r_segs : seg list;
-  r_buf : bytes;
+  r_buf : Sim.Bigbuf.t;
   r_on_complete : unit -> unit;
   r_on_error : (unit -> unit) option;
       (** Per-WR permanent-failure handler; [None] retries forever. *)
@@ -101,13 +110,45 @@ val post_read_batch : t -> read_wr list -> unit
     fault plan each WR retries independently; a WR's permanent failure
     fires only its own [r_on_error]. *)
 
-val read : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
+val note_read_batch : t -> wrs:int -> unit
+(** The batch-level bookkeeping of {!post_read_batch} (one
+    [rdma_read_batches] bump + trace instant) for callers that post
+    the window's WRs through {!post_read_pages} / {!post_read}
+    directly. No-op when [wrs = 0]. *)
+
+val post_read_pages :
+  t ->
+  raddr0:int64 ->
+  buf:Sim.Bigbuf.t ->
+  offs:int array ->
+  count:int ->
+  on_page:(int -> unit) ->
+  on_page_error:(int -> unit) option ->
+  unit
+(** A contiguous extent of [count] full-page READs — remote page [i]
+    at [raddr0 + i*4096], landing at byte offset [offs.(i)] of [buf] —
+    posted with one doorbell and, on a healthy fabric, carried by ONE
+    chained engine event instead of [count] heap entries. [on_page i]
+    fires at page [i]'s exact completion instant (after its payload
+    transfer); sequence numbers are pre-reserved so the global event
+    order, every counter, and every trace span are bit-identical to
+    the equivalent {!post_read_batch} chain. [offs] must not be
+    mutated until the last page completes. Under a fault plan each
+    page degrades to an independent retried WR ([on_page_error i] on
+    permanent failure). *)
+
+val set_coalescing : bool -> unit
+(** Test hook: [set_coalescing false] makes {!post_read_pages} post
+    one engine event per page (the reference path the equivalence
+    suite compares against). Default [true]. *)
+
+val read : t -> raddr:int64 -> buf:Sim.Bigbuf.t -> off:int -> len:int -> unit
 (** Synchronous single-segment READ (blocks the calling fiber). *)
 
-val write : t -> raddr:int64 -> buf:bytes -> off:int -> len:int -> unit
+val write : t -> raddr:int64 -> buf:Sim.Bigbuf.t -> off:int -> len:int -> unit
 
-val read_sync_v : t -> segs:seg list -> buf:bytes -> unit
-val write_sync_v : t -> segs:seg list -> buf:bytes -> unit
+val read_sync_v : t -> segs:seg list -> buf:Sim.Bigbuf.t -> unit
+val write_sync_v : t -> segs:seg list -> buf:Sim.Bigbuf.t -> unit
 
 val queue_delay : t -> Sim.Time.t
 (** How long a request posted now would wait before service begins

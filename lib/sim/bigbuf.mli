@@ -1,0 +1,58 @@
+(** Off-heap byte slabs for page payloads.
+
+    A [Bigbuf.t] is a flat [char] Bigarray used as backing store for
+    the frame pool and the memnode page store: one slab per pool,
+    addressed by byte offset, instead of one GC-tracked [bytes] per
+    page. Large slabs (>= 64 MiB) are backed by fresh anonymous
+    mappings, so a paper-scale (tens of GB) store is lazily committed
+    by the kernel and guaranteed zero until written.
+
+    Scalar accessors are little-endian, mirroring the [Bytes.*_le]
+    family they replace; [unsafe_*] variants skip bounds checks for
+    hot paths that have already validated the offset. *)
+
+type t =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** [create n] allocates an [n]-byte slab, zeroed. *)
+
+val length : t -> int
+
+val sub : t -> off:int -> len:int -> t
+(** O(1) view sharing the underlying storage (allocates a small view
+    descriptor — avoid in per-access hot paths). *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16_le : t -> int -> int
+val set_u16_le : t -> int -> int -> unit
+
+val get_u32_le : t -> int -> int
+(** Unsigned: result in [0, 2^32). *)
+
+val set_u32_le : t -> int -> int -> unit
+val get_u64_le : t -> int -> int64
+val set_u64_le : t -> int -> int64 -> unit
+val unsafe_get_u8 : t -> int -> int
+val unsafe_set_u8 : t -> int -> int -> unit
+val unsafe_get_u16_le : t -> int -> int
+val unsafe_set_u16_le : t -> int -> int -> unit
+val unsafe_get_u32_le : t -> int -> int
+val unsafe_set_u32_le : t -> int -> int -> unit
+val unsafe_get_u64_le : t -> int -> int64
+val unsafe_set_u64_le : t -> int -> int64 -> unit
+
+val fill : t -> off:int -> len:int -> char -> unit
+
+val blit : t -> src_off:int -> t -> dst_off:int -> len:int -> unit
+(** [blit src ~src_off dst ~dst_off ~len] copies slab-to-slab
+    (memcpy; ranges must not overlap). *)
+
+val blit_to_bytes : t -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+val blit_from_bytes : Bytes.t -> src_off:int -> t -> dst_off:int -> len:int -> unit
+
+val to_bytes : t -> off:int -> len:int -> Bytes.t
+(** Copy a range out into a fresh [Bytes.t]. *)
+
+val of_string : string -> t

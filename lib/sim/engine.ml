@@ -1,83 +1,105 @@
-type event = { time : Time.t; seq : int; fn : unit -> unit }
-
-(* Event min-heap specialized to the [event] record: the comparison
-   (Int64 time, then sequence number) is inlined instead of going
-   through a closure per sift step. The generic [Sim.Heap] stays for
-   other users; this copy exists because the event queue is the
-   simulator's single hottest structure. *)
+(* Event min-heap in structure-of-arrays form: parallel [int] arrays
+   for time and sequence number plus a closure array. Times are
+   simulated nanoseconds, far below 2^62, so they live as immediate
+   ints — a push/pop does only unboxed int compares and no allocation.
+   The generic [Sim.Heap] stays for other users; this copy exists
+   because the event queue is the simulator's single hottest
+   structure. *)
 module Eheap = struct
-  type t = { mutable data : event array; mutable size : int }
+  type t = {
+    mutable times : int array;
+    mutable seqs : int array;
+    mutable fns : (unit -> unit) array;
+    mutable size : int;
+  }
 
-  let dummy = { time = 0L; seq = 0; fn = ignore }
-  let create () = { data = [||]; size = 0 }
+  let create () = { times = [||]; seqs = [||]; fns = [||]; size = 0 }
   let length h = h.size
-
-  (* Strict "a fires before b": earlier time, or same time and
-     scheduled earlier. Matches the old closure comparator exactly. *)
-  let before a b =
-    let c = Int64.compare a.time b.time in
-    c < 0 || (c = 0 && a.seq < b.seq)
+  let top_time h = h.times.(0)
 
   let grow h =
-    let cap = Array.length h.data in
+    let cap = Array.length h.times in
     if h.size = cap then begin
-      let nd = Array.make (if cap = 0 then 16 else cap * 2) dummy in
-      Array.blit h.data 0 nd 0 h.size;
-      h.data <- nd
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let nt = Array.make ncap 0 in
+      let ns = Array.make ncap 0 in
+      let nf = Array.make ncap ignore in
+      Array.blit h.times 0 nt 0 h.size;
+      Array.blit h.seqs 0 ns 0 h.size;
+      Array.blit h.fns 0 nf 0 h.size;
+      h.times <- nt;
+      h.seqs <- ns;
+      h.fns <- nf
     end
 
-  let push h x =
+  (* Strict "fires before": earlier time, or same time and scheduled
+     earlier (lower seq). *)
+
+  let push h time seq fn =
     grow h;
-    let d = h.data in
+    let ts = h.times and ss = h.seqs and fs = h.fns in
     let i = ref h.size in
     h.size <- h.size + 1;
     (* Sift up with a hole instead of pairwise swaps. *)
     let continue_ = ref true in
     while !continue_ && !i > 0 do
       let parent = (!i - 1) / 2 in
-      if before x d.(parent) then begin
-        d.(!i) <- d.(parent);
+      let pt = ts.(parent) in
+      if time < pt || (time = pt && seq < ss.(parent)) then begin
+        ts.(!i) <- pt;
+        ss.(!i) <- ss.(parent);
+        fs.(!i) <- fs.(parent);
         i := parent
       end
       else continue_ := false
     done;
-    d.(!i) <- x
+    ts.(!i) <- time;
+    ss.(!i) <- seq;
+    fs.(!i) <- fn
 
-  let sift_down h =
-    let d = h.data and n = h.size in
-    let x = d.(0) in
+  (* Re-seat the (time, seq, fn) triple taken from the last slot,
+     starting at the root. *)
+  let sift_down h xt xs xf =
+    let ts = h.times and ss = h.seqs and fs = h.fns and n = h.size in
     let i = ref 0 in
     let continue_ = ref true in
     while !continue_ do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      let sm = ref x in
-      if l < n && before d.(l) !sm then begin
+      let st = ref xt and sseq = ref xs in
+      if l < n && (ts.(l) < !st || (ts.(l) = !st && ss.(l) < !sseq)) then begin
         smallest := l;
-        sm := d.(l)
+        st := ts.(l);
+        sseq := ss.(l)
       end;
-      if r < n && before d.(r) !sm then begin
+      if r < n && (ts.(r) < !st || (ts.(r) = !st && ss.(r) < !sseq)) then begin
         smallest := r;
-        sm := d.(r)
+        st := ts.(r);
+        sseq := ss.(r)
       end;
       if !smallest <> !i then begin
-        d.(!i) <- !sm;
+        ts.(!i) <- !st;
+        ss.(!i) <- !sseq;
+        fs.(!i) <- fs.(!smallest);
         i := !smallest
       end
       else continue_ := false
     done;
-    d.(!i) <- x
+    ts.(!i) <- xt;
+    ss.(!i) <- xs;
+    fs.(!i) <- xf
 
   let pop_exn h =
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      h.data.(h.size) <- dummy;
-      sift_down h
+    let fn = h.fns.(0) in
+    let n = h.size - 1 in
+    h.size <- n;
+    if n > 0 then begin
+      let xt = h.times.(n) and xs = h.seqs.(n) and xf = h.fns.(n) in
+      h.fns.(n) <- ignore;
+      sift_down h xt xs xf
     end
-    else h.data.(0) <- dummy;
-    top
+    else h.fns.(0) <- ignore;
+    fn
 end
 
 (* FIFO ring of thunks ready to run at the current time. Events
@@ -152,10 +174,27 @@ let at t time fn =
   else if c = 0 then Ring.push t.ready fn
   else begin
     t.seq <- t.seq + 1;
-    Eheap.push t.queue { time; seq = t.seq; fn }
+    Eheap.push t.queue (Int64.to_int time) t.seq fn
   end
 
 let after t delay fn = at t (Time.add t.now delay) fn
+
+(* Sequence-number reservation, for event sources that coalesce a
+   batch of k per-page completions into one chained in-flight event
+   (see [Rdma.Qp.post_read_pages]). Reserving k seqs at post time and
+   scheduling each chained hop with its pre-assigned seq reproduces
+   the exact (time, seq) pair every per-page event would have had if
+   all k had been pushed up front — so the global event order, and
+   therefore every golden, is bit-identical to the uncoalesced path. *)
+let reserve_seqs t n =
+  let first = t.seq + 1 in
+  t.seq <- t.seq + n;
+  first
+
+let at_reserved t ~seq time fn =
+  if Int64.compare time t.now <= 0 then
+    invalid_arg "Engine.at_reserved: time must be in the future";
+  Eheap.push t.queue (Int64.to_int time) seq fn
 
 (* Cancellable timers piggyback on [at]: the heap/ring slot stays
    occupied, but a cancelled timer's callback is a no-op. Leaving the
@@ -224,9 +263,9 @@ let yield t = Effect.perform (Suspend (fun wake -> at t t.now wake))
 (* Heap events at [t.now] precede the ring (see [at]); the ring drains
    before the clock may advance. *)
 let step t =
-  if t.queue.Eheap.size > 0 && Int64.equal t.queue.Eheap.data.(0).time t.now
+  if t.queue.Eheap.size > 0 && Eheap.top_time t.queue = Int64.to_int t.now
   then begin
-    (Eheap.pop_exn t.queue).fn ();
+    (Eheap.pop_exn t.queue) ();
     true
   end
   else if t.ready.Ring.len > 0 then begin
@@ -234,9 +273,10 @@ let step t =
     true
   end
   else if t.queue.Eheap.size > 0 then begin
-    let ev = Eheap.pop_exn t.queue in
-    t.now <- ev.time;
-    ev.fn ();
+    let time = Eheap.top_time t.queue in
+    let fn = Eheap.pop_exn t.queue in
+    t.now <- Int64.of_int time;
+    fn ();
     true
   end
   else false
@@ -256,10 +296,12 @@ let run t =
 
 (* Time of the next event, honouring the same precedence as [step]. *)
 let next_time t =
-  if t.ready.Ring.len > 0 || (t.queue.Eheap.size > 0
-                              && Int64.equal t.queue.Eheap.data.(0).time t.now)
+  if t.ready.Ring.len > 0
+     || (t.queue.Eheap.size > 0
+         && Eheap.top_time t.queue = Int64.to_int t.now)
   then Some t.now
-  else if t.queue.Eheap.size > 0 then Some t.queue.Eheap.data.(0).time
+  else if t.queue.Eheap.size > 0 then
+    Some (Int64.of_int (Eheap.top_time t.queue))
   else None
 
 let run_until_idle t ~max_time =

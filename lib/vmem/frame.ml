@@ -1,6 +1,12 @@
+(* The frame pool is one flat off-heap slab ([Sim.Bigbuf]) addressed
+   by byte offset, not a [bytes array]: at paper scale (8 GB local
+   memory = 2 M frames) per-page heap objects would both bloat the GC
+   root set and force a [Bytes.create] per copy. Frame [f]'s payload
+   lives at slab offset [f * page_size]. *)
+
 type t = {
   total : int;
-  payload : bytes array;
+  slab : Sim.Bigbuf.t;
   free_stack : int array;
   mutable free_top : int; (* number of free frames on the stack *)
   in_use : Bytes.t; (* 1 byte per frame: 0 = free, 1 = used *)
@@ -10,7 +16,7 @@ let create ~frames =
   if frames <= 0 then invalid_arg "Frame.create: need at least one frame";
   {
     total = frames;
-    payload = Array.init frames (fun _ -> Bytes.create Addr.page_size);
+    slab = Sim.Bigbuf.create (frames * Addr.page_size);
     free_stack = Array.init frames (fun i -> frames - 1 - i);
     free_top = frames;
     in_use = Bytes.make frames '\000';
@@ -20,13 +26,15 @@ let total t = t.total
 let free_count t = t.free_top
 let used_count t = t.total - t.free_top
 
+(* Frames are handed out dirty: every consumer either fills the page
+   from the fetch path or zeroes it explicitly on the zero-fill-fault
+   path, so an unconditional memset here would be pure overhead. *)
 let alloc t =
   if t.free_top = 0 then None
   else begin
     t.free_top <- t.free_top - 1;
     let f = t.free_stack.(t.free_top) in
     Bytes.set t.in_use f '\001';
-    Bytes.fill t.payload.(f) 0 Addr.page_size '\000';
     Some f
   end
 
@@ -42,7 +50,23 @@ let free t f =
   t.free_stack.(t.free_top) <- f;
   t.free_top <- t.free_top + 1
 
-let data t f =
+let slab t = t.slab
+
+let offset t f =
   if f < 0 || f >= t.total || Bytes.get t.in_use f = '\000' then
-    invalid_arg "Frame.data: frame not allocated";
-  t.payload.(f)
+    invalid_arg "Frame.offset: frame not allocated";
+  f * Addr.page_size
+
+let sub_view t f = Sim.Bigbuf.sub t.slab ~off:(offset t f) ~len:Addr.page_size
+let data = sub_view
+let fill_page t f c = Sim.Bigbuf.fill t.slab ~off:(offset t f) ~len:Addr.page_size c
+
+let blit_to t f ~off ~dst ~dst_off ~len =
+  if off < 0 || len < 0 || off + len > Addr.page_size then
+    invalid_arg "Frame.blit_to: range outside page";
+  Sim.Bigbuf.blit_to_bytes t.slab ~src_off:(offset t f + off) dst ~dst_off ~len
+
+let blit_from t f ~off ~src ~src_off ~len =
+  if off < 0 || len < 0 || off + len > Addr.page_size then
+    invalid_arg "Frame.blit_from: range outside page";
+  Sim.Bigbuf.blit_from_bytes src ~src_off t.slab ~dst_off:(offset t f + off) ~len

@@ -1,0 +1,13 @@
+(* R7 known-bad: steady-state allocation in a hot module — a payload
+   buffer per fault and a scatter list per readahead window. *)
+
+let handle_fault buf off =
+  let payload = Bytes.create 4096 in
+  Bytes.blit buf off payload 0 4096;
+  payload
+
+let readahead_window frames first count =
+  let offs = Array.init count (fun k -> frames.(first + k) * 4096) in
+  offs
+
+let scratch () = Bytes.make 64 '\000'

@@ -1,0 +1,17 @@
+(* R7 fixed: allocation only at boot (cold-constructor bindings), the
+   fault path reuses the pooled buffers. *)
+
+type pool = { payload : Bytes.t; offs : int array }
+
+let create () = { payload = Bytes.create 4096; offs = Array.init 64 (fun _ -> 0) }
+let make_scratch () = Bytes.make 64 '\000'
+
+let handle_fault pool buf off =
+  Bytes.blit buf off pool.payload 0 4096;
+  pool.payload
+
+let readahead_window pool frames first count =
+  for k = 0 to count - 1 do
+    pool.offs.(k) <- frames.(first + k) * 4096
+  done;
+  pool.offs

@@ -1,0 +1,265 @@
+(* Property suites for the paper-scale engine:
+
+   - Bigbuf round-trip: the off-heap slab's scalar/blit/fill accessors
+     agree with a plain [Bytes.t] reference model under random
+     operation sequences (so the Bigarray store is a drop-in for the
+     bytes-per-page store it replaced).
+
+   - Extent-coalescing equivalence: [Rdma.Qp.post_read_pages] carried
+     by one chained engine event must be indistinguishable — payloads,
+     completion instants, every counter — from the reference
+     one-event-per-page path ([set_coalescing false]), at the QP level
+     and through four full workload kernels, on clean and flaky
+     fabrics. *)
+
+open Util
+module H = Apps.Harness
+module Bigbuf = Sim.Bigbuf
+
+(* ------------------------------------------------------------------ *)
+(* Bigbuf vs Bytes reference model *)
+
+type op =
+  | Set8 of int * int
+  | Set16 of int * int
+  | Set32 of int * int
+  | Set64 of int * int64
+  | Fill of int * int * char
+  | Blit_within of int * int * int
+
+let op_gen size =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun o v -> Set8 (o mod size, v)) (int_bound (size - 1)) (int_bound 255));
+        ( 3,
+          map2
+            (fun o v -> Set16 (o mod (size - 1), v))
+            (int_bound (size - 2))
+            (int_bound 0xFFFF) );
+        ( 3,
+          map2
+            (fun o v -> Set32 (o mod (size - 3), v))
+            (int_bound (size - 4))
+            (map Int64.to_int (map Int64.of_int int)) );
+        ( 3,
+          map2
+            (fun o v -> Set64 (o mod (size - 7), v))
+            (int_bound (size - 8))
+            (map Int64.of_int int) );
+        ( 1,
+          map3
+            (fun o l c -> Fill (o, min l (size - o), Char.chr c))
+            (int_bound (size - 1))
+            (int_bound 512) (int_bound 255) );
+        ( 1,
+          map3
+            (fun s d l ->
+              let l = min l (min (size - s) (size - d)) in
+              (* the slab blit is memcpy: keep ranges disjoint *)
+              if abs (s - d) < l then Blit_within (0, 0, 0)
+              else Blit_within (s, d, l))
+            (int_bound (size - 1))
+            (int_bound (size - 1))
+            (int_bound 256) );
+      ])
+
+let apply_slab slab = function
+  | Set8 (o, v) -> Bigbuf.set_u8 slab o v
+  | Set16 (o, v) -> Bigbuf.set_u16_le slab o v
+  | Set32 (o, v) -> Bigbuf.set_u32_le slab o (v land 0xFFFFFFFF)
+  | Set64 (o, v) -> Bigbuf.set_u64_le slab o v
+  | Fill (o, l, c) -> Bigbuf.fill slab ~off:o ~len:l c
+  | Blit_within (s, d, l) -> if l > 0 then Bigbuf.blit slab ~src_off:s slab ~dst_off:d ~len:l
+
+let apply_bytes b = function
+  | Set8 (o, v) -> Bytes.set_uint8 b o v
+  | Set16 (o, v) -> Bytes.set_uint16_le b o v
+  | Set32 (o, v) ->
+      Bytes.set_int32_le b o (Int32.of_int (v land 0xFFFFFFFF))
+  | Set64 (o, v) -> Bytes.set_int64_le b o v
+  | Fill (o, l, c) -> Bytes.fill b o l c
+  | Blit_within (s, d, l) -> Bytes.blit b s b d l
+
+let bigbuf_roundtrip =
+  let size = 16384 in
+  QCheck.Test.make ~name:"bigbuf ops match Bytes reference model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) (op_gen size)))
+    (fun ops ->
+      let slab = Bigbuf.create size in
+      let b = Bytes.make size '\000' in
+      List.iter
+        (fun op ->
+          apply_slab slab op;
+          apply_bytes b op)
+        ops;
+      (* Read back through every accessor width, plus a full copy-out. *)
+      let ok = ref (Bytes.equal (Bigbuf.to_bytes slab ~off:0 ~len:size) b) in
+      for o = 0 to (size / 8) - 1 do
+        let o = o * 8 in
+        if
+          Bigbuf.get_u64_le slab o <> Bytes.get_int64_le b o
+          || Bigbuf.get_u32_le slab o
+             <> Int32.to_int (Bytes.get_int32_le b o) land 0xFFFFFFFF
+          || Bigbuf.get_u16_le slab o <> Bytes.get_uint16_le b o
+          || Bigbuf.get_u8 slab o <> Bytes.get_uint8 b o
+        then ok := false
+      done;
+      !ok)
+
+let bigbuf_bytes_blits =
+  QCheck.Test.make ~name:"bigbuf blit_to/from_bytes round-trip" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 4096)) small_nat)
+    (fun (payload, off_seed) ->
+      let n = String.length payload in
+      let slab = Bigbuf.create (n + 8192) in
+      let off = off_seed mod 4096 in
+      Bigbuf.blit_from_bytes (Bytes.of_string payload) ~src_off:0 slab
+        ~dst_off:off ~len:n;
+      let back = Bytes.create n in
+      Bigbuf.blit_to_bytes slab ~src_off:off back ~dst_off:0 ~len:n;
+      String.equal payload (Bytes.to_string back))
+
+(* Slab views must alias the parent storage at the right offset. *)
+let bigbuf_sub_view () =
+  let slab = Bigbuf.create 8192 in
+  let view = Bigbuf.sub slab ~off:4096 ~len:4096 in
+  Bigbuf.set_u32_le slab 4096 0xDEADBEEF;
+  check_int "view reads parent write" 0xDEADBEEF (Bigbuf.get_u32_le view 0);
+  Bigbuf.set_u32_le view 100 42;
+  check_int "parent reads view write" 42 (Bigbuf.get_u32_le slab 4196)
+
+(* ------------------------------------------------------------------ *)
+(* Extent coalescing: QP level *)
+
+let with_coalescing v f =
+  Rdma.Qp.set_coalescing v;
+  Fun.protect ~finally:(fun () -> Rdma.Qp.set_coalescing true) f
+
+(* One post_read_pages extent against a patterned store: returns the
+   per-page completion instants, the landed payload, the counter dump
+   and the final sim time. *)
+let qp_extent_run ~coalesce ~count ~fault_spec =
+  with_coalescing coalesce (fun () ->
+      run_sim (fun eng ->
+          let faults = plan_of ?fault_spec () in
+          let server =
+            Memnode.Server.create ~eng ~size:(Int64.of_int (1 lsl 24)) ?faults ()
+          in
+          let stats = Sim.Stats.create () in
+          let fabric = Memnode.Server.connect server ~stats () in
+          let qp = Rdma.Fabric.qp fabric ~name:"extent-test" in
+          (* Pattern the remote pages. *)
+          let page = 4096 in
+          let src = Bigbuf.create (count * page) in
+          for i = 0 to count - 1 do
+            Bigbuf.set_u64_le src (i * page) (Int64.of_int (0x1000 + i))
+          done;
+          Rdma.Qp.write qp ~raddr:0L ~buf:src ~off:0 ~len:(count * page);
+          let dst = Bigbuf.create (count * page) in
+          (* Land pages in reverse slab order to exercise offs. *)
+          let offs = Array.init count (fun i -> (count - 1 - i) * page) in
+          let completions = ref [] in
+          let done_ = ref 0 in
+          Rdma.Qp.post_read_pages qp ~raddr0:0L ~buf:dst ~offs ~count
+            ~on_page:(fun i ->
+              completions := (i, Sim.Engine.now eng) :: !completions;
+              incr done_)
+            ~on_page_error:None;
+          while !done_ < count do
+            Sim.Engine.sleep eng (Sim.Time.us 1)
+          done;
+          let payload = Bigbuf.to_bytes dst ~off:0 ~len:(count * page) in
+          (List.rev !completions, payload, Sim.Stats.counters stats,
+           Sim.Engine.now eng)))
+
+let qp_extent_equivalence ~count ~fault_spec name =
+  let c1, p1, s1, t1 = qp_extent_run ~coalesce:true ~count ~fault_spec in
+  let c0, p0, s0, t0 = qp_extent_run ~coalesce:false ~count ~fault_spec in
+  Alcotest.(check (list (pair int int64)))
+    (name ^ ": completion instants") c0 c1;
+  check_bool (name ^ ": payloads") true (Bytes.equal p0 p1);
+  Test_determinism.check_counter_lists name s0 s1;
+  check_i64 (name ^ ": final time") t0 t1;
+  (* The landed pattern is the source pattern, reversed into offs. *)
+  List.iter
+    (fun (i, _) ->
+      check_i64
+        (Printf.sprintf "%s: page %d payload" name i)
+        (Int64.of_int (0x1000 + i))
+        (Bytes.get_int64_le p1 ((count - 1 - i) * 4096)))
+    c1
+
+let qp_extent_clean () = qp_extent_equivalence ~count:13 ~fault_spec:None "clean"
+
+let qp_extent_flaky () =
+  qp_extent_equivalence ~count:13
+    ~fault_spec:(Some Faults.Spec.flaky)
+    "flaky"
+
+(* ------------------------------------------------------------------ *)
+(* Extent coalescing: whole-kernel equivalence
+
+   Four workload kernels spanning the fetch paths that feed extents —
+   sequential readahead windows (seq), sort-driven strided windows
+   (quicksort), fastswap's swap-cache readahead, and the guided LRANGE
+   chain — each run clean and flaky. Per-page and coalesced runs must
+   agree on every counter and on total simulated time. *)
+
+let workload_counters system ~local_mem ~fault_spec f =
+  let r = H.run system ~local_mem ?fault_spec ~fault_seed:3 f in
+  (Sim.Stats.counters r.H.run_stats, r.H.elapsed)
+
+let kernel_equivalence name system ~local_mem ~fault_spec f () =
+  let s1, t1 =
+    with_coalescing true (fun () ->
+        workload_counters system ~local_mem ~fault_spec f)
+  in
+  let s0, t0 =
+    with_coalescing false (fun () ->
+        workload_counters system ~local_mem ~fault_spec f)
+  in
+  Test_determinism.check_counter_lists name s0 s1;
+  check_i64 (name ^ ": elapsed") t0 t1
+
+let seq_kernel ctx = ignore (Apps.Seq.run ctx ~size_bytes:(2 * 1024 * 1024) ~mode:Apps.Seq.Read)
+let sort_kernel ctx = ignore (Apps.Quicksort.run ctx ~n:120_000 ~seed:42)
+
+let lrange_kernel ctx =
+  ignore (Apps.Redis_guide.install ctx);
+  ignore
+    (Apps.Redis_bench.run_lrange ctx ~lists:16 ~elements:3_000 ~elem_size:256
+       ~queries:16 ~range:50 ~seed:5)
+
+let kernel_cases =
+  List.concat_map
+    (fun (fname, fault_spec) ->
+      [
+        quick
+          (Printf.sprintf "seqread dilos counters identical (%s)" fname)
+          (kernel_equivalence "seqread" (H.Dilos Dilos.Kernel.Readahead)
+             ~local_mem:(256 * 1024) ~fault_spec seq_kernel);
+        quick
+          (Printf.sprintf "quicksort dilos counters identical (%s)" fname)
+          (kernel_equivalence "quicksort" (H.Dilos Dilos.Kernel.Readahead)
+             ~local_mem:(64 * 1024) ~fault_spec sort_kernel);
+        quick
+          (Printf.sprintf "seqread fastswap counters identical (%s)" fname)
+          (kernel_equivalence "fastswap" H.Fastswap ~local_mem:(256 * 1024)
+             ~fault_spec seq_kernel);
+        quick
+          (Printf.sprintf "lrange guided counters identical (%s)" fname)
+          (kernel_equivalence "lrange" (H.Dilos_guided Dilos.Kernel.Readahead)
+             ~local_mem:(256 * 1024) ~fault_spec lrange_kernel);
+      ])
+    [ ("clean", None); ("flaky", Some Faults.Spec.flaky) ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest bigbuf_roundtrip;
+    QCheck_alcotest.to_alcotest bigbuf_bytes_blits;
+    quick "bigbuf sub view aliases parent" bigbuf_sub_view;
+    quick "qp extent == per-page posting (clean)" qp_extent_clean;
+    quick "qp extent == per-page posting (flaky)" qp_extent_flaky;
+  ]
+  @ kernel_cases

@@ -162,16 +162,18 @@ let qp_retries_are_transparent () =
       let _store, fabric = mk_faulted_fabric eng ~stats ~seed:3 spec in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
       for i = 0 to 49 do
-        let src = Bytes.make 8 (Char.chr (Char.code 'a' + (i mod 26))) in
+        let src =
+          Sim.Bigbuf.of_string (String.make 8 (Char.chr (Char.code 'a' + (i mod 26))))
+        in
         Rdma.Qp.write qp ~raddr:(Int64.of_int (i * 64)) ~buf:src ~off:0 ~len:8
       done;
       for i = 0 to 49 do
-        let dst = Bytes.create 8 in
+        let dst = Sim.Bigbuf.create 8 in
         Rdma.Qp.read qp ~raddr:(Int64.of_int (i * 64)) ~buf:dst ~off:0 ~len:8;
         Alcotest.(check string)
           (Printf.sprintf "slot %d" i)
           (String.make 8 (Char.chr (Char.code 'a' + (i mod 26))))
-          (Bytes.to_string dst)
+          (Bytes.to_string (Sim.Bigbuf.to_bytes dst ~off:0 ~len:8))
       done;
       check_bool "errors were injected" true
         (Sim.Stats.get stats "rdma_comp_errors" > 0);
@@ -187,7 +189,7 @@ let qp_nack_and_dup_accounting () =
       in
       let _store, fabric = mk_faulted_fabric eng ~stats ~seed:5 spec in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let dst = Bytes.create 4096 in
+      let dst = Sim.Bigbuf.create 4096 in
       for i = 0 to 19 do
         Rdma.Qp.read qp ~raddr:(Int64.of_int (i * 4096)) ~buf:dst ~off:0
           ~len:4096
@@ -214,11 +216,12 @@ let qp_blackout_timeouts_then_recovers () =
       in
       let _store, fabric = mk_faulted_fabric eng ~stats ~seed:1 spec in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      Rdma.Qp.write qp ~raddr:0L ~buf:(Bytes.of_string "persist!") ~off:0 ~len:8;
-      let dst = Bytes.create 8 in
+      Rdma.Qp.write qp ~raddr:0L ~buf:(Sim.Bigbuf.of_string "persist!") ~off:0
+        ~len:8;
+      let dst = Sim.Bigbuf.create 8 in
       Rdma.Qp.read qp ~raddr:0L ~buf:dst ~off:0 ~len:8;
       Alcotest.(check string) "data survives the blackout" "persist!"
-        (Bytes.to_string dst);
+        (Bytes.to_string (Sim.Bigbuf.to_bytes dst ~off:0 ~len:8));
       check_bool "timeouts fired" true (Sim.Stats.get stats "rdma_timeouts" > 0);
       check_bool "finished after the blackout lifted" true
         (Int64.compare (Sim.Engine.now eng) 1_000_000L >= 0))
@@ -242,7 +245,7 @@ let qp_permanent_failure_surfaces () =
       Rdma.Qp.post_read qp
         ~on_error:(fun () -> failed := true)
         ~segs:[ { Rdma.Qp.raddr = 0L; loff = 0; len = 4096 } ]
-        ~buf:(Bytes.create 4096)
+        ~buf:(Sim.Bigbuf.create 4096)
         ~on_complete:(fun () -> completed := true);
       Sim.Engine.sleep eng (Sim.Time.ms 2);
       check_bool "on_error fired" true !failed;

@@ -29,6 +29,7 @@ let r3 = "hashtbl-order"
 let r4 = "stats-handle"
 let r5 = "effect-hygiene"
 let r6 = "trace-span-hygiene"
+let r7 = "hot-alloc"
 
 (* ------------------------------------------------------------------ *)
 (* R1 no-wallclock *)
@@ -126,6 +127,33 @@ let r6_fixed_quiet () =
     (Lint.Driver.lint_file (fx "r6_trace_span_good.ml"))
 
 (* ------------------------------------------------------------------ *)
+(* R7 hot-alloc *)
+
+let r7_fires_in_hot_module () =
+  check_sites "steady-state Bytes.create/Array.init/Bytes.make in a hot module"
+    [ (5, r7); (10, r7); (13, r7) ]
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r7_hot_alloc_bad.ml"))
+
+let r7_fixed_quiet () =
+  (* The same shapes, but allocation confined to cold-constructor
+     bindings (create, make_ prefixes) with the steady-state paths
+     pooled. *)
+  check_sites "pooled version in the same hot module" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r7_hot_alloc_good.ml"))
+
+let r7_cold_module_exempt () =
+  (* Allocation discipline only binds on the hot-module list; reporting
+     and guide code may allocate freely. *)
+  check_sites "allocation in a cold module" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/guide.ml")
+       (fx "r7_hot_alloc_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
 (* Suppression *)
 
 let suppressions_silence () =
@@ -213,6 +241,10 @@ let suite =
     quick "R5 exempts lib/sim" r5_sim_exempt;
     quick "R6 fires on begin_ without end_ in the same function" r6_fires;
     quick "R6 quiet on lexical pairs and Trace.complete" r6_fixed_quiet;
+    quick "R7 fires on steady-state allocation in hot modules"
+      r7_fires_in_hot_module;
+    quick "R7 quiet on the pooled version" r7_fixed_quiet;
+    quick "R7 exempts cold modules" r7_cold_module_exempt;
     quick "lint.allow silences exactly its rule" suppressions_silence;
     quick "lint.allow with wrong id does not silence" wrong_id_does_not_silence;
     quick "floating lint.allow covers the rest of the file"

@@ -19,6 +19,7 @@ let () =
       ("faults", Test_faults.suite);
       ("soak", Test_soak.suite);
       ("trace", Test_trace.suite);
+      ("bigbuf-extent", Test_bigbuf_extent.suite);
       ("lint", Test_lint.suite);
       ("determinism", Test_determinism.suite);
     ]

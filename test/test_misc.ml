@@ -31,7 +31,7 @@ let comm_no_hol_blocking () =
       let comm = Dilos.Comm.create ~fabric ~cores:1 in
       let pf = Dilos.Comm.prefetch_qp comm ~core:0 in
       let fq = Dilos.Comm.fault_qp comm ~core:0 in
-      let buf = Bytes.create 4096 in
+      let buf = Sim.Bigbuf.create 4096 in
       for i = 0 to 63 do
         Rdma.Qp.post_read pf
           ~segs:[ { Rdma.Qp.raddr = Int64.of_int (i * 4096); loff = 0; len = 4096 } ]
@@ -60,15 +60,18 @@ let memnode_serves_data () =
       let server = Memnode.Server.create ~eng ~size:65536L () in
       let fabric = Memnode.Server.connect server () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let src = Bytes.of_string "persisted on the memory node" in
-      Rdma.Qp.write qp ~raddr:1000L ~buf:src ~off:0 ~len:(Bytes.length src);
+      let payload = "persisted on the memory node" in
+      let n = String.length payload in
+      let src = Sim.Bigbuf.of_string payload in
+      Rdma.Qp.write qp ~raddr:1000L ~buf:src ~off:0 ~len:n;
       (* A second connection sees the same bytes (one-sided writes hit
          the store, not connection state). *)
       let fabric2 = Memnode.Server.connect server () in
       let qp2 = Rdma.Fabric.qp fabric2 ~name:"t2" in
-      let dst = Bytes.create (Bytes.length src) in
-      Rdma.Qp.read qp2 ~raddr:1000L ~buf:dst ~off:0 ~len:(Bytes.length src);
-      Alcotest.(check bytes) "cross-connection" src dst;
+      let dst = Sim.Bigbuf.create n in
+      Rdma.Qp.read qp2 ~raddr:1000L ~buf:dst ~off:0 ~len:n;
+      Alcotest.(check string) "cross-connection" payload
+        (Bytes.to_string (Sim.Bigbuf.to_bytes dst ~off:0 ~len:n));
       check_bool "blocks materialized" true
         (Memnode.Page_store.resident_blocks (Memnode.Server.store server) >= 1))
 

@@ -1,5 +1,17 @@
 open Util
 
+(* QP buffers are off-heap slabs now; small helpers for string
+   round-trips in assertions. *)
+let bb = Sim.Bigbuf.of_string
+
+let bb_str b =
+  Bytes.to_string (Sim.Bigbuf.to_bytes b ~off:0 ~len:(Sim.Bigbuf.length b))
+
+let bb_make n c =
+  let b = Sim.Bigbuf.create n in
+  Sim.Bigbuf.fill b ~off:0 ~len:n c;
+  b
+
 let mk_fabric eng ?nic_config ?huge_pages ?extra_completion_delay ?stats () =
   let store = Memnode.Page_store.create ~size:(Int64.of_int (1 lsl 24)) in
   let fabric =
@@ -77,11 +89,11 @@ let qp_write_read_roundtrip () =
       let store, fabric = mk_fabric eng () in
       ignore store;
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let src = Bytes.of_string "hello rdma world" in
+      let src = bb "hello rdma world" in
       Rdma.Qp.write qp ~raddr:0x2000L ~buf:src ~off:0 ~len:16;
-      let dst = Bytes.create 16 in
+      let dst = Sim.Bigbuf.create 16 in
       Rdma.Qp.read qp ~raddr:0x2000L ~buf:dst ~off:0 ~len:16;
-      Alcotest.(check string) "roundtrip" "hello rdma world" (Bytes.to_string dst))
+      Alcotest.(check string) "roundtrip" "hello rdma world" (bb_str dst))
 
 let qp_write_snapshot_semantics () =
   (* The payload is captured at post time: mutating the buffer after
@@ -89,22 +101,22 @@ let qp_write_snapshot_semantics () =
   run_sim (fun eng ->
       let _store, fabric = mk_fabric eng () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let buf = Bytes.of_string "AAAA" in
+      let buf = bb "AAAA" in
       Rdma.Qp.post_write qp
         ~segs:[ { Rdma.Qp.raddr = 0L; loff = 0; len = 4 } ]
         ~buf
         ~on_complete:(fun () -> ());
-      Bytes.fill buf 0 4 'B';
+      Sim.Bigbuf.fill buf ~off:0 ~len:4 'B';
       Sim.Engine.sleep eng (Sim.Time.us 100);
-      let dst = Bytes.create 4 in
+      let dst = Sim.Bigbuf.create 4 in
       Rdma.Qp.read qp ~raddr:0L ~buf:dst ~off:0 ~len:4;
-      Alcotest.(check string) "snapshot" "AAAA" (Bytes.to_string dst))
+      Alcotest.(check string) "snapshot" "AAAA" (bb_str dst))
 
 let qp_vector_ops () =
   run_sim (fun eng ->
       let _store, fabric = mk_fabric eng () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let buf = Bytes.of_string "0123456789abcdef" in
+      let buf = bb "0123456789abcdef" in
       Rdma.Qp.write_sync_v qp
         ~segs:
           [
@@ -112,7 +124,7 @@ let qp_vector_ops () =
             { Rdma.Qp.raddr = 0x200L; loff = 8; len = 4 };
           ]
         ~buf;
-      let dst = Bytes.make 16 '.' in
+      let dst = bb_make 16 '.' in
       Rdma.Qp.read_sync_v qp
         ~segs:
           [
@@ -120,7 +132,7 @@ let qp_vector_ops () =
             { Rdma.Qp.raddr = 0x200L; loff = 8; len = 4 };
           ]
         ~buf:dst;
-      Alcotest.(check string) "scatter/gather" "0123....89ab...." (Bytes.to_string dst))
+      Alcotest.(check string) "scatter/gather" "0123....89ab...." (bb_str dst))
 
 let qp_single_read_latency () =
   let elapsed =
@@ -128,7 +140,7 @@ let qp_single_read_latency () =
         let _store, fabric = mk_fabric eng () in
         let qp = Rdma.Fabric.qp fabric ~name:"t" in
         let t0 = Sim.Engine.now eng in
-        let dst = Bytes.create 4096 in
+        let dst = Sim.Bigbuf.create 4096 in
         Rdma.Qp.read qp ~raddr:0L ~buf:dst ~off:0 ~len:4096;
         Sim.Time.to_us (Sim.Time.sub (Sim.Engine.now eng) t0))
   in
@@ -144,7 +156,7 @@ let qp_pipelining () =
         let qp = Rdma.Fabric.qp fabric ~name:"t" in
         let t0 = Sim.Engine.now eng in
         let remaining = ref 16 in
-        let buf = Bytes.create 4096 in
+        let buf = Sim.Bigbuf.create 4096 in
         for i = 0 to 15 do
           Rdma.Qp.post_read qp
             ~segs:
@@ -175,7 +187,7 @@ let qp_tcp_emulation_delay () =
         let _s, fabric = mk_fabric eng () in
         let qp = Rdma.Fabric.qp fabric ~name:"t" in
         let t0 = Sim.Engine.now eng in
-        let b = Bytes.create 4096 in
+        let b = Sim.Bigbuf.create 4096 in
         Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
         Sim.Time.sub (Sim.Engine.now eng) t0)
   in
@@ -187,7 +199,7 @@ let qp_tcp_emulation_delay () =
         in
         let qp = Rdma.Fabric.qp fabric ~name:"t" in
         let t0 = Sim.Engine.now eng in
-        let b = Bytes.create 4096 in
+        let b = Sim.Bigbuf.create 4096 in
         Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
         Sim.Time.sub (Sim.Engine.now eng) t0)
   in
@@ -200,7 +212,7 @@ let qp_protection_enforced () =
   run_sim (fun eng ->
       let _s, fabric = mk_fabric eng () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let b = Bytes.create 8 in
+      let b = Sim.Bigbuf.create 8 in
       try
         Rdma.Qp.read qp ~raddr:(Int64.of_int ((1 lsl 24) - 4)) ~buf:b ~off:0 ~len:8;
         Alcotest.fail "expected protection fault"
@@ -211,7 +223,7 @@ let qp_stats_counted () =
       let stats = Sim.Stats.create () in
       let _s, fabric = mk_fabric eng ~stats () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      let b = Bytes.create 4096 in
+      let b = Sim.Bigbuf.create 4096 in
       Rdma.Qp.read qp ~raddr:0L ~buf:b ~off:0 ~len:4096;
       Rdma.Qp.write qp ~raddr:0L ~buf:b ~off:0 ~len:128;
       check_int "reads" 1 (Sim.Stats.get stats "rdma_reads");
@@ -228,7 +240,7 @@ let qp_batch_matches_back_to_back_singles () =
         let _s, fabric = mk_fabric eng () in
         let qp = Rdma.Fabric.qp fabric ~name:"t" in
         let log = ref [] in
-        let buf = Bytes.create 4096 in
+        let buf = Sim.Bigbuf.create 4096 in
         post eng qp buf log;
         Sim.Engine.sleep eng (Sim.Time.ms 1);
         List.rev !log)
@@ -263,9 +275,9 @@ let qp_batch_reads_data () =
   run_sim (fun eng ->
       let _s, fabric = mk_fabric eng () in
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
-      Rdma.Qp.write qp ~raddr:0x1000L ~buf:(Bytes.of_string "left") ~off:0 ~len:4;
-      Rdma.Qp.write qp ~raddr:0x2000L ~buf:(Bytes.of_string "rite") ~off:0 ~len:4;
-      let a = Bytes.create 4 and b = Bytes.create 4 in
+      Rdma.Qp.write qp ~raddr:0x1000L ~buf:(bb "left") ~off:0 ~len:4;
+      Rdma.Qp.write qp ~raddr:0x2000L ~buf:(bb "rite") ~off:0 ~len:4;
+      let a = Sim.Bigbuf.create 4 and b = Sim.Bigbuf.create 4 in
       let remaining = ref 2 in
       Rdma.Qp.post_read_batch qp
         [
@@ -284,8 +296,8 @@ let qp_batch_reads_data () =
         ];
       Sim.Engine.sleep eng (Sim.Time.ms 1);
       check_int "both completed" 0 !remaining;
-      Alcotest.(check string) "first buffer" "left" (Bytes.to_string a);
-      Alcotest.(check string) "second buffer" "rite" (Bytes.to_string b))
+      Alcotest.(check string) "first buffer" "left" (bb_str a);
+      Alcotest.(check string) "second buffer" "rite" (bb_str b))
 
 let qp_batch_counters () =
   run_sim (fun eng ->
@@ -294,7 +306,7 @@ let qp_batch_counters () =
       let qp = Rdma.Fabric.qp fabric ~name:"t" in
       Rdma.Qp.post_read_batch qp [];
       check_int "empty batch is a no-op" 0 (Sim.Stats.get stats "rdma_read_batches");
-      let buf = Bytes.create 4096 in
+      let buf = Sim.Bigbuf.create 4096 in
       Rdma.Qp.post_read_batch qp
         (List.init 3 (fun i ->
              {
@@ -337,7 +349,7 @@ let bandwidth_buckets () =
 let store_zero_fill () =
   let s = Memnode.Page_store.create ~size:65536L in
   let b = Bytes.make 16 'x' in
-  Memnode.Page_store.read s ~addr:100L ~dst:b ~off:0 ~len:16;
+  Memnode.Page_store.read_bytes s ~addr:100L ~dst:b ~off:0 ~len:16;
   Alcotest.(check string) "never-written reads zero" (String.make 16 '\000')
     (Bytes.to_string b)
 
@@ -345,9 +357,9 @@ let store_cross_block () =
   let s = Memnode.Page_store.create ~size:65536L in
   let src = Bytes.init 100 (fun i -> Char.chr (i land 0xFF)) in
   (* Write a range straddling the 4 KiB block boundary. *)
-  Memnode.Page_store.write s ~addr:4070L ~src ~off:0 ~len:100;
+  Memnode.Page_store.write_bytes s ~addr:4070L ~src ~off:0 ~len:100;
   let dst = Bytes.create 100 in
-  Memnode.Page_store.read s ~addr:4070L ~dst ~off:0 ~len:100;
+  Memnode.Page_store.read_bytes s ~addr:4070L ~dst ~off:0 ~len:100;
   Alcotest.(check bytes) "cross-block roundtrip" src dst;
   check_int "two blocks materialized" 2 (Memnode.Page_store.resident_blocks s)
 
@@ -356,7 +368,7 @@ let store_bounds () =
   let b = Bytes.create 8 in
   Alcotest.(check_raises) "oob"
     (Invalid_argument "Page_store: range [0x1000,+8) out of bounds") (fun () ->
-      Memnode.Page_store.read s ~addr:4096L ~dst:b ~off:0 ~len:8)
+      Memnode.Page_store.read_bytes s ~addr:4096L ~dst:b ~off:0 ~len:8)
 
 let suite =
   [

@@ -129,14 +129,21 @@ let frame_double_free_rejected () =
   Alcotest.check_raises "double free" (Invalid_argument "Frame.free: double free")
     (fun () -> Vmem.Frame.free f a)
 
-let frame_zeroed_on_alloc () =
+let frame_recycled_dirty () =
+  (* Frames recycle WITHOUT zeroing: every fetch path overwrites the
+     bytes it maps, and the zero-fill fault path clears explicitly via
+     [fill_page]. The old alloc-time memset was pure host-side waste. *)
   let f = Vmem.Frame.create ~frames:1 in
   let a = Vmem.Frame.alloc_exn f in
-  Bytes.set (Vmem.Frame.data f a) 100 'x';
+  Sim.Bigbuf.set_u8 (Vmem.Frame.data f a) 100 (Char.code 'x');
   Vmem.Frame.free f a;
   let b = Vmem.Frame.alloc_exn f in
   check_int "same frame recycled" a b;
-  check_int "zeroed" 0 (Char.code (Bytes.get (Vmem.Frame.data f b) 100))
+  check_int "recycled dirty (no alloc-time zeroing)" (Char.code 'x')
+    (Sim.Bigbuf.get_u8 (Vmem.Frame.data f b) 100);
+  Vmem.Frame.fill_page f b '\000';
+  check_int "fill_page zeroes explicitly" 0
+    (Sim.Bigbuf.get_u8 (Vmem.Frame.data f b) 100)
 
 (* ------------------------------------------------------------------ *)
 (* MMU *)
@@ -207,7 +214,7 @@ let suite =
     quick "frame alloc/free" frame_alloc_free;
     quick "frame exhaustion" frame_exhaustion;
     quick "frame double free rejected" frame_double_free_rejected;
-    quick "frame zeroed on alloc" frame_zeroed_on_alloc;
+    quick "frame recycled dirty" frame_recycled_dirty;
     quick "mmu sets A/D bits" mmu_access_sets_bits;
     quick "mmu faults on remote" mmu_fault_on_remote;
     quick "aspace mmap layout" aspace_mmap_layout;
