@@ -1,55 +1,81 @@
-(* dilos-lint: AST-level determinism & hot-path discipline checker.
+(* dilos-lint: whole-program determinism & hot-path discipline checker.
 
-   Usage: dilos_lint [--json] [--rules] PATH...
+   Usage: dilos_lint [--format=text|json] [--rules] PATH...
 
-   Parses every .ml under the given paths (default: lib bin bench) and
-   applies the rule set in lib/lint/. Prints one `file:line:col rule-id
-   message` per unsuppressed finding (or a JSON report with --json,
-   mirroring bench/main.exe --json's shape) and exits 1 when anything
-   fires — which is how `dune build @lint` and the test suite gate the
-   tree. *)
+   Phase 1 parses every .ml under the given paths (default: lib bin
+   bench) and runs the per-file rules; phase 2 builds the def/use index
+   + call graph over all of them and runs the interprocedural rules
+   (nondet-taint, hot-alloc-path, fiber-atomic). Findings are globally
+   deduped and sorted by (file, line, col, rule), so output is
+   byte-stable across runs in both formats.
 
-let usage () =
-  print_endline "usage: dilos_lint [--json] [--rules] PATH...";
-  print_endline "";
-  print_endline "  --json    machine-readable findings on stdout";
-  print_endline "  --rules   list the rule set and exit";
-  print_endline "";
-  print_endline "Suppress a single site with [@lint.allow \"rule-id\"] (expression)";
-  print_endline "or [@@lint.allow \"rule-id\"] (let binding), plus a justification";
-  print_endline "comment."
+   Exit codes: 0 clean; 1 findings (including parse-error findings);
+   2 usage error (unknown flag, unknown format, missing path). *)
+
+let usage oc =
+  output_string oc
+    "usage: dilos_lint [--format=text|json] [--rules] PATH...\n\n\
+    \  --format=FMT  text (default): one `file:line:col rule message` per\n\
+    \                finding; json: stable-field-order report on stdout\n\
+    \  --json        shorthand for --format=json\n\
+    \  --rules       list the rule set and exit\n\n\
+     Suppress a single site with [@lint.allow \"rule-id\"] (expression)\n\
+     or [@@lint.allow \"rule-id\"] (let binding), plus a justification\n\
+     comment. Declare a no-yield critical region with [@lint.atomic].\n\
+     Interprocedural findings print the full source->sink call path.\n"
 
 let list_rules () =
   List.iter
     (fun (r : Lint.Rule.t) -> Printf.printf "%-16s %s\n" r.Lint.Rule.id r.Lint.Rule.doc)
     Lint.Rules.all
 
+type format = Text | Json
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let json = List.exists (String.equal "--json") args in
-  let rules = List.exists (String.equal "--rules") args in
-  let help = List.exists (fun a -> String.equal a "--help" || String.equal a "-h") args in
-  let paths =
-    List.filter (fun a -> String.length a > 0 && a.[0] <> '-') args
+  let format = ref Text in
+  let rules = ref false in
+  let paths = ref [] in
+  let bad_usage msg =
+    Printf.eprintf "dilos_lint: %s\n" msg;
+    usage stderr;
+    exit 2
   in
-  if help then usage ()
-  else if rules then list_rules ()
+  List.iter
+    (fun a ->
+      if String.equal a "--help" || String.equal a "-h" then begin
+        usage stdout;
+        exit 0
+      end
+      else if String.equal a "--rules" then rules := true
+      else if String.equal a "--json" then format := Json
+      else if String.equal a "--format=text" then format := Text
+      else if String.equal a "--format=json" then format := Json
+      else if String.length a >= 9 && String.equal (String.sub a 0 9) "--format="
+      then bad_usage (Printf.sprintf "unknown format %S" (String.sub a 9 (String.length a - 9)))
+      else if String.length a > 0 && a.[0] = '-' then
+        bad_usage (Printf.sprintf "unknown flag %s" a)
+      else paths := a :: !paths)
+    args;
+  if !rules then list_rules ()
   else begin
-    let paths = match paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+    let paths =
+      match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+    in
     (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
-    | Some p ->
-        Printf.eprintf "dilos_lint: no such path: %s\n" p;
-        exit 2
+    | Some p -> bad_usage (Printf.sprintf "no such path: %s" p)
     | None -> ());
     let findings = Lint.Driver.lint_paths paths in
-    if json then print_endline (Lint.Finding.json_of_list findings)
-    else
-      List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    (match !format with
+    | Json -> print_endline (Lint.Finding.json_of_list findings)
+    | Text ->
+        List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings);
     match findings with
     | [] ->
-        if not json then
+        if !format = Text then
           Printf.eprintf "dilos_lint: clean (%d rules)\n" (List.length Lint.Rules.all)
     | fs ->
-        if not json then Printf.eprintf "dilos_lint: %d finding(s)\n" (List.length fs);
+        if !format = Text then
+          Printf.eprintf "dilos_lint: %d finding(s)\n" (List.length fs);
         exit 1
   end

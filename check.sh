@@ -10,6 +10,12 @@ dune build
 echo "== dune build @lint"
 dune build @lint
 
+echo "== dilos_lint --format=json"
+# The same whole-program invocation CI's lint job runs: machine-readable
+# findings land in lint_findings.json (gitignored) for inspection, and a
+# non-suppressed finding fails the gate via exit code 1.
+dune exec bin/dilos_lint.exe -- --format=json lib bin bench > lint_findings.json
+
 echo "== dune runtest"
 dune runtest
 

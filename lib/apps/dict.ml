@@ -3,6 +3,9 @@ type t = {
   buckets : int64;
   mask : int;
   mutable n : int;
+  (* Reused by [key_equals] so chain walks don't allocate per probe;
+     grown (rarely) to the largest key seen. *)
+  mutable scratch : Bytes.t;
 }
 
 let entry_size = 24
@@ -18,7 +21,7 @@ let create (mem : Memif.t) ~size_hint =
   let size = pow2 16 in
   let buckets = mem.Memif.malloc (size * 8) in
   (* Bucket array starts zeroed (fresh pages read as zero). *)
-  { mem; buckets; mask = size - 1; n = 0 }
+  { mem; buckets; mask = size - 1; n = 0; scratch = Bytes.create 64 }
 
 let count t = t.n
 
@@ -28,14 +31,28 @@ let entry_next t e = t.mem.Memif.read_u64_at e 0
 let entry_key t e = t.mem.Memif.read_u64_at e 8
 let entry_value t e = t.mem.Memif.read_u64_at e 16
 
+(* Doubling growth keeps this on the cold-constructor path: it runs at
+   most O(log max_key_len) times over a dict's lifetime. *)
+let make_scratch len =
+  let rec pow2 v = if v >= len then v else pow2 (v * 2) in
+  Bytes.create (pow2 64)
+
+let scratch t len =
+  if Bytes.length t.scratch < len then t.scratch <- make_scratch len;
+  t.scratch
+
 let key_equals t e key =
   let kaddr = entry_key t e in
   let klen = Sds.len t.mem kaddr in
   if klen <> Bytes.length key then false
   else begin
-    let b = Bytes.create klen in
+    let b = scratch t klen in
     t.mem.Memif.read_bytes (Sds.data_addr kaddr) b 0 klen;
-    Bytes.equal b key
+    (* [b] may be longer than the key, so compare exactly klen bytes. *)
+    let rec eq i =
+      i >= klen || (Char.equal (Bytes.get b i) (Bytes.get key i) && eq (i + 1))
+    in
+    eq 0
   end
 
 let find_entry t key =

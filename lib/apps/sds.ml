@@ -13,9 +13,13 @@ let create (mem : Memif.t) payload =
 let len (mem : Memif.t) base = mem.Memif.read_u32_at base 0
 let data_addr base = Int64.add base (Int64.of_int header_size)
 
+(* [get] materializes the string for the caller, who owns the result
+   (Redis GET replies escape the fault path); a pooled buffer would
+   alias across requests. Callers that only *compare* should read into
+   their own scratch instead (see Dict.key_equals). *)
 let get (mem : Memif.t) base =
   let n = len mem base in
-  let b = Bytes.create n in
+  let b = (Bytes.create n [@lint.allow "hot-alloc-path"]) in
   mem.Memif.read_bytes (data_addr base) b 0 n;
   b
 

@@ -156,7 +156,9 @@ let run (ctx : Harness.ctx) cfg =
             let p = Queue.pop q in
             Sim.Condvar.wait_for free_cv (fun () ->
                 not (Hashtbl.mem busy p.key));
-            Hashtbl.replace busy p.key ();
+            (* Claim must follow the wait_for predicate with no yield in
+               between, or two workers can both see the key free. *)
+            (Hashtbl.replace busy p.key () [@lint.atomic]);
             let start = m.Memif.now () in
             (match p.op with
             | W.Stream.Get -> (
@@ -170,8 +172,12 @@ let run (ctx : Harness.ctx) cfg =
                 Redis_bench.fill_value v ~index:p.key;
                 Redis.set rds ~key:(Redis_bench.key_of p.key) ~value:v);
             m.Memif.flush ();
-            Hashtbl.remove busy p.key;
-            Sim.Condvar.broadcast free_cv;
+            (* Release and wakeup form one region: a yield between them
+               would let a waiter re-check [busy] before the broadcast
+               exists to wake it. *)
+            ((Hashtbl.remove busy p.key;
+              Sim.Condvar.broadcast free_cv)
+            [@lint.atomic]);
             let now = m.Memif.now () in
             record (phase_of p.idx)
               ~resp_ns:(Int64.to_int (Sim.Time.sub now p.intended))

@@ -80,8 +80,17 @@ let alloc_small t size =
     | [] ->
         let vpn = take_page t in
         let chunks = page_size / csize in
+        (* Slab bitmap for a freshly carved page: amortized over the
+           page_size/csize chunks served from it, and bounded by the
+           number of live slab pages — not a per-malloc allocation. *)
         Hashtbl.replace t.meta vpn
-          (Slab { class_idx = ci; chunks; used = Bytes.make chunks '\000'; n_used = 0 });
+          (Slab
+             {
+               class_idx = ci;
+               chunks;
+               used = (Bytes.make chunks '\000' [@lint.allow "hot-alloc-path"]);
+               n_used = 0;
+             });
         t.partial.(ci) <- [ vpn ];
         vpn
   in

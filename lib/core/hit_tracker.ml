@@ -67,8 +67,12 @@ let scan t =
 
 let hit_ratio t = t.ratio
 
+(* The fault-history snapshot handed to prefetcher [decide] closures.
+   Kernel memoizes the thunk per fault, so this runs at most once per
+   major fault and only when a trend prefetcher asks; handing out the
+   live ring instead would race with note_fault. *)
 let history t =
-  Array.init t.hist_len (fun i ->
+  (Array.init [@lint.allow "hot-alloc-path"]) t.hist_len (fun i ->
       let idx =
         (t.hist_head - 1 - i + (2 * Array.length t.hist)) mod Array.length t.hist
       in

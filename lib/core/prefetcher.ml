@@ -34,25 +34,29 @@ let readahead () =
   { name = "readahead"; decide }
 
 (* Boyer–Moore majority vote over the deltas of the fault history;
-   verify the candidate actually has majority support. *)
+   verify the candidate actually has majority support. Runs on every
+   trend-based prefetch decision (i.e. on the fault path), so the
+   deltas are recomputed on the fly instead of materialized — this
+   function must not allocate. *)
 let majority_stride history =
   let n = Array.length history in
   if n < 2 then None
   else begin
-    let deltas = Array.init (n - 1) (fun i -> history.(i) - history.(i + 1)) in
     let candidate = ref 0 and votes = ref 0 in
-    Array.iter
-      (fun d ->
-        if !votes = 0 then begin
-          candidate := d;
-          votes := 1
-        end
-        else if d = !candidate then incr votes
-        else decr votes)
-      deltas;
-    let support = Array.fold_left (fun acc d -> if d = !candidate then acc + 1 else acc) 0 deltas in
-    if 2 * support > Array.length deltas && !candidate <> 0 then Some !candidate
-    else None
+    for i = 0 to n - 2 do
+      let d = history.(i) - history.(i + 1) in
+      if !votes = 0 then begin
+        candidate := d;
+        votes := 1
+      end
+      else if d = !candidate then incr votes
+      else decr votes
+    done;
+    let support = ref 0 in
+    for i = 0 to n - 2 do
+      if history.(i) - history.(i + 1) = !candidate then incr support
+    done;
+    if 2 * !support > n - 1 && !candidate <> 0 then Some !candidate else None
   end
 
 let trend_based () =

@@ -172,19 +172,29 @@ let rec evict_one t ~qp ~budget =
                      Trace.end_ sp ();
                      Sim.Stats.cincr t.hot.c_writebacks
                    end);
-                  let pte' = Vmem.Page_table.get t.pt vpn in
-                  if
-                    Vmem.Pte.tag pte' = Vmem.Pte.Local
-                    && not (Vmem.Pte.dirty pte')
-                  then begin
-                    Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
-                    invalidate t vpn;
-                    Hashtbl.remove t.swap_backed vpn;
-                    Vmem.Frame.free t.frames frame;
-                    Sim.Stats.cincr t.hot.c_evictions;
-                    Sim.Condvar.broadcast t.frames_avail;
-                    true
-                  end
+                  (* Check-then-act: the PTE re-read and the unmap it
+                     justifies must see no fiber interleaving (the PR 4
+                     lost-update race). [@lint.atomic] has R10 verify
+                     nothing in the region can yield; the recursive
+                     retry stays outside — it swaps out and yields. *)
+                  let freed =
+                    (let pte' = Vmem.Page_table.get t.pt vpn in
+                     if
+                       Vmem.Pte.tag pte' = Vmem.Pte.Local
+                       && not (Vmem.Pte.dirty pte')
+                     then begin
+                       Vmem.Page_table.set t.pt vpn (Vmem.Pte.make_remote ());
+                       invalidate t vpn;
+                       Hashtbl.remove t.swap_backed vpn;
+                       Vmem.Frame.free t.frames frame;
+                       Sim.Stats.cincr t.hot.c_evictions;
+                       Sim.Condvar.broadcast t.frames_avail;
+                       true
+                     end
+                     else false)
+                    [@lint.atomic]
+                  in
+                  if freed then true
                   else begin
                     (* Re-dirtied while the store was on the wire: the
                        remote copy is already stale, keep the page

@@ -1,0 +1,61 @@
+(* Forward reachability over the def/use index: which defs can a set of
+   entry points reach, and by what call path? Used by R9 to lift the
+   hot-alloc discipline from "textually in a hot module" to "reachable
+   from a hot entry point".
+
+   Traversal is a deterministic BFS: the worklist is seeded from
+   [entries] in the given order and edges are scanned in index order,
+   so witness paths are stable across runs (shortest-first, ties broken
+   by AST order). A def's witness is fixed at first discovery. *)
+
+let max_path = 30 (* defense against cycles-with-growing-witness bugs *)
+
+(* [reachable_from idx ~entries ~follow] returns def key -> the edge
+   path (entry-side first) by which it was first reached. Entries
+   themselves map to []. [follow] filters edges (cold scopes,
+   suppressed edges, edges into cold constructors). *)
+let reachable_from (idx : Index.t) ~(entries : string list)
+    ~(follow : Index.edge -> bool) : (string, Index.edge list) Hashtbl.t =
+  (* By-caller adjacency, preserving index (AST) order per caller. *)
+  let adj : (string, Index.edge list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Index.edge) ->
+      match e.Index.target with
+      | Index.Resolved g when Index.find_def idx g <> None ->
+          let prev =
+            match Hashtbl.find_opt adj e.Index.caller with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace adj e.Index.caller (e :: prev)
+      | _ -> ())
+    idx.Index.edges;
+  (* Stored reversed above; flip back to AST order once. *)
+  let out_edges caller =
+    match Hashtbl.find_opt adj caller with
+    | Some l -> List.rev l
+    | None -> []
+  in
+  let reached : (string, Index.edge list) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  List.iter
+    (fun k ->
+      if Index.find_def idx k <> None && not (Hashtbl.mem reached k) then begin
+        Hashtbl.replace reached k [];
+        Queue.add k queue
+      end)
+    entries;
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    let path = Hashtbl.find reached k in
+    if List.length path < max_path then
+      List.iter
+        (fun (e : Index.edge) ->
+          match e.Index.target with
+          | Index.Resolved g when follow e && not (Hashtbl.mem reached g) ->
+              Hashtbl.replace reached g (path @ [ e ]);
+              Queue.add g queue
+          | _ -> ())
+        (out_edges k)
+  done;
+  reached

@@ -62,3 +62,31 @@ let wallclock_checked ctx = match ctx.root with Bench -> false | Lib | Bin -> tr
 let effect_allowed ctx =
   ctx.root = Lib
   && (String.length ctx.rel >= 4 && String.equal (String.sub ctx.rel 0 4) "sim/")
+
+(* ------------------------------------------------------------------ *)
+(* Per-directory rule profiles: one table answering "does rule R bind
+   for a file at ctx?". The per-rule predicates above feed it; the
+   driver and the whole-program rules consult only this. bench/ is the
+   wall-clock harness, so both the syntactic rule (R1) and its
+   interprocedural extension (R8) are off there — but a lib/ or bin/
+   function that *calls into* bench wrappers is exactly what R8 exists
+   to catch. *)
+let rule_enabled ctx rule_id =
+  match rule_id with
+  | "no-wallclock" | "nondet-taint" -> wallclock_checked ctx
+  | "effect-hygiene" -> not (effect_allowed ctx)
+  | "stats-handle" | "hot-alloc" -> is_hot ctx
+  | _ -> true
+
+(* R9: functions whose transitive callees must not allocate, beyond
+   "every non-cold def in a hot module". The call graph cannot see
+   through records of closures (Memif ops, Prefetcher.decide), so the
+   prefetcher constructors — whose [decide] closures run inside the
+   fault path — are named here explicitly. Keys are module-qualified
+   def names as Index builds them (Lib_name.Module.value). *)
+let hot_entries =
+  [
+    "Apps.Serving.run";
+    "Dilos.Prefetcher.readahead";
+    "Dilos.Prefetcher.trend_based";
+  ]

@@ -32,12 +32,22 @@ class walker ~(ctx : Cfg.ctx) ~(emit : Finding.t -> unit) =
   object (self)
     inherit Ast_traverse.iter as super
     val mutable allow_stack : string list list = []
+
+    (* Floating [@@@lint.allow] attributes live in their own field, NOT
+       in [allow_stack]: they are never popped by [with_allows], so an
+       expression-level allow opening and closing around them can no
+       longer pop them out of order. Scoped per *structure*, so a
+       floating allow covers the rest of its enclosing structure (for a
+       top-level one: the rest of the file) and does not leak out of a
+       nested module. *)
+    val mutable floating_allows : string list = []
     val mutable sort_depth = 0
     val mutable span_end_depth = 0
     val mutable cold_depth = 0
 
     method private suppressed rule =
-      List.exists (List.exists (String.equal rule)) allow_stack
+      List.exists (String.equal rule) floating_allows
+      || List.exists (List.exists (String.equal rule)) allow_stack
 
     method private report ((rule, loc, msg) : Rule.site) =
       if not (self#suppressed rule) then emit (Finding.v ~loc ~rule ~msg)
@@ -47,14 +57,17 @@ class walker ~(ctx : Cfg.ctx) ~(emit : Finding.t -> unit) =
       f ();
       allow_stack <- List.tl allow_stack
 
-    method! structure_item it =
-      match it.pstr_desc with
-      | Pstr_attribute a ->
-          (* A floating [@@@lint.allow "rule"] covers the rest of the
-             file: fold it into the bottom of the stack. *)
-          allow_stack <- allow_stack @ [ Suppress.allows [ a ] ];
-          super#structure_item it
-      | _ -> super#structure_item it
+    method! structure items =
+      let saved = floating_allows in
+      List.iter
+        (fun it ->
+          (match it.pstr_desc with
+          | Pstr_attribute a ->
+              floating_allows <- Suppress.allows [ a ] @ floating_allows
+          | _ -> ());
+          self#structure_item it)
+        items;
+      floating_allows <- saved
 
     method! value_binding vb =
       let has_sort = Rule_hashtbl_order.contains_sort vb.pvb_expr in
@@ -116,10 +129,29 @@ let rec ml_files path =
   else if Filename.check_suffix path ".ml" then [ path ]
   else []
 
+(* Two-phase whole-program lint. Phase 1 parses every file once and
+   runs the per-file rules (R1-R7) plus builds the def/use index;
+   phase 2 runs the interprocedural rules (R8-R10) over the index.
+   A file that does not parse becomes a parse-error finding and is
+   simply absent from the index. Output is globally deduped and sorted
+   so repeated runs are byte-identical. *)
 let lint_paths paths : Finding.t list =
-  List.concat_map ml_files paths
-  |> List.concat_map (fun f -> lint_file f)
-  |> List.sort Finding.compare
+  let files = List.concat_map ml_files paths in
+  let parsed = ref [] and findings = ref [] in
+  List.iter
+    (fun f ->
+      match parse_file f with
+      | str ->
+          parsed := (f, Cfg.classify f, str) :: !parsed;
+          findings := lint_structure ~ctx:(Cfg.classify f) str @ !findings
+      | exception _ ->
+          findings :=
+            Finding.make ~file:f ~line:1 ~col:0 ~rule:"parse-error"
+              ~msg:"file does not parse"
+            :: !findings)
+    files;
+  let idx = Index.build (List.rev !parsed) in
+  Finding.dedup_sorted (Rules.check_program idx @ !findings)
 
 (* How many [@lint.allow]-family attributes the tree carries, counted
    on the AST so comments and string literals mentioning the attribute

@@ -10,7 +10,9 @@ let v ~(loc : Ppxlib.Location.t) ~rule ~msg =
 
 let make ~file ~line ~col ~rule ~msg = { file; line; col; rule; msg }
 
-let compare a b =
+(* Named [by_site] (not just [compare]) so in-module callers don't trip
+   R2's syntactic bare-`compare` ban. *)
+let by_site a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
   else
@@ -20,7 +22,20 @@ let compare a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
+let compare = by_site
+
 let to_string f = Printf.sprintf "%s:%d:%d %s %s" f.file f.line f.col f.rule f.msg
+
+(* Global sort + exact-site dedup: phase-1 and phase-2 rules can report
+   the same (file, line, col, rule) site; output must be byte-stable
+   across runs and carry each site once. *)
+let dedup_sorted fs =
+  let rec go = function
+    | a :: b :: rest when by_site a b = 0 -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go (List.sort by_site fs)
 
 (* Same minimal escaping as bench/perf.ml's JSON writer: the fields are
    paths, rule ids and ASCII messages. *)

@@ -1,0 +1,474 @@
+(* Whole-program def/use index: phase 1 of the two-phase analyzer.
+
+   Phase 1 parses every .ml under the linted roots and records, for
+   each top-level value binding, a *def* (module-qualified key such as
+   "Fastswap.Kernel.evict_one") and, for every identifier occurring in
+   expression position inside it, an *edge* to the resolved target.
+   Phase 2 (rules R8-R10) runs reachability analyses over those edges.
+
+   Name resolution is scoped to this codebase's style, in order:
+
+   1. module aliases in scope ([module W = Workload], [module Cfg =
+      Config], local [let module B = ...] included);
+   2. sibling modules of the same directory (dune wraps each lib/<d>/
+      into one library, so [Swap_cache.find] inside lib/fastswap/
+      means [Fastswap.Swap_cache.find]);
+   3. library public names ([Sim.Engine.sleep]), taken from each
+      directory's dune [(name ...)] stanza, falling back to the
+      capitalized directory name (fixture trees have no dune);
+   4. a module basename that is unique across the indexed program
+      (lets fixture mini-projects reference across roots);
+   5. bare identifiers resolve against the current module's defs, then
+      against [open]ed modules.
+
+   Anything else is recorded as an External edge carrying its
+   normalized path — still matchable by suffix against known base
+   sets (Unix.*, Bytes.create, Engine.sleep, ...), just not
+   traversable. Field accesses, constructors and types produce no
+   edges; calls through record-of-closure interfaces (Memif) are a
+   documented blind spot. *)
+
+(* Bind our sibling Config before Ppxlib shadows it with its own. *)
+module Cfg = Config
+open Ppxlib
+
+type target =
+  | Resolved of string (* key into [defs] *)
+  | External of string list (* normalized path we do not define *)
+
+type edge = {
+  caller : string; (* def key the use occurs in *)
+  target : target;
+  raw : string list; (* the path as written, Stdlib-normalized *)
+  loc : Location.t;
+  in_cold : bool; (* inside a cold-constructor binding *)
+  in_atomic : bool; (* inside a [@lint.atomic] region *)
+  allows : string list; (* lint.allow ids in scope at the site *)
+}
+
+type def = {
+  key : string;
+  file : string;
+  line : int;
+  cold : bool; (* binding name is a cold constructor *)
+  ctx : Cfg.ctx;
+  mutable has_sort : bool; (* body applies a sort (R3's approximation) *)
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  def_order : string list; (* sorted keys: deterministic iteration *)
+  edges : edge list; (* file order, AST order within a file *)
+}
+
+let find_def t key = Hashtbl.find_opt t.defs key
+
+(* The path an edge should be matched against: the resolved key when we
+   know the definition, the raw path otherwise. *)
+let qpath e =
+  match e.target with
+  | Resolved k -> String.split_on_char '.' k
+  | External p -> p
+
+let target_name e =
+  match e.target with Resolved k -> k | External p -> String.concat "." p
+
+(* ------------------------------------------------------------------ *)
+(* Qualification: which "Lib.Module" prefix a file's defs live under. *)
+
+let capitalize = String.capitalize_ascii
+
+(* [(name x)] from a dune file, by token scan — enough for this
+   repository's one-library-per-directory stanzas. *)
+let dune_library_name dir =
+  let dune = Filename.concat dir "dune" in
+  if not (Sys.file_exists dune) then None
+  else begin
+    let ic = open_in_bin dune in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    let toks =
+      String.split_on_char '(' src
+      |> List.concat_map (String.split_on_char ')')
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.concat_map (String.split_on_char ' ')
+      |> List.filter (fun s -> String.length s > 0)
+    in
+    let rec after_name = function
+      | "name" :: v :: _ -> Some v
+      | _ :: rest -> after_name rest
+      | [] -> None
+    in
+    after_name toks
+  end
+
+(* Qualifier for a directory: library name for lib/<d>/, "Bin"/"Bench"
+   for the executable roots. *)
+let dir_qual dir =
+  let ctx = Cfg.classify (Filename.concat dir "x.ml") in
+  match ctx.Cfg.root with
+  | Cfg.Bin -> "Bin"
+  | Cfg.Bench -> "Bench"
+  | Cfg.Lib -> (
+      match dune_library_name dir with
+      | Some n -> capitalize n
+      | None ->
+          let base = Filename.basename dir in
+          if String.equal base "lib" then "Lib" else capitalize base)
+
+let module_name_of_file path =
+  capitalize (Filename.remove_extension (Filename.basename path))
+
+(* "Sim.Engine" for lib/sim/engine.ml; a module that shares the library
+   name (lib/trace/dilos_trace.ml) collapses to just the library. *)
+let file_qual path =
+  let q = dir_qual (Filename.dirname path) in
+  let m = module_name_of_file path in
+  if String.equal q m then q else q ^ "." ^ m
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: names. Collect every top-level (and nested-module-level)
+   value name so pass B can resolve uses against them. *)
+
+type names = {
+  mutable def_keys : (string, unit) Hashtbl.t;
+  mutable dir_modules : (string * string list) list; (* dir -> module names *)
+  mutable lib_quals : string list; (* "Sim", "Rdma", ... *)
+  mutable basenames : (string * string list) list; (* module -> quals seen *)
+}
+
+let binding_names vb =
+  match vb.pvb_pat.ppat_desc with Ppat_var { txt; _ } -> [ txt ] | _ -> []
+
+let rec collect_names names ~qual (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              List.iter
+                (fun n -> Hashtbl.replace names.def_keys (qual ^ "." ^ n) ())
+                (binding_names vb))
+            vbs
+      | Pstr_module { pmb_name = { txt = Some m; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_structure sub ->
+              collect_names names ~qual:(qual ^ "." ^ m) sub
+          | _ -> ())
+      | _ -> ())
+    str
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: edges. An Ast_traverse walk per file with scoped state. *)
+
+let is_sort p =
+  match p with
+  | [ "List"; ("sort" | "stable_sort" | "sort_uniq") ] -> true
+  | [ "Array"; ("sort" | "stable_sort") ] -> true
+  | _ -> false
+
+class indexer ~(names : names) ~(dir : string) ~(qual : string)
+  ~(add_edge : edge -> unit) ~(mark_sort : string -> unit) =
+  object (self)
+    inherit Ast_traverse.iter as super
+    val mutable cur_def = qual ^ ".(init)"
+    val mutable aliases : (string * string list) list = []
+    val mutable opens : string list list = []
+    val mutable cold_depth = 0
+    val mutable atomic_depth = 0
+    val mutable allow_scope : string list = []
+
+    (* --- resolution ------------------------------------------------ *)
+
+    method private siblings =
+      match List.assoc_opt dir names.dir_modules with
+      | Some ms -> ms
+      | None -> []
+
+    method private expand_alias path =
+      let rec go fuel p =
+        if fuel = 0 then p
+        else
+          match p with
+          | h :: rest -> (
+              match List.assoc_opt h aliases with
+              | Some ali -> go (fuel - 1) (ali @ rest)
+              | None -> p)
+          | [] -> p
+      in
+      go 4 path
+
+    (* Resolve a module path (no trailing value) to a qualifier
+       prefix, or None. *)
+    method private resolve_module_prefix path =
+      match self#expand_alias path with
+      | [] -> None
+      | h :: rest ->
+          let mk prefix = Some (String.concat "." (prefix @ rest)) in
+          if List.mem h self#siblings then mk [ dir_qual dir; h ]
+          else if List.mem h names.lib_quals then mk [ h ]
+          else (
+            match List.assoc_opt h names.basenames with
+            | Some [ q ] -> mk [ q; h ]
+            | _ -> None)
+
+    method private resolve (path : string list) : target =
+      let path = self#expand_alias path in
+      match path with
+      | [] -> External []
+      | [ x ] ->
+          (* Bare identifier: this module's defs, then opens. *)
+          let try_key k =
+            if Hashtbl.mem names.def_keys k then Some (Resolved k) else None
+          in
+          let rec try_opens = function
+            | [] -> None
+            | o :: rest -> (
+                match self#resolve_module_prefix o with
+                | Some prefix -> (
+                    match try_key (prefix ^ "." ^ x) with
+                    | Some r -> Some r
+                    | None -> try_opens rest)
+                | None -> try_opens rest)
+          in
+          let local = try_key (qual ^ "." ^ x) in
+          let r = match local with Some _ -> local | None -> try_opens opens in
+          (match r with Some r -> r | None -> External path)
+      | _ :: _ -> (
+          let value = List.nth path (List.length path - 1) in
+          let mods = List.filteri (fun i _ -> i < List.length path - 1) path in
+          match self#resolve_module_prefix mods with
+          | Some prefix ->
+              let k = prefix ^ "." ^ value in
+              if Hashtbl.mem names.def_keys k then Resolved k
+              else External (String.split_on_char '.' prefix @ [ value ])
+          | None -> External path)
+
+    (* --- scoped state helpers -------------------------------------- *)
+
+    method private with_binding_scopes attrs name f =
+      let saved_allows = allow_scope in
+      allow_scope <- Suppress.allows attrs @ allow_scope;
+      let atomic = Suppress.has_atomic attrs in
+      let cold =
+        match name with Some n -> Rule_hot_alloc.cold_binding n | None -> false
+      in
+      if atomic then atomic_depth <- atomic_depth + 1;
+      if cold then cold_depth <- cold_depth + 1;
+      f ();
+      if atomic then atomic_depth <- atomic_depth - 1;
+      if cold then cold_depth <- cold_depth - 1;
+      allow_scope <- saved_allows
+
+    (* --- traversal ------------------------------------------------- *)
+
+    method! structure items =
+      (* Floating [@@@lint.allow] covers the REST of the enclosing
+         structure only (see Driver: same scoping). *)
+      let saved_allows = allow_scope in
+      let saved_aliases = aliases and saved_opens = opens in
+      List.iter
+        (fun item ->
+          (match item.pstr_desc with
+          | Pstr_attribute a -> allow_scope <- Suppress.allows [ a ] @ allow_scope
+          | _ -> ());
+          self#structure_item item)
+        items;
+      allow_scope <- saved_allows;
+      aliases <- saved_aliases;
+      opens <- saved_opens
+
+    method! structure_item item =
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          (* Top level relative to the current module path: each named
+             binding is its own def; everything nested inside it
+             attributes to it. *)
+          List.iter
+            (fun vb ->
+              let saved = cur_def in
+              let name =
+                match binding_names vb with n :: _ -> Some n | [] -> None
+              in
+              (match name with
+              | Some n -> cur_def <- qual ^ "." ^ n
+              | None -> cur_def <- qual ^ ".(init)");
+              self#with_binding_scopes vb.pvb_attributes name (fun () ->
+                  self#expression vb.pvb_expr);
+              cur_def <- saved)
+            vbs
+      | Pstr_module { pmb_name = { txt = Some m; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_ident { txt; _ } ->
+              aliases <- (m, Rule.norm (Rule.flatten txt)) :: aliases
+          | Pmod_structure sub ->
+              (* Nested module: defs keyed under qual.M; resolution of
+                 bare names inside still tries the outer module via
+                 cur_def's qual (good enough: this tree nests modules
+                 one level at most). *)
+              let inner =
+                new indexer
+                  ~names ~dir
+                  ~qual:(qual ^ "." ^ m)
+                  ~add_edge ~mark_sort
+              in
+              inner#structure sub
+          | _ -> super#structure_item item)
+      | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+        ->
+          opens <- Rule.norm (Rule.flatten txt) :: opens
+      | Pstr_attribute _ -> () (* handled in [structure] *)
+      | _ -> super#structure_item item
+
+    method! value_binding vb =
+      (* Nested [let]: scope cold/atomic/allow, keep attribution to the
+         enclosing top-level def. *)
+      let name = match binding_names vb with n :: _ -> Some n | [] -> None in
+      self#with_binding_scopes vb.pvb_attributes name (fun () ->
+          super#value_binding vb)
+
+    method! expression e =
+      let saved_allows = allow_scope in
+      allow_scope <- Suppress.allows e.pexp_attributes @ allow_scope;
+      let atomic = Suppress.has_atomic e.pexp_attributes in
+      if atomic then atomic_depth <- atomic_depth + 1;
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          let raw = Rule.norm (Rule.flatten txt) in
+          if raw <> [] then begin
+            if is_sort raw then mark_sort cur_def;
+            add_edge
+              {
+                caller = cur_def;
+                target = self#resolve raw;
+                raw;
+                loc = e.pexp_loc;
+                in_cold = cold_depth > 0;
+                in_atomic = atomic_depth > 0;
+                allows = allow_scope;
+              }
+          end
+      | Pexp_open
+          ({ popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }, body)
+        ->
+          let saved_opens = opens in
+          opens <- Rule.norm (Rule.flatten txt) :: opens;
+          self#expression body;
+          opens <- saved_opens
+      | Pexp_letmodule
+          ({ txt = Some m; _ }, { pmod_desc = Pmod_ident { txt; _ }; _ }, body)
+        ->
+          let saved_aliases = aliases in
+          aliases <- (m, Rule.norm (Rule.flatten txt)) :: aliases;
+          self#expression body;
+          aliases <- saved_aliases
+      | _ -> super#expression e);
+      if atomic then atomic_depth <- atomic_depth - 1;
+      allow_scope <- saved_allows
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Building the index. *)
+
+let def_of_binding ~qual ~file ~ctx vb name =
+  {
+    key = qual ^ "." ^ name;
+    file;
+    line = vb.pvb_loc.loc_start.pos_lnum;
+    cold = Rule_hot_alloc.cold_binding name;
+    ctx;
+    has_sort = false;
+  }
+
+let rec collect_defs defs ~qual ~file ~ctx (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              List.iter
+                (fun n ->
+                  let d = def_of_binding ~qual ~file ~ctx vb n in
+                  Hashtbl.replace defs d.key d)
+                (binding_names vb))
+            vbs
+      | Pstr_module { pmb_name = { txt = Some m; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_structure sub ->
+              collect_defs defs ~qual:(qual ^ "." ^ m) ~file ~ctx sub
+          | _ -> ())
+      | _ -> ())
+    str
+
+(* [files] are (path, ctx, parsed structure), in deterministic order. *)
+let build (files : (string * Cfg.ctx * structure) list) : t =
+  let names =
+    {
+      def_keys = Hashtbl.create 1024;
+      dir_modules = [];
+      lib_quals = [];
+      basenames = [];
+    }
+  in
+  (* Directory / library / basename maps. *)
+  List.iter
+    (fun (path, _, _) ->
+      let dir = Filename.dirname path in
+      let m = module_name_of_file path in
+      let q = dir_qual dir in
+      (match List.assoc_opt dir names.dir_modules with
+      | Some ms ->
+          if not (List.mem m ms) then
+            names.dir_modules <-
+              (dir, m :: ms) :: List.remove_assoc dir names.dir_modules
+      | None -> names.dir_modules <- (dir, [ m ]) :: names.dir_modules);
+      if not (List.mem q names.lib_quals) then
+        names.lib_quals <- q :: names.lib_quals;
+      match List.assoc_opt m names.basenames with
+      | Some qs ->
+          if not (List.mem q qs) then
+            names.basenames <- (m, q :: qs) :: List.remove_assoc m names.basenames
+      | None -> names.basenames <- (m, [ q ]) :: names.basenames)
+    files;
+  (* Pass A: names, then full defs. *)
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (path, ctx, str) ->
+      let qual = file_qual path in
+      Hashtbl.replace names.def_keys (qual ^ ".(init)") ();
+      collect_names names ~qual str;
+      collect_defs defs ~qual ~file:path ~ctx str;
+      (* The implicit def owning module-initialization edges. *)
+      Hashtbl.replace defs (qual ^ ".(init)")
+        {
+          key = qual ^ ".(init)";
+          file = path;
+          line = 1;
+          cold = true (* module init runs once, at load: boot-time *);
+          ctx;
+          has_sort = false;
+        })
+    files;
+  (* Pass B: edges. *)
+  let edges = ref [] in
+  let add_edge e = edges := e :: !edges in
+  let mark_sort key =
+    match Hashtbl.find_opt defs key with
+    | Some d -> d.has_sort <- true
+    | None -> ()
+  in
+  List.iter
+    (fun (path, _, str) ->
+      let dir = Filename.dirname path in
+      let w = new indexer ~names ~dir ~qual:(file_qual path) ~add_edge ~mark_sort in
+      w#structure str)
+    files;
+  (* Hashtbl.fold here is R3-clean because the result is immediately
+     sorted in the same binding. *)
+  let def_order =
+    Hashtbl.fold (fun k _ acc -> k :: acc) defs [] |> List.sort String.compare
+  in
+  { defs; def_order; edges = List.rev !edges }

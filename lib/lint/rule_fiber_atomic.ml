@@ -1,0 +1,89 @@
+(* R10 fiber-atomic: check-then-act races under cooperative fibers.
+   The DES engine only switches fibers at yield points (Engine.sleep /
+   sleep_until / suspend / yield, Condvar.wait / wait_for, and Qp
+   post+await, which suspend until completion), so a critical region is
+   atomic exactly when nothing inside it may yield. The exact bug class
+   PR 4 fixed by hand in `evict_one`: re-check a PTE, then act on it —
+   correct only if no yield sneaks between check and act.
+
+   Such regions are declared with [@lint.atomic] on the expression (or
+   binding). The rule computes a may-yield summary per function (a
+   direct yield, or a call to a may-yield function) and flags every
+   call inside an atomic region that is or may yield, printing the
+   region->...->yield-point path. [@lint.allow "fiber-atomic"] on the
+   call site silences a flagged edge (a claim the callee's yield branch
+   is unreachable from here); on an interior edge it stops may-yield
+   propagation through it. *)
+
+module Cfg = Config
+module Idx = Index
+
+let id = "fiber-atomic"
+
+let doc =
+  "inside a [@lint.atomic] region no call may yield to the scheduler \
+   (Engine.sleep/suspend/yield, Condvar.wait/wait_for, Qp.post*/await, or \
+   anything that transitively reaches one) — findings print the call path \
+   to the yield point"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* Is this path a yield primitive? Suffix match so Resolved keys
+   ("Sim.Engine.sleep"), externally-referenced paths and fixture stubs
+   ("Sim.Condvar.wait" with no real Sim indexed) all hit. *)
+let is_yield_path p =
+  let rec suffix = function
+    | [ "Engine"; ("sleep" | "sleep_until" | "suspend" | "yield") ] -> true
+    | [ "Condvar"; ("wait" | "wait_for") ] -> true
+    | [ "Qp"; v ] when String.equal v "await" || starts_with ~prefix:"post" v ->
+        true
+    | _ :: rest -> suffix rest
+    | [] -> false
+  in
+  suffix p
+
+let check (idx : Idx.t) : Finding.t list =
+  let yield_edge (e : Idx.edge) = is_yield_path (Idx.qpath e) in
+  let may_yield =
+    Summary.reach_to_base idx ~base:yield_edge
+      ~follow:(fun e -> not (List.mem id e.Idx.allows))
+  in
+  List.filter_map
+    (fun (e : Idx.edge) ->
+      if (not e.Idx.in_atomic) || List.mem id e.Idx.allows then None
+      else
+        let enabled =
+          match Idx.find_def idx e.Idx.caller with
+          | Some d -> Cfg.rule_enabled d.Idx.ctx id
+          | None -> true
+        in
+        if not enabled then None
+        else if yield_edge e then
+          Some
+            (Finding.v ~loc:e.Idx.loc ~rule:id
+               ~msg:
+                 (Printf.sprintf
+                    "`%s` is a yield point inside a [@lint.atomic] region: \
+                     another fiber can interleave between the region's check \
+                     and act"
+                    (String.concat "." (Idx.qpath e))))
+        else
+          match e.Idx.target with
+          | Idx.Resolved g -> (
+              match Hashtbl.find_opt may_yield g with
+              | Some chain ->
+                  Some
+                    (Finding.v ~loc:e.Idx.loc ~rule:id
+                       ~msg:
+                         (Printf.sprintf
+                            "`%s` may yield inside a [@lint.atomic] region; \
+                             call path: %s -- move the call outside the \
+                             region or prove the yield branch unreachable \
+                             with [@lint.allow \"fiber-atomic\"]"
+                            g
+                            (Summary.pp_chain (e :: chain))))
+              | None -> None)
+          | Idx.External _ -> None)
+    idx.Idx.edges

@@ -1,0 +1,76 @@
+(* R9 hot-alloc-path: lifts R7 from "allocation textually in a hot
+   module" to "allocation in any function reachable from a hot entry
+   point". Entry points are every non-cold def in a hot module (the
+   fault path, Qp completion dispatch) plus the explicit
+   [Config.hot_entries] list (Serving's worker loop, the prefetcher
+   decide closures that the call graph cannot see through).
+
+   Division of labour with R7: allocation sites textually inside a hot
+   module — including the entry functions' own bodies — stay R7's
+   jurisdiction; R9 reports only sites reached via at least one call
+   edge into a file R7 does not cover. The cold-constructor escape
+   hatch is honored both at the source (a cold def, or a cold nested
+   binding) and along the path (edges inside cold scopes are not
+   followed, and calls *into* cold constructors are not followed).
+   [@lint.allow "hot-alloc-path"] works at the source site or on any
+   call edge of the path; [@lint.allow "hot-alloc"] at the source site
+   is honored too. Findings print the entry->...->alloc path. *)
+
+module Cfg = Config
+module Idx = Index
+
+let id = "hot-alloc-path"
+
+let doc =
+  "Bytes.create/Bytes.make/Array.init are banned in any function reachable \
+   from a hot entry point (hot-module defs + Config.hot_entries), not just \
+   textually inside hot modules; allocate at boot, pool the buffer, or \
+   suppress at the source or along the path — findings print the call path"
+
+let allowed_src (e : Idx.edge) =
+  List.mem id e.Idx.allows || List.mem Rule_hot_alloc.id e.Idx.allows
+
+let check (idx : Idx.t) : Finding.t list =
+  let entries =
+    Cfg.hot_entries
+    @ List.filter
+        (fun k ->
+          match Idx.find_def idx k with
+          | Some d -> Cfg.is_hot d.Idx.ctx && not d.Idx.cold
+          | None -> false)
+        idx.Idx.def_order
+  in
+  let follow (e : Idx.edge) =
+    (not e.Idx.in_cold)
+    && (not (List.mem id e.Idx.allows))
+    &&
+    match e.Idx.target with
+    | Idx.Resolved g -> (
+        match Idx.find_def idx g with Some d -> not d.Idx.cold | None -> false)
+    | Idx.External _ -> false
+  in
+  let reached = Callgraph.reachable_from idx ~entries ~follow in
+  List.filter_map
+    (fun (e : Idx.edge) ->
+      if
+        Rule_hot_alloc.is_hot_alloc (Idx.qpath e)
+        && (not e.Idx.in_cold)
+        && not (allowed_src e)
+      then
+        match (Idx.find_def idx e.Idx.caller, Hashtbl.find_opt reached e.Idx.caller) with
+        | Some d, Some (_ :: _ as path) when not (Cfg.is_hot d.Idx.ctx) ->
+            let entry = (List.hd path).Idx.caller in
+            Some
+              (Finding.v ~loc:e.Idx.loc ~rule:id
+                 ~msg:
+                   (Printf.sprintf
+                      "`%s` allocates in `%s`, which is reachable from hot \
+                       entry `%s`; call path: %s -- allocate at boot or pool \
+                       the buffer, or justify with [@lint.allow \
+                       \"hot-alloc-path\"]"
+                      (String.concat "." (Idx.qpath e))
+                      e.Idx.caller entry
+                      (Summary.pp_chain (path @ [ e ]))))
+        | _ -> None
+      else None)
+    idx.Idx.edges

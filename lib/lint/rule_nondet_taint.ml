@@ -1,0 +1,69 @@
+(* R8 nondet-taint: the interprocedural extension of R1/R3. A function
+   that calls a wall-clock / Random / Sys source, or enumerates a
+   Hashtbl unsorted, is *tainted*; so is anything that calls a tainted
+   function. R1 and R3 already police direct sites in checked contexts,
+   so R8 reports only the *frontier*: an edge from a checked-context
+   function (lib/, bin/) into a tainted function whose own context is
+   exempt (bench/) — the wrapper-laundering hole where `let now () =
+   Unix.gettimeofday ()` in bench/ defeats R1 for every lib caller.
+
+   Suppressing at the source ([@lint.allow "no-wallclock"] /
+   "hashtbl-order" / "nondet-taint" on the source site) kills the taint
+   entirely: it is a claim that the nondeterministic value does not
+   escape into sim state. Suppressing at a call edge silences just that
+   edge. Findings print the full source->sink call path. *)
+
+module Cfg = Config
+module Idx = Index
+
+let id = "nondet-taint"
+
+let doc =
+  "no lib/ or bin/ function may call (transitively) into a bench/-exempt \
+   wall-clock / Random / Sys / unsorted-Hashtbl source; wrappers do not \
+   launder nondeterminism — findings print the full call path"
+
+let allowed_any (e : Idx.edge) ids = List.exists (fun i -> List.mem i e.Idx.allows) ids
+
+(* Is this edge itself a nondeterminism source? *)
+let source (idx : Idx.t) (e : Idx.edge) : bool =
+  let p = Idx.qpath e in
+  match Rule_wallclock.banned p with
+  | Some _ -> not (allowed_any e [ Rule_wallclock.id; id ])
+  | None ->
+      Rule_hashtbl_order.is_iter_fold p
+      && (match Idx.find_def idx e.Idx.caller with
+         | Some d -> not d.Idx.has_sort
+         | None -> true)
+      && not (allowed_any e [ Rule_hashtbl_order.id; id ])
+
+let check (idx : Idx.t) : Finding.t list =
+  let taint =
+    Summary.reach_to_base idx ~base:(source idx)
+      ~follow:(fun e -> not (List.mem id e.Idx.allows))
+  in
+  List.filter_map
+    (fun (e : Idx.edge) ->
+      match e.Idx.target with
+      | Idx.External _ -> None (* direct sources are R1/R3's jurisdiction *)
+      | Idx.Resolved g -> (
+          match
+            (Idx.find_def idx e.Idx.caller, Idx.find_def idx g, Hashtbl.find_opt taint g)
+          with
+          | Some caller_def, Some callee_def, Some chain
+            when Cfg.rule_enabled caller_def.Idx.ctx id
+                 && (not (Cfg.rule_enabled callee_def.Idx.ctx id))
+                 && not (List.mem id e.Idx.allows) ->
+              let path = e :: chain in
+              let src = Idx.target_name (List.nth path (List.length path - 1)) in
+              Some
+                (Finding.v ~loc:e.Idx.loc ~rule:id
+                   ~msg:
+                     (Printf.sprintf
+                        "`%s` is nondeterminism-tainted (reaches `%s` in an \
+                         exempt context); call path: %s -- take time from \
+                         Sim.Engine and randomness from Sim.Rng, or suppress \
+                         at the source"
+                        g src (Summary.pp_chain path)))
+          | _ -> None))
+    idx.Idx.edges

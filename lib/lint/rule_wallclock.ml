@@ -33,7 +33,7 @@ let banned p =
   else None
 
 let check ~(ctx : Cfg.ctx) (e : expression) : Rule.site list =
-  if not (Cfg.wallclock_checked ctx) then []
+  if not (Cfg.rule_enabled ctx id) then []
   else
     match banned (Rule.path_of_expr e) with
     | Some why -> [ (id, e.pexp_loc, why ^ "; banned outside bench/") ]

@@ -11,6 +11,9 @@ let all : Rule.t list =
     { Rule.id = Rule_effect.id; doc = Rule_effect.doc };
     { Rule.id = Rule_trace_span.id; doc = Rule_trace_span.doc };
     { Rule.id = Rule_hot_alloc.id; doc = Rule_hot_alloc.doc };
+    { Rule.id = Rule_nondet_taint.id; doc = Rule_nondet_taint.doc };
+    { Rule.id = Rule_hot_alloc_path.id; doc = Rule_hot_alloc_path.doc };
+    { Rule.id = Rule_fiber_atomic.id; doc = Rule_fiber_atomic.doc };
   ]
 
 let ids = List.map (fun r -> r.Rule.id) all
@@ -31,3 +34,13 @@ let check_expression ~ctx ~sort_in_scope ~span_end_in_scope ~cold_in_scope e :
 (* Longident-position checks (R5): catches module opens and type
    references, not just value uses. *)
 let check_longident ~ctx lid : Rule.site list = Rule_effect.check ~ctx lid
+
+(* Whole-program checks (R8, R9, R10): run once over the phase-1 index
+   covering every parsed file. *)
+let check_program (idx : Index.t) : Finding.t list =
+  List.concat
+    [
+      Rule_nondet_taint.check idx;
+      Rule_hot_alloc_path.check idx;
+      Rule_fiber_atomic.check idx;
+    ]

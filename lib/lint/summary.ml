@@ -1,0 +1,52 @@
+(* Backward per-function summaries over the def/use index: which defs
+   can reach a *base* edge (a taint source, a yield point), and by what
+   witness chain? Used by R8 (nondeterminism taint) and R10 (may-yield).
+
+   The fixpoint scans [idx.edges] in index order and never overwrites a
+   def's witness once set, so results are deterministic: same input,
+   same chains. A def's witness chain runs from the edge inside it down
+   to the base edge ([e1; e2; ...; base] where e1.caller = the def). *)
+
+(* Bind our sibling Index before Ppxlib could shadow anything. *)
+module Idx = Index
+open Ppxlib
+
+let max_chain = 30
+
+(* [reach_to_base idx ~base ~follow] returns def key -> witness chain.
+   [base] marks edges that are themselves sources/sinks; [follow]
+   filters which edges may propagate a callee's summary upward. *)
+let reach_to_base (idx : Idx.t) ~(base : Idx.edge -> bool)
+    ~(follow : Idx.edge -> bool) : (string, Idx.edge list) Hashtbl.t =
+  let reach : (string, Idx.edge list) Hashtbl.t = Hashtbl.create 256 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Idx.edge) ->
+        if (not (Hashtbl.mem reach e.Idx.caller)) && follow e then
+          if base e then begin
+            Hashtbl.replace reach e.Idx.caller [ e ];
+            changed := true
+          end
+          else
+            match e.Idx.target with
+            | Idx.Resolved g -> (
+                match Hashtbl.find_opt reach g with
+                | Some chain when List.length chain < max_chain ->
+                    Hashtbl.replace reach e.Idx.caller (e :: chain);
+                    changed := true
+                | _ -> ())
+            | Idx.External _ -> ())
+      idx.Idx.edges
+  done;
+  reach
+
+(* Render a witness chain for a finding message: every interprocedural
+   report must show the full path, not just the sink. *)
+let pp_hop (e : Idx.edge) =
+  Printf.sprintf "%s:%d %s -> %s" e.Idx.loc.loc_start.pos_fname
+    e.Idx.loc.loc_start.pos_lnum e.Idx.caller (Idx.target_name e)
+
+let pp_chain (chain : Idx.edge list) =
+  String.concat "; " (List.map pp_hop chain)

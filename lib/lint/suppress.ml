@@ -35,3 +35,14 @@ let allows (attrs : attribute list) : string list =
       if String.equal a.attr_name.txt attr_name then payload_strings a.attr_payload
       else [])
     attrs
+
+(* [@lint.atomic]: declares that the annotated expression (or binding)
+   is a critical region that assumes no fiber interleaving — typically
+   the check half and act half of a check-then-act pair. R10 flags any
+   may-yield call inside it. The attribute takes no payload. *)
+let atomic_attr_name = "lint.atomic"
+
+let has_atomic (attrs : attribute list) : bool =
+  List.exists
+    (fun (a : attribute) -> String.equal a.attr_name.txt atomic_attr_name)
+    attrs

@@ -1,0 +1,17 @@
+(* Regression for the suppression-scope bug: a floating allow inside a
+   nested module must cover only that module's structure, and an
+   expression-level allow enclosing the module must pop cleanly (the
+   old driver appended floating allows to the bottom of the allow
+   stack, so the pop removed the wrong entry and the floating allow
+   leaked to the rest of the file). *)
+let inner x =
+  (let module M = struct
+     [@@@lint.allow "no-poly-compare"]
+
+     let quiet a b = compare a b
+     let use y = quiet y y
+   end in
+   M.use x)
+  [@lint.allow "no-wallclock"]
+
+let after a b = compare a b

@@ -1,0 +1,1 @@
+let fill_buf n = Bytes.create n

@@ -1,0 +1,1 @@
+let handle_fault vpn = Helpers.fill_buf vpn

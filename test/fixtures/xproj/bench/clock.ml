@@ -1,0 +1,3 @@
+(* The bench-side wall-clock wrapper: legal here (bench/ profile), but
+   a nondeterminism source for any lib/bin caller (R8's frontier). *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

@@ -1,0 +1,4 @@
+(* Cross-module alias resolution: C is Clock is the bench wrapper. *)
+module C = Clock
+
+let tick2 state = state + C.now_ns ()

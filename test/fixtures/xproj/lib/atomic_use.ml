@@ -1,0 +1,8 @@
+(* Yield-inside-atomic, laundered through a local wrapper: R10's
+   may-yield summary propagates Condvar.wait through wait_io. *)
+let wait_io cv = Sim.Condvar.wait cv
+
+let commit cv cell =
+  ((wait_io cv;
+    cell := 1)
+  [@lint.atomic])

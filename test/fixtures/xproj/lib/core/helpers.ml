@@ -1,0 +1,3 @@
+(* Helper on the fault path: R7 never looks here (core/helpers.ml is
+   not on the hot-module list); R9 reaches it from Kernel.handle_fault. *)
+let fill_buf n = Bytes.create n

@@ -1,0 +1,3 @@
+(* Classifies as the hot module core/kernel.ml, so its defs are R9
+   entry points. The allocation lives one call away, in Helpers. *)
+let handle_fault vpn = Helpers.fill_buf vpn
