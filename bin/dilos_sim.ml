@@ -746,9 +746,172 @@ let serve_cmd =
           (coordinated-omission-free), saturation-knee sweeps")
     term
 
+(* ------------------------------------------------------------------ *)
+(* drill: scripted shard-kill recovery drills on a replicated memory
+   node (see DESIGN.md §9). Exit codes: 0 ok, 1 digest mismatch,
+   2 usage, 4 page irrecoverably lost (every replica dead). *)
+
+let exit_page_lost = 4
+
+let drill_apps_of_string s =
+  if String.equal s "all" then Apps.Drill.apps
+  else
+    List.map
+      (fun tok ->
+        match Apps.Drill.app_of_string (String.trim tok) with
+        | Some a -> a
+        | None ->
+            Printf.eprintf
+              "dilos_sim: unknown drill app %S (seq|quicksort|kmeans|redis|all)\n"
+              tok;
+            exit 2)
+      (String.split_on_char ',' s)
+
+let run_drill sys prefetch app_str local_mb scale seed shards replication
+    kill_shard detect_us recover_after_us json_file verbose =
+  let system = to_system sys prefetch in
+  let apps = drill_apps_of_string app_str in
+  if replication < 1 || shards < replication then begin
+    Printf.eprintf "dilos_sim: need 1 <= replication <= shards\n";
+    exit 2
+  end;
+  if kill_shard < 0 || kill_shard >= Int.max shards replication then begin
+    Printf.eprintf "dilos_sim: --kill-shard out of range\n";
+    exit 2
+  end;
+  let recover_after =
+    match recover_after_us with
+    | None -> None
+    | Some us -> Some (Sim.Time.us us)
+  in
+  Printf.printf "system:    %s\n" (H.system_name system);
+  Printf.printf "replicas:  %d shards, replication %d, kill shard %d\n" shards
+    replication kill_shard;
+  let results =
+    List.map
+      (fun app ->
+        let r =
+          try
+            Apps.Drill.run ~system ~app ?scale
+              ~local_mem:(local_mb * 1024 * 1024) ~seed ~shards ~replication
+              ~kill_shard
+              ~detect:(Sim.Time.us detect_us)
+              ?recover_after ()
+          with
+          | Dilos.Kernel.Page_lost addr | Fastswap.Kernel.Page_lost addr ->
+            Printf.eprintf
+              "dilos_sim: page at 0x%Lx irrecoverably lost (every replica \
+               dead)\n"
+              addr;
+            exit exit_page_lost
+        in
+        Format.printf "  %a@." Apps.Drill.pp r;
+        if verbose then print_string (Apps.Drill.to_json r);
+        r)
+      apps
+  in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Apps.Drill.report_json results));
+      Printf.printf "report:    %s\n" file);
+  if List.exists (fun r -> not r.Apps.Drill.r_match) results then begin
+    Printf.eprintf "dilos_sim: drill digest MISMATCH — data diverged\n";
+    exit 1
+  end
+
+let drill_cmd =
+  let system =
+    Arg.(value & opt system_conv S_dilos & info [ "s"; "system" ] ~doc:"Memory system.")
+  in
+  let prefetch =
+    Arg.(
+      value
+      & opt prefetch_conv Dilos.Kernel.Readahead
+      & info [ "p"; "prefetch" ] ~doc:"DiLOS prefetcher (none|readahead|trend).")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "a"; "app" ] ~docv:"APPS"
+          ~doc:
+            "Comma-separated drill kernels (seq|quicksort|kmeans|redis), or \
+             $(b,all).")
+  in
+  let local_mb =
+    Arg.(value & opt int 1 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale" ] ~doc:"Workload size override (per-app default otherwise).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Drives the workload, the kill instant and the fault RNG.")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Memnode shard instances.")
+  in
+  let replication =
+    Arg.(value & opt int 2 & info [ "replication" ] ~doc:"Copies per page.")
+  in
+  let kill_shard =
+    Arg.(value & opt int 0 & info [ "kill-shard" ] ~doc:"Shard to kill.")
+  in
+  let detect_us =
+    Arg.(
+      value & opt int 50
+      & info [ "detect-us" ]
+          ~doc:
+            "Failure-detection outage: a blackout window of this many \
+             microseconds starts at the kill instant.")
+  in
+  let recover_after_us =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recover-after-us" ]
+          ~doc:
+            "Also restart the killed shard this many simulated microseconds \
+             after the kill and re-replicate in the background.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the drill report as JSON. Deterministic: same seed, \
+             byte-identical file (CI cmps a double run).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-app JSON.")
+  in
+  let term =
+    Term.(
+      const run_drill $ system $ prefetch $ app_arg $ local_mb $ scale $ seed
+      $ shards $ replication $ kill_shard $ detect_us $ recover_after_us
+      $ json_file $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "drill"
+       ~doc:
+         "Recovery drill: run a kernel on a replicated memory node, kill a \
+          shard at a seeded instant, verify the result is bit-identical to a \
+          failure-free run, and report failover/recovery metrics")
+    term
+
 let () =
   let doc = "DiLOS memory-disaggregation simulator" in
   (* [run] is also the default command, so
      `dilos_sim.exe --app quicksort --trace t.json` works without the
      subcommand name. *)
-  exit (Cmd.eval (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc) [ run_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc)
+          [ run_cmd; serve_cmd; drill_cmd ]))

@@ -19,4 +19,15 @@ dune exec bin/dilos_lint.exe -- --format=json lib bin bench > lint_findings.json
 echo "== dune runtest"
 dune runtest
 
+echo "== drill smoke"
+# Seeded recovery drill through the CLI, run twice: the digest must
+# match the failure-free run (exit code) and the JSON report must be
+# byte-identical across runs.
+dune exec bin/dilos_sim.exe -- drill --app seq --seed 42 \
+  --recover-after-us 200 --json drill_report.json > /dev/null
+dune exec bin/dilos_sim.exe -- drill --app seq --seed 42 \
+  --recover-after-us 200 --json drill_repeat.json > /dev/null
+cmp drill_report.json drill_repeat.json
+rm -f drill_repeat.json
+
 echo "== OK"

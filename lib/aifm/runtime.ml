@@ -280,7 +280,12 @@ let rec chunk_bytes t o ci ~write =
   | CLocal b ->
       if write && not c.dirty then c.dirty <- true;
       charge t Dilos.Params.mem_access_ns;
-      b
+      (* [charge] may flush pending time and sleep; the evacuator can
+         write the chunk back and drop it in that window, orphaning
+         [b]. Only hand the buffer out if it is still installed. *)
+      (match c.data with
+      | CLocal b' when b' == b -> b
+      | CLocal _ | CFetching _ | CRemote -> chunk_bytes t o ci ~write)
   | CFetching _ ->
       (* flush_pending may sleep; the fetch can complete during that
          sleep, so re-read the state before parking on the waiter
@@ -306,14 +311,17 @@ let rec chunk_bytes t o ci ~write =
 
 (* Whole-chunk overwrite: no need to fetch the stale remote copy
    (AIFM's dirty-allocate path for full-object stores). *)
-let chunk_full_write t o ci =
+let rec chunk_full_write t o ci =
   let c = o.chunks.(ci) in
   c.hot <- true;
   match c.data with
   | CLocal b ->
       c.dirty <- true;
       charge t Dilos.Params.mem_access_ns;
-      b
+      (* Same evacuation-during-flush hazard as [chunk_bytes]. *)
+      (match c.data with
+      | CLocal b' when b' == b -> b
+      | CLocal _ | CFetching _ | CRemote -> chunk_full_write t o ci)
   | CFetching _ -> chunk_bytes t o ci ~write:true
   | CRemote ->
       let b = Sim.Bigbuf.create c.len (* zeroed *) in

@@ -192,13 +192,29 @@ let instance_shutdown = function
   | I_aifm k -> Aifm.Runtime.shutdown k
 
 let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ ?fault_spec
-    ?(fault_seed = 1) ?observe f =
+    ?(fault_seed = 1) ?(shards = 1) ?(replication = 1) ?observe f =
   let eng = Sim.Engine.create () in
   let size = Option.value ~default:(Int64.shift_left 1L 36) remote_size in
   let faults =
     Option.map (fun spec -> Faults.Plan.make ~seed:fault_seed spec) fault_spec
   in
-  let server = Memnode.Server.create ~eng ~size ?faults () in
+  let has_drill =
+    match fault_spec with Some s -> Faults.Spec.has_drill s | None -> false
+  in
+  let server =
+    (* The single-node path stays byte-for-byte the old one — the
+       goldens pin it — so replication is engaged only when asked. *)
+    if shards > 1 || replication > 1 || has_drill then
+      Memnode.Server.create_replicated ~eng ~size
+        ~config:
+          {
+            Memnode.Replica_group.default_config with
+            shards = Int.max shards replication;
+            replication;
+          }
+        ?faults ()
+    else Memnode.Server.create ~eng ~size ?faults ()
+  in
   let instance = boot system ~eng ~server ~local_mem ~cores in
   let stats = instance_stats instance in
   let bw = Rdma.Fabric.bandwidth (instance_fabric instance) in

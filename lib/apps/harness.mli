@@ -44,6 +44,8 @@ val run :
   ?bw_bucket:Sim.Time.t ->
   ?fault_spec:Faults.Spec.t ->
   ?fault_seed:int ->
+  ?shards:int ->
+  ?replication:int ->
   ?observe:(ctx -> unit) ->
   (ctx -> 'a) ->
   'a result
@@ -51,9 +53,13 @@ val run :
     shut down, and report. [elapsed] excludes boot. [fault_spec] (with
     [fault_seed], default 1) attaches a deterministic fault-injection
     campaign to the fabric — see {!Faults.Spec.parse} for the scenario
-    language. [observe] runs between boot and workload start, with the
-    run's engine and stats in hand — the attach point for a tracer or
-    an interval metrics sampler. *)
+    language. [shards] / [replication] (default 1/1) put a
+    {!Memnode.Replica_group} behind the memory node; the group is also
+    engaged automatically when [fault_spec] carries a kill/recover
+    drill schedule. The plain single-node path is untouched otherwise,
+    keeping golden outputs bit-identical. [observe] runs between boot
+    and workload start, with the run's engine and stats in hand — the
+    attach point for a tracer or an interval metrics sampler. *)
 
 val set_redis_guide : ctx -> Dilos.Guide.prefetch_guide -> unit
 (** Install an app-aware prefetch guide if (and only if) the instance

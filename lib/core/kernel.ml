@@ -19,6 +19,12 @@ let default_config =
 
 exception Segmentation_fault of int64
 
+exception Page_lost of int64
+(* A demand fetch failed [Params.fault_refetch_max] consecutive times:
+   the bytes behind this address are gone (every replica of the
+   backing shard is dead). Raised instead of blocking the faulting
+   core forever — data loss must surface, not hang. *)
+
 let tlb_entries = 64
 let tlb_mask = tlb_entries - 1
 
@@ -539,6 +545,7 @@ let major_fault t cs vpn pte =
         pf_flow := flow;
         post_prefetch_window t ~core:cs.core_id ~flow prepared
   end;
+  let refetches = ref 0 in
   let rec await () =
     if not !completed then
       Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
@@ -547,6 +554,10 @@ let major_fault t cs vpn pte =
       Sim.Stats.cincr t.hot.c_fetch_retries;
       failed := false;
       completed := false;
+      incr refetches;
+      (* Bounded: past the budget the page is declared lost (all
+         replicas of its shard dead) rather than spinning forever. *)
+      if !refetches >= Params.fault_refetch_max then raise (Page_lost base);
       Sim.Engine.sleep t.eng (Sim.Time.ns Params.fault_refetch_delay_ns);
       (* The pause before re-posting is retry overhead, same bucket as
          the QP's own backoff delays. *)
@@ -671,11 +682,18 @@ let frame_off_slow t cs vpn ~write =
   in
   loop ()
 
+(* [charge] may flush the pending-time accumulator, which sleeps the
+   fiber; the reclaimer can run in that window, evict the page, and
+   invalidate this very TLB slot. Re-validate the entry after charging
+   — returning the cached offset unconditionally would aim the access
+   at a freed (or re-allocated) frame and the store would be silently
+   lost when the page is next fetched. *)
 let page_off_for_read t cs vpn =
   let i = vpn land tlb_mask in
   if Array.unsafe_get cs.tlb_vpn i = vpn then begin
     charge t cs Params.mem_access_ns;
-    Array.unsafe_get cs.tlb_off i
+    if Array.unsafe_get cs.tlb_vpn i = vpn then Array.unsafe_get cs.tlb_off i
+    else frame_off_slow t cs vpn ~write:false
   end
   else frame_off_slow t cs vpn ~write:false
 
@@ -691,7 +709,8 @@ let page_off_for_write t cs vpn =
       charge t cs 5
     end;
     charge t cs Params.mem_access_ns;
-    Array.unsafe_get cs.tlb_off i
+    if Array.unsafe_get cs.tlb_vpn i = vpn then Array.unsafe_get cs.tlb_off i
+    else frame_off_slow t cs vpn ~write:true
   end
   else frame_off_slow t cs vpn ~write:true
 

@@ -31,6 +31,12 @@ type t
 
 exception Segmentation_fault of int64
 
+exception Page_lost of int64
+(** A demand fetch for this address failed
+    {!Params.fault_refetch_max} consecutive times — e.g. every replica
+    of the page's shard is dead. Carries the faulting page's base
+    address. *)
+
 (** [boot ~eng ~server cfg] starts the LibOS. [nic_config] overrides
     the fabric's latency model — used by the NVMe-far-memory ablation
     (§5.1: "DiLOS' design would be valid for NVMe drives"). *)

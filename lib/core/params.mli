@@ -110,6 +110,12 @@ val fault_refetch_delay_ns : int
 (** Pause before a kernel re-posts a demand fetch whose RDMA work
     request failed permanently (exhausted the QP retry budget). *)
 
+val fault_refetch_max : int
+(** Consecutive permanent failures of the same demand fetch after
+    which the kernel gives up and raises [Page_lost] — the page's
+    bytes are unreachable (e.g. every replica of the backing shard is
+    dead), so blocking forever would hide real data loss. *)
+
 (** {1 Compatibility / baselines} *)
 
 val tcp_emulation_delay : Sim.Time.t

@@ -5,6 +5,11 @@ let default_config =
 
 exception Segmentation_fault of int64
 
+exception Page_lost of int64
+(* Same contract as [Dilos.Kernel.Page_lost]: the demand fetch failed
+   [Dilos.Params.fault_refetch_max] consecutive times, so the page's
+   bytes are unreachable and re-faulting forever would hang. *)
+
 let tlb_entries = 64
 let tlb_mask = tlb_entries - 1
 let pending_cap_ns = 10_000
@@ -451,7 +456,7 @@ let map_from_cache t vpn entry =
   Hashtbl.replace t.swap_backed vpn ();
   lru_push t vpn
 
-let rec major_fault t cs vpn =
+let rec major_fault t cs vpn refetches =
   let t_start = Sim.Engine.now t.eng in
   Sim.Stats.cincr t.hot.c_major_faults;
   (* Swap-cache management: radix tree insertion, swap slot lookup,
@@ -469,7 +474,7 @@ let rec major_fault t cs vpn =
        the page in. Release our frame and retry through the normal
        dispatch. *)
     Vmem.Frame.free t.frames frame;
-    handle_fault_inner t cs vpn
+    handle_fault_inner t cs vpn 0
   end
   else begin
   let e = { Swap_cache.frame; io_inflight = true } in
@@ -519,8 +524,12 @@ let rec major_fault t cs vpn =
     Sim.Engine.suspend t.eng (fun wake -> waiter := Some wake);
   if !failed then begin
     Sim.Stats.cincr t.hot.c_fetch_retries;
+    (* Bounded re-fault: past the budget the page is declared lost
+       (all replicas of its shard dead) rather than spinning. *)
+    if refetches + 1 >= Dilos.Params.fault_refetch_max then
+      raise (Page_lost (Vmem.Addr.base vpn));
     Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fault_refetch_delay_ns);
-    handle_fault_inner t cs vpn
+    handle_fault_inner t cs vpn (refetches + 1)
   end
   else begin
   let fetch_end = Sim.Engine.now t.eng in
@@ -555,9 +564,9 @@ let rec major_fault t cs vpn =
 
 and handle_fault t cs vpn _pte_at_trap =
   Sim.Engine.sleep t.eng Vmem.Mmu.exception_cost;
-  handle_fault_inner t cs vpn
+  handle_fault_inner t cs vpn 0
 
-and handle_fault_inner t cs vpn =
+and handle_fault_inner t cs vpn refetches =
   let pte = Vmem.Page_table.get t.pt vpn in
   match Vmem.Pte.tag pte with
   | Vmem.Pte.Local -> ()
@@ -602,7 +611,7 @@ and handle_fault_inner t cs vpn =
               ();
           Sim.Histogram.add t.hot.h_minor_fault
             (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t0) + 570)
-      | None -> major_fault t cs vpn)
+      | None -> major_fault t cs vpn refetches)
 
 let frame_off_slow t cs vpn ~write =
   flush_core t cs;
@@ -622,11 +631,15 @@ let frame_off_slow t cs vpn ~write =
   in
   loop ()
 
+(* [charge] may flush pending time and sleep; reclaim can evict the
+   page and invalidate this TLB slot in that window, so re-validate the
+   entry after charging (see the matching comment in Dilos.Kernel). *)
 let page_off_for_read t cs vpn =
   let i = vpn land tlb_mask in
   if Array.unsafe_get cs.tlb_vpn i = vpn then begin
     charge t cs Dilos.Params.mem_access_ns;
-    Array.unsafe_get cs.tlb_off i
+    if Array.unsafe_get cs.tlb_vpn i = vpn then Array.unsafe_get cs.tlb_off i
+    else frame_off_slow t cs vpn ~write:false
   end
   else frame_off_slow t cs vpn ~write:false
 
@@ -648,7 +661,12 @@ let page_off_for_write t cs vpn =
       charge_dirtying t cs vpn
     end;
     charge t cs Dilos.Params.mem_access_ns;
-    Array.unsafe_get cs.tlb_off i
+    if Array.unsafe_get cs.tlb_vpn i = vpn then Array.unsafe_get cs.tlb_off i
+    else begin
+      let off = frame_off_slow t cs vpn ~write:true in
+      charge_dirtying t cs vpn;
+      off
+    end
   end
   else begin
     let off = frame_off_slow t cs vpn ~write:true in

@@ -23,6 +23,10 @@ type t
 
 exception Segmentation_fault of int64
 
+exception Page_lost of int64
+(** Same contract as {!Dilos.Kernel.Page_lost}: the demand fetch
+    failed {!Dilos.Params.fault_refetch_max} consecutive times. *)
+
 val boot : eng:Sim.Engine.t -> server:Memnode.Server.t -> config -> t
 val shutdown : t -> unit
 

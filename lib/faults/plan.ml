@@ -3,6 +3,18 @@ type t = { spec : Spec.t; rng : Sim.Rng.t }
 let make ~seed spec = { spec; rng = Sim.Rng.create seed }
 let spec t = t.spec
 let passthrough t = Spec.is_zero t.spec
+
+(* Scripted shard events, in firing order. Sorting here (time, then
+   shard id) makes the drill schedule independent of spec-token
+   order, so "kill-shard=1@5ms,kill-shard=0@2ms" replays the same as
+   the reverse spelling. *)
+let drill_schedule evts =
+  List.map (fun (id, at) -> (id, Sim.Time.ns at)) evts
+  |> List.sort (fun (ia, ta) (ib, tb) ->
+         match Int64.compare ta tb with 0 -> Int.compare ia ib | c -> c)
+
+let kills t = drill_schedule t.spec.Spec.kills
+let recovers t = drill_schedule t.spec.Spec.recovers
 let timeout t = Sim.Time.ns t.spec.Spec.timeout_ns
 let max_retries t = t.spec.Spec.max_retries
 

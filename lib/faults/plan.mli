@@ -14,7 +14,16 @@ val make : seed:int -> Spec.t -> t
 val spec : t -> Spec.t
 
 val passthrough : t -> bool
-(** The plan can never inject anything; callers skip it entirely. *)
+(** The plan can never inject a {e wire} fault; the QP skips it
+    entirely. Scripted shard kills ({!kills}) do not count — they are
+    served by the memnode replica group, off the wire path. *)
+
+val kills : t -> (int * Sim.Time.t) list
+(** Scripted shard deaths, sorted by (instant, shard id) so the
+    schedule is independent of spec-token order. *)
+
+val recovers : t -> (int * Sim.Time.t) list
+(** Scripted shard rebirths, same ordering contract as {!kills}. *)
 
 type wire = {
   w_completion : Sim.Time.t;  (** possibly NACK-delayed / stall-deferred *)

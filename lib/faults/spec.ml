@@ -10,6 +10,8 @@ type t = {
   blackouts : (int * int) list;
   blackout_period_ns : int;
   blackout_len_ns : int;
+  kills : (int * int) list;
+  recovers : (int * int) list;
 }
 
 let zero =
@@ -25,11 +27,19 @@ let zero =
     blackouts = [];
     blackout_period_ns = 0;
     blackout_len_ns = 0;
+    kills = [];
+    recovers = [];
   }
 
+(* Kill/recover verbs deliberately do NOT count: they act on the
+   memory node (replica routing), not the wire, so a kill-only spec
+   keeps the QP on its healthy passthrough path until the shard
+   actually dies. *)
 let is_zero t =
   t.error_rate = 0.0 && t.duplicate_rate = 0.0 && t.nack_rate = 0.0
   && t.blackouts = [] && t.blackout_period_ns = 0
+
+let has_drill t = t.kills <> [] || t.recovers <> []
 
 (* Injected rates are clamped so that every attempt retains a real
    chance of success: campaigns must terminate — degraded, never
@@ -155,6 +165,25 @@ let apply_token spec tok =
           | "blackout-every" ->
               dur (fun d -> { spec with blackout_period_ns = d })
           | "blackout-len" -> dur (fun d -> { spec with blackout_len_ns = d })
+          | "kill-shard" | "recover-shard" -> (
+              (* ID@T: shard index @ simulated instant. Repeatable, so
+                 a drill can script several deaths and rebirths. *)
+              match String.index_opt v '@' with
+              | None ->
+                  Error
+                    (Printf.sprintf "%s wants ID@T (e.g. %s=0@5ms)" key key)
+              | Some j -> (
+                  let id_s = String.sub v 0 j in
+                  let at_s = String.sub v (j + 1) (String.length v - j - 1) in
+                  match (int_of_string_opt id_s, parse_duration_ns at_s) with
+                  | Some id, Ok at when id >= 0 ->
+                      if String.equal key "kill-shard" then
+                        Ok { spec with kills = (id, at) :: spec.kills }
+                      else Ok { spec with recovers = (id, at) :: spec.recovers }
+                  | Some _, Ok _ ->
+                      Error (Printf.sprintf "negative shard id %S" id_s)
+                  | None, _ -> Error (Printf.sprintf "bad shard id %S" id_s)
+                  | _, Error m -> Error m))
           | _ -> Error (Printf.sprintf "unknown fault spec key %S" key)))
 
 let parse s =
@@ -189,12 +218,16 @@ let parse s =
   end
 
 let pp ppf t =
-  if is_zero t then Format.fprintf ppf "none"
-  else
+  if is_zero t && not (has_drill t) then Format.fprintf ppf "none"
+  else begin
     Format.fprintf ppf
       "err=%.3g dup=%.3g nack=%.3g nack-delay=%dns timeout=%dns retries=%d \
        backoff=%d..%dns blackouts=%d periodic=%d/%dns"
       t.error_rate t.duplicate_rate t.nack_rate t.nack_delay_ns t.timeout_ns
       t.max_retries t.backoff_ns t.backoff_max_ns
       (List.length t.blackouts)
-      t.blackout_len_ns t.blackout_period_ns
+      t.blackout_len_ns t.blackout_period_ns;
+    if has_drill t then
+      Format.fprintf ppf " kills=%d recovers=%d" (List.length t.kills)
+        (List.length t.recovers)
+  end

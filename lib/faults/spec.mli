@@ -23,13 +23,23 @@ type t = {
       (** one-shot memory-node stall windows, (start_ns, len_ns) *)
   blackout_period_ns : int;  (** periodic stall period; 0 disables *)
   blackout_len_ns : int;  (** periodic stall length *)
+  kills : (int * int) list;
+      (** scripted shard deaths, (shard_id, at_ns); acted on by the
+          memnode replica group, not the wire *)
+  recovers : (int * int) list;  (** scripted shard rebirths, (shard_id, at_ns) *)
 }
 
 val zero : t
 (** No injection; recovery knobs at their defaults. *)
 
 val is_zero : t -> bool
-(** No fault will ever be injected (all rates zero, no blackouts). *)
+(** No {e wire} fault will ever be injected (all rates zero, no
+    blackouts). Deliberately ignores {!field-kills}/{!field-recovers}:
+    those act on replica routing inside the memory node, so a
+    kill-only spec keeps the QP on its healthy passthrough path. *)
+
+val has_drill : t -> bool
+(** At least one scripted [kill-shard]/[recover-shard] event. *)
 
 val max_rate : float
 (** Rates are clamped to this ceiling so every attempt keeps a real
@@ -45,7 +55,8 @@ val parse : string -> (t, string) result
     [blackout], [meltdown]) and/or comma-separated [key=value] tokens
     — [err], [dup], [nack], [nack-delay], [timeout], [retries],
     [backoff], [backoff-max], [blackout=LEN\@START] (repeatable),
-    [blackout-every], [blackout-len]. Durations accept [ns]/[us]/[ms]/
+    [blackout-every], [blackout-len], [kill-shard=ID\@T] and
+    [recover-shard=ID\@T] (both repeatable). Durations accept [ns]/[us]/[ms]/
     [s] suffixes (bare numbers are ns). Later tokens override earlier
     ones, so ["flaky,err=0.2"] works. Rates are clamped to
     {!max_rate}. *)

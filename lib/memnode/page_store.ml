@@ -77,6 +77,32 @@ let write_bytes t ~addr ~src ~off ~len =
 
 let resident_blocks t = t.resident
 
+(* Model a shard process dying with its DRAM: zero only the touched
+   blocks (the slab's untouched extent is already zero) and forget
+   them, so a recovered shard starts from fresh memory and must be
+   re-replicated. *)
+let reset t =
+  let nbits = Bytes.length t.touched * 8 in
+  for idx = 0 to nbits - 1 do
+    let byte = idx lsr 3 and bit = 1 lsl (idx land 7) in
+    if Char.code (Bytes.unsafe_get t.touched byte) land bit <> 0 then begin
+      let off = idx * block_size in
+      let len = Int.min block_size (Int64.to_int t.size - off) in
+      Sim.Bigbuf.fill t.slab ~off ~len '\000'
+    end
+  done;
+  Bytes.fill t.touched 0 (Bytes.length t.touched) '\000';
+  t.resident <- 0
+
+(* Ascending block order — deterministic, so resync queues built from
+   it replay bit-identically. *)
+let iter_touched t f =
+  let nbits = Bytes.length t.touched * 8 in
+  for idx = 0 to nbits - 1 do
+    let byte = idx lsr 3 and bit = 1 lsl (idx land 7) in
+    if Char.code (Bytes.unsafe_get t.touched byte) land bit <> 0 then f idx
+  done
+
 let target t =
   {
     Rdma.Qp.t_read = (fun addr dst off len -> read t ~addr ~dst ~off ~len);

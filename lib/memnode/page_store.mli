@@ -29,5 +29,14 @@ val write_bytes : t -> addr:int64 -> src:Bytes.t -> off:int -> len:int -> unit
 val resident_blocks : t -> int
 (** Number of 4 KiB blocks written so far (diagnostic). *)
 
+val reset : t -> unit
+(** Forget everything: zero all touched blocks and clear the
+    residency bitmap — the store reads as fresh DRAM again. Models a
+    shard process dying with its memory (see [Replica_group]). *)
+
+val iter_touched : t -> (int -> unit) -> unit
+(** Iterate the indices of touched 4 KiB blocks in ascending order
+    (deterministic, for resync enumeration). *)
+
 val target : t -> Rdma.Qp.target
 (** The one-sided access interface handed to the RNIC. *)

@@ -1,0 +1,501 @@
+(* Primary/backup page replication across memnode shards.
+
+   Pages are striped by virtual page number: page [p]'s primary is
+   shard [p mod shards] and its K-1 backups follow round-robin. The
+   group exposes ONE [Rdma.Qp.target] to the fabric — the computing
+   node keeps the single flat address space the paper's memory node
+   offers — and resolves every byte range to replica stores at
+   completion time:
+
+   - READs are served by the primary; if it is dead (or still
+     resyncing the page), the first surviving synced backup serves
+     instead. No live synced replica left means the bytes are gone:
+     {!Rdma.Qp.Unreachable} propagates the loss loudly.
+
+   - WRITEs are acknowledged only once applied to every live synced
+     replica of the page (chain-replication ack semantics, mirrored
+     synchronously at the WR's completion instant). Mirroring is
+     granule-diffed: only sub-page granules whose bytes actually
+     changed travel to the backups, which is what bounds replication
+     write-amplification (ROADMAP item 5) — the traffic is counted in
+     the [repl_*] stats, with wire time priced through {!Rdma.Nic}.
+
+   - A killed shard loses its DRAM ([Page_store.reset]); recovery
+     marks it syncing and a background fiber re-copies every page it
+     should hold from surviving replicas, pacing itself to the resync
+     bandwidth budget. Pages with no surviving source stay missing
+     (counted in [repl_lost_pages]) rather than silently serving
+     zeros. *)
+
+module Buf = Sim.Bigbuf
+
+let page_size = 4096
+let page_shift = 12
+
+type config = {
+  shards : int;
+  replication : int;
+  granule : int;  (** dirty-diff granule, bytes; divides 4096 *)
+  resync_budget_bytes : int;  (** resync bytes allowed per interval *)
+  resync_interval : Sim.Time.t;
+}
+
+let default_config =
+  {
+    shards = 2;
+    replication = 2;
+    granule = 256;
+    (* 256 KiB / 100 us = 2.56 GB/s of recovery traffic: fast enough
+       that drills finish, slow enough that recovery time is visible
+       next to failover latency. *)
+    resync_budget_bytes = 256 * 1024;
+    resync_interval = Sim.Time.us 100;
+  }
+
+type hstats = {
+  c_kills : Sim.Stats.counter;
+  c_recovers : Sim.Stats.counter;
+  c_failover_reads : Sim.Stats.counter;
+  c_failover_ns : Sim.Stats.counter;
+  c_mirror_writes : Sim.Stats.counter;
+  c_mirror_bytes : Sim.Stats.counter;
+  c_mirror_ns : Sim.Stats.counter;
+  c_granules_dirty : Sim.Stats.counter;
+  c_granules_clean : Sim.Stats.counter;
+  c_resync_pages : Sim.Stats.counter;
+  c_resync_bytes : Sim.Stats.counter;
+  c_recovery_ns : Sim.Stats.counter;
+  c_lost_pages : Sim.Stats.counter;
+}
+
+type shard = {
+  idx : int;
+  store : Page_store.t;
+  trk : int;
+  mutable alive : bool;
+  mutable syncing : bool;
+  mutable epoch : int;  (* bumped on kill AND recover; fences stale fibers *)
+  mutable killed_at : Sim.Time.t;
+  mutable recovered_at : Sim.Time.t;
+  mutable failover_pending : bool;
+  missed : (int, unit) Hashtbl.t;  (* membership only; never iterated *)
+  missed_q : int Queue.t;  (* deterministic resync order *)
+  mutable tombstones : int list;
+      (* pages this shard held when it died, sorted ascending. Survivors'
+         bitmaps cannot reconstruct these at RF=1 (nobody else ever held
+         them), and "nobody remembers the page" must read as loss, not as
+         fresh zeros — so the corpse itself carries the list. *)
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  size : int64;
+  cfg : config;
+  shards : shard array;
+  nic : Rdma.Nic.t;  (* prices mirror/backup wire time (accounting) *)
+  scratch : Buf.t;  (* one page, for diff bases and resync copies *)
+  mutable stats : hstats option;
+  mutable timers : Sim.Engine.timer list;
+  mutable interval_resync : int;  (* bytes resynced in the current interval *)
+  mutable max_interval_resync : int;
+}
+
+let cat_memnode = Trace.category "memnode"
+
+let shards t = t.cfg.shards
+let replication t = t.cfg.replication
+let size t = t.size
+let config t = t.cfg
+let store t i = t.shards.(i).store
+let alive t i = t.shards.(i).alive
+let syncing t i = t.shards.(i).syncing
+let max_resync_bytes_per_interval t = t.max_interval_resync
+
+let attach_stats t st =
+  t.stats <-
+    Some
+      {
+        c_kills = Sim.Stats.counter st "repl_kills";
+        c_recovers = Sim.Stats.counter st "repl_recovers";
+        c_failover_reads = Sim.Stats.counter st "repl_failover_reads";
+        c_failover_ns = Sim.Stats.counter st "repl_failover_latency_ns";
+        c_mirror_writes = Sim.Stats.counter st "repl_mirror_writes";
+        c_mirror_bytes = Sim.Stats.counter st "repl_mirror_bytes";
+        c_mirror_ns = Sim.Stats.counter st "repl_mirror_ns";
+        c_granules_dirty = Sim.Stats.counter st "repl_granules_dirty";
+        c_granules_clean = Sim.Stats.counter st "repl_granules_clean";
+        c_resync_pages = Sim.Stats.counter st "repl_resync_pages";
+        c_resync_bytes = Sim.Stats.counter st "repl_resync_bytes";
+        c_recovery_ns = Sim.Stats.counter st "repl_recovery_ns";
+        c_lost_pages = Sim.Stats.counter st "repl_lost_pages";
+      }
+
+let scount t sel =
+  match t.stats with None -> () | Some h -> Sim.Stats.cincr (sel h)
+
+let sadd t sel n =
+  match t.stats with None -> () | Some h -> Sim.Stats.cadd (sel h) n
+
+(* -- routing ------------------------------------------------------ *)
+
+let vpn_of addr = Int64.to_int (Int64.shift_right_logical addr page_shift)
+
+(* Replica [i] of page [vpn]; [i = 0] is the primary. *)
+let replica t vpn i = t.shards.((vpn + i) mod t.cfg.shards)
+
+(* A shard serves page [vpn] iff it is alive and has the page's bytes:
+   while resyncing, only pages already re-copied qualify. *)
+let serves s vpn = s.alive && ((not s.syncing) || not (Hashtbl.mem s.missed vpn))
+
+(* First live synced replica of [vpn], recording failover telemetry
+   for every freshly-dead shard the walk has to skip. *)
+let serving_replica t vpn addr ~is_read =
+  let rec go i =
+    if i >= t.cfg.replication then raise (Rdma.Qp.Unreachable addr)
+    else begin
+      let s = replica t vpn i in
+      if serves s vpn then begin
+        if i > 0 && is_read then scount t (fun h -> h.c_failover_reads);
+        s
+      end
+      else begin
+        if s.failover_pending then begin
+          (* First request redirected past this corpse: the gap since
+             the kill is the observed failover latency. *)
+          s.failover_pending <- false;
+          sadd t
+            (fun h -> h.c_failover_ns)
+            (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) s.killed_at))
+        end;
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
+(* -- kill / recover ----------------------------------------------- *)
+
+let kill t idx =
+  let s = t.shards.(idx) in
+  if s.alive then begin
+    s.alive <- false;
+    s.syncing <- false;
+    s.epoch <- s.epoch + 1;
+    s.killed_at <- Sim.Engine.now t.eng;
+    s.failover_pending <- true;
+    (* Tombstones: everything the shard held (or still owed from an
+       earlier death) at this instant. sort_uniq also erases the
+       Hashtbl's iteration order, keeping recovery deterministic. *)
+    let dead = ref s.tombstones in
+    Hashtbl.iter (fun vpn () -> dead := vpn :: !dead) s.missed;
+    Page_store.iter_touched s.store (fun vpn ->
+        if not (Hashtbl.mem s.missed vpn) then dead := vpn :: !dead);
+    s.tombstones <- List.sort_uniq Int.compare !dead;
+    Hashtbl.reset s.missed;
+    Queue.clear s.missed_q;
+    (* The process died with its DRAM: the store really forgets. *)
+    Page_store.reset s.store;
+    scount t (fun h -> h.c_kills);
+    if Trace.enabled cat_memnode then
+      Trace.instant cat_memnode ~name:"shard_kill" ~track:s.trk ()
+  end
+
+(* Copy one page into [s] from its first surviving synced source;
+   false if every other replica of the page is gone too. *)
+let resync_page t s vpn =
+  let rec source i =
+    if i >= t.cfg.replication then None
+    else
+      let q = replica t vpn i in
+      if q.idx <> s.idx && serves q vpn then Some q else source (i + 1)
+  in
+  match source 0 with
+  | None -> false
+  | Some q ->
+      let addr = Int64.shift_left (Int64.of_int vpn) page_shift in
+      Page_store.read q.store ~addr ~dst:t.scratch ~off:0 ~len:page_size;
+      Page_store.write s.store ~addr ~src:t.scratch ~off:0 ~len:page_size;
+      true
+
+let finish_sync t s =
+  s.syncing <- false;
+  sadd t
+    (fun h -> h.c_recovery_ns)
+    (Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) s.recovered_at));
+  if Trace.enabled cat_memnode then
+    Trace.instant cat_memnode ~name:"shard_synced" ~track:s.trk ()
+
+let resync_fiber t s epoch () =
+  let budget = t.cfg.resync_budget_bytes in
+  let live () = s.epoch = epoch && s.alive in
+  while live () && not (Queue.is_empty s.missed_q) do
+    let vpn = Queue.pop s.missed_q in
+    if Hashtbl.mem s.missed vpn then begin
+      if resync_page t s vpn then begin
+        Hashtbl.remove s.missed vpn;
+        scount t (fun h -> h.c_resync_pages);
+        sadd t (fun h -> h.c_resync_bytes) page_size;
+        t.interval_resync <- t.interval_resync + page_size;
+        if t.interval_resync > t.max_interval_resync then
+          t.max_interval_resync <- t.interval_resync;
+        if t.interval_resync >= budget then begin
+          (* Bandwidth meter: the re-replication stream yields the
+             fabric once it has moved its per-interval allowance. *)
+          t.interval_resync <- 0;
+          Sim.Engine.sleep t.eng t.cfg.resync_interval
+        end
+      end
+      else
+        (* No surviving source: the page is lost for good. It stays in
+           [missed] so this shard keeps refusing to serve it — zeros
+           would be silent corruption. *)
+        scount t (fun h -> h.c_lost_pages)
+    end
+  done;
+  if live () && Hashtbl.length s.missed = 0 then finish_sync t s
+
+let recover t idx =
+  let s = t.shards.(idx) in
+  if not s.alive then begin
+    s.alive <- true;
+    s.syncing <- true;
+    s.epoch <- s.epoch + 1;
+    s.recovered_at <- Sim.Engine.now t.eng;
+    (* No read ever had to route around this shard; drop the pending
+       failover-latency measurement rather than charging recovery. *)
+    s.failover_pending <- false;
+    scount t (fun h -> h.c_recovers);
+    if Trace.enabled cat_memnode then
+      Trace.instant cat_memnode ~name:"shard_recover" ~track:s.trk ();
+    (* Everything this shard should hold lives on the survivors'
+       residency bitmaps (writes only ever land on replica members).
+       Ascending shard then ascending block keeps the queue order — and
+       hence resync completion times — deterministic. *)
+    Array.iter
+      (fun q ->
+        if q.idx <> idx && q.alive then
+          Page_store.iter_touched q.store (fun vpn ->
+              let member =
+                let rec mem i =
+                  i < t.cfg.replication
+                  && ((replica t vpn i).idx = idx || mem (i + 1))
+                in
+                mem 0
+              in
+              if member && serves q vpn && not (Hashtbl.mem s.missed vpn)
+              then begin
+                Hashtbl.add s.missed vpn ();
+                Queue.push vpn s.missed_q
+              end))
+      t.shards;
+    (* Pages only the corpse remembered (every replica dead, or RF=1):
+       queue them too, so the resync fiber either finds a source that
+       came back in the meantime or counts them lost — and the shard
+       keeps refusing them instead of serving fresh zeros. *)
+    List.iter
+      (fun vpn ->
+        if not (Hashtbl.mem s.missed vpn) then begin
+          Hashtbl.add s.missed vpn ();
+          Queue.push vpn s.missed_q
+        end)
+      s.tombstones;
+    s.tombstones <- [];
+    if Queue.is_empty s.missed_q then finish_sync t s
+    else
+      Sim.Engine.spawn t.eng ~name:"repl.resync" (resync_fiber t s s.epoch)
+  end
+
+let cancel_drill t =
+  List.iter Sim.Engine.cancel t.timers;
+  t.timers <- []
+
+(* -- data path ---------------------------------------------------- *)
+
+let check t addr len =
+  if len < 0 then invalid_arg "Replica_group: negative length";
+  if
+    Int64.compare addr 0L < 0
+    || Int64.compare (Int64.add addr (Int64.of_int len)) t.size > 0
+  then
+    invalid_arg
+      (Printf.sprintf "Replica_group: range [0x%Lx,+%d) out of bounds" addr len)
+
+(* Split [addr, addr+len) at page boundaries and apply [f addr off len]
+   to each in-page chunk. *)
+let iter_chunks addr len off f =
+  let rec go addr off len =
+    if len > 0 then begin
+      let in_page = page_size - Int64.to_int (Int64.logand addr 4095L) in
+      let n = Int.min len in_page in
+      f addr off n;
+      go (Int64.add addr (Int64.of_int n)) (off + n) (len - n)
+    end
+  in
+  go addr off len
+
+let read t addr dst off len =
+  check t addr len;
+  iter_chunks addr len off (fun addr off len ->
+      let s = serving_replica t (vpn_of addr) addr ~is_read:true in
+      if Trace.enabled cat_memnode then
+        Trace.instant cat_memnode ~name:"page_read" ~track:s.trk
+          ~args:[ ("len", Trace.I len) ]
+          ();
+      Page_store.read s.store ~addr ~dst ~off ~len)
+
+(* One in-page write chunk: diff against the authoritative copy in
+   granule units, apply only dirty runs to every live synced replica,
+   and account the backup traffic. *)
+let write_chunk t addr src off len =
+  let vpn = vpn_of addr in
+  let auth = serving_replica t vpn addr ~is_read:false in
+  if Trace.enabled cat_memnode then
+    Trace.instant cat_memnode ~name:"page_write" ~track:auth.trk
+      ~args:[ ("len", Trace.I len) ]
+      ();
+  if t.cfg.replication = 1 then
+    (* Single copy: no mirror traffic to bound, write straight through. *)
+    Page_store.write auth.store ~addr ~src ~off ~len
+  else begin
+    let g = t.cfg.granule in
+    let page_base = Int64.logand addr (Int64.lognot 4095L) in
+    let start = Int64.to_int (Int64.sub addr page_base) in
+    (* Current authoritative bytes of the written span, as diff base. *)
+    Page_store.read auth.store ~addr ~dst:t.scratch ~off:start ~len;
+    let copies = ref 0 in
+    let rec count_serving i =
+      if i < t.cfg.replication then begin
+        if serves (replica t vpn i) vpn then incr copies;
+        count_serving (i + 1)
+      end
+    in
+    count_serving 0;
+    let dirty_bytes = ref 0 and dirty_runs = ref 0 in
+    let apply_run p0 p1 =
+      (* [p0, p1): a maximal run of dirty granules, clipped to the
+         written span; lands on every live synced replica so an ack
+         always means K-way durability among the living. *)
+      incr dirty_runs;
+      dirty_bytes := !dirty_bytes + (p1 - p0);
+      let run_addr = Int64.add page_base (Int64.of_int p0) in
+      let run_off = off + (p0 - start) in
+      let rec put i =
+        if i < t.cfg.replication then begin
+          let s = replica t vpn i in
+          if serves s vpn then
+            Page_store.write s.store ~addr:run_addr ~src ~off:run_off
+              ~len:(p1 - p0);
+          put (i + 1)
+        end
+      in
+      put 0
+    in
+    let fin = start + len in
+    let g_first = start / g and g_last = (fin - 1) / g in
+    let run_start = ref (-1) in
+    for gi = g_first to g_last do
+      let p0 = Int.max start (gi * g) and p1 = Int.min fin ((gi + 1) * g) in
+      let dirty =
+        not
+          (Buf.equal_range src ~a_off:(off + (p0 - start)) t.scratch ~b_off:p0
+             ~len:(p1 - p0))
+      in
+      if dirty then begin
+        scount t (fun h -> h.c_granules_dirty);
+        if !run_start < 0 then run_start := p0
+      end
+      else begin
+        scount t (fun h -> h.c_granules_clean);
+        if !run_start >= 0 then begin
+          apply_run !run_start p0;
+          run_start := -1
+        end
+      end
+    done;
+    if !run_start >= 0 then apply_run !run_start fin;
+    if !dirty_runs > 0 then begin
+      (* Backup copies: the primary's write is already priced by the
+         QP; each additional live replica pays one more wire trip. *)
+      let backups = Int.max 0 (!copies - 1) in
+      if backups > 0 then begin
+        sadd t (fun h -> h.c_mirror_writes) backups;
+        sadd t (fun h -> h.c_mirror_bytes) (!dirty_bytes * backups);
+        let wire =
+          Rdma.Nic.latency t.nic Rdma.Nic.Write ~bytes_:!dirty_bytes
+            ~segments:!dirty_runs ~huge_pages:true
+        in
+        sadd t (fun h -> h.c_mirror_ns) (Int64.to_int wire * backups)
+      end
+    end
+  end
+
+let write t addr src off len =
+  check t addr len;
+  iter_chunks addr len off (fun addr off len -> write_chunk t addr src off len)
+
+let target t =
+  {
+    Rdma.Qp.t_read = (fun addr buf off len -> read t addr buf off len);
+    t_write = (fun addr buf off len -> write t addr buf off len);
+  }
+
+let create ~eng ~size ?(config = default_config) ?faults () =
+  let cfg = config in
+  if cfg.shards < 1 then invalid_arg "Replica_group: shards must be >= 1";
+  if cfg.replication < 1 || cfg.replication > cfg.shards then
+    invalid_arg "Replica_group: replication must be in [1, shards]";
+  if cfg.granule < 8 || page_size mod cfg.granule <> 0 then
+    invalid_arg "Replica_group: granule must divide 4096 (and be >= 8)";
+  if cfg.resync_budget_bytes < page_size then
+    invalid_arg "Replica_group: resync budget below one page";
+  let shards =
+    Array.init cfg.shards (fun idx ->
+        {
+          idx;
+          store = Page_store.create ~size;
+          trk = Trace.track (Printf.sprintf "memnode/shard%d" idx);
+          alive = true;
+          syncing = false;
+          epoch = 0;
+          killed_at = Sim.Time.zero;
+          recovered_at = Sim.Time.zero;
+          failover_pending = false;
+          missed = Hashtbl.create 64;
+          missed_q = Queue.create ();
+          tombstones = [];
+        })
+  in
+  let t =
+    {
+      eng;
+      size;
+      cfg;
+      shards;
+      nic = Rdma.Nic.create ();
+      scratch = Buf.create page_size;
+      stats = None;
+      timers = [];
+      interval_resync = 0;
+      max_interval_resync = 0;
+    }
+  in
+  (* Scripted drill schedule: the spec's instants are plain data
+     (seeded by whoever built the spec), armed as cancellable engine
+     timers here. *)
+  (match faults with
+  | None -> ()
+  | Some plan ->
+      let arm evts act =
+        List.iter
+          (fun (id, at) ->
+            if id < 0 || id >= cfg.shards then
+              invalid_arg
+                (Printf.sprintf "Replica_group: drill names shard %d of %d" id
+                   cfg.shards);
+            t.timers <-
+              Sim.Engine.timer_at eng at (fun () -> act t id) :: t.timers)
+          evts
+      in
+      arm (Faults.Plan.kills plan) kill;
+      arm (Faults.Plan.recovers plan) recover);
+  t

@@ -1,45 +1,89 @@
+(* A server is the connect point the computing node dials: either one
+   addressable shard instance (the paper's single memory node) or a
+   whole replica group presented behind the same flat target. The
+   single-shard path is byte-for-byte the pre-replication code — the
+   goldens pin that down. *)
+
+type backend = Single of Page_store.t | Group of Replica_group.t
+
 type t = {
   eng : Sim.Engine.t;
-  store : Page_store.t;
+  backend : backend;
+  shard_id : int;
+  trk : int;
   huge_pages : bool;
   faults : Faults.Plan.t option;
 }
 
-let create ~eng ~size ?(huge_pages = true) ?faults () =
-  { eng; store = Page_store.create ~size; huge_pages; faults }
-
 let cat_memnode = Trace.category "memnode"
-let trk_memnode = Trace.track "memnode"
+
+let track_of shard_id =
+  if shard_id = 0 then Trace.track "memnode"
+  else Trace.track (Printf.sprintf "memnode/shard%d" shard_id)
+
+let create ~eng ~size ?(huge_pages = true) ?(shard_id = 0) ?faults () =
+  if shard_id < 0 then invalid_arg "Server.create: negative shard id";
+  {
+    eng;
+    backend = Single (Page_store.create ~size);
+    shard_id;
+    trk = track_of shard_id;
+    huge_pages;
+    faults;
+  }
+
+let create_replicated ~eng ~size ?(huge_pages = true)
+    ?(config = Replica_group.default_config) ?faults () =
+  {
+    eng;
+    backend = Group (Replica_group.create ~eng ~size ~config ?faults ());
+    shard_id = 0;
+    trk = track_of 0;
+    huge_pages;
+    faults;
+  }
 
 (* One-sided accesses leave no software trace on the memory node — the
    RNIC serves them against registered memory (§5). The instants below
    are the observability stand-in for a bus analyzer on that node:
    they mark the store-side copy at completion time. *)
-let traced_target store =
+let traced_target trk store =
   let base = Page_store.target store in
   {
     Rdma.Qp.t_read =
       (fun raddr buf off len ->
         if Trace.enabled cat_memnode then
-          Trace.instant cat_memnode ~name:"page_read" ~track:trk_memnode
+          Trace.instant cat_memnode ~name:"page_read" ~track:trk
             ~args:[ ("len", Trace.I len) ]
             ();
         base.Rdma.Qp.t_read raddr buf off len);
     t_write =
       (fun raddr buf off len ->
         if Trace.enabled cat_memnode then
-          Trace.instant cat_memnode ~name:"page_write" ~track:trk_memnode
+          Trace.instant cat_memnode ~name:"page_write" ~track:trk
             ~args:[ ("len", Trace.I len) ]
             ();
         base.Rdma.Qp.t_write raddr buf off len);
   }
 
+let target t =
+  match t.backend with
+  | Single store -> traced_target t.trk store
+  | Group g -> Replica_group.target g (* per-shard instants inside *)
+
+let size t =
+  match t.backend with
+  | Single store -> Page_store.size store
+  | Group g -> Replica_group.size g
+
 let connect t ?nic_config ?extra_completion_delay ?stats ?bw_bucket () =
+  (match (t.backend, stats) with
+  | Group g, Some st -> Replica_group.attach_stats g st
+  | (Group _ | Single _), _ -> ());
   let fabric =
     Rdma.Fabric.connect ~eng:t.eng ?nic_config ?faults:t.faults
-      ~huge_pages:t.huge_pages
-      ?extra_completion_delay ?stats ?bw_bucket
-      ~target:(traced_target t.store) ~size:(Page_store.size t.store) ()
+      ~huge_pages:t.huge_pages ?extra_completion_delay ?stats ?bw_bucket
+      ~target:(target t) ~size:(size t) ()
   in
   (* Control path: one virtio round trip per connection. Advancing the
      clock here is fine because connection setup happens before any
@@ -49,5 +93,10 @@ let connect t ?nic_config ?extra_completion_delay ?stats ?bw_bucket () =
     (fun () -> ());
   fabric
 
-let store t = t.store
-let size t = Page_store.size t.store
+let store t =
+  match t.backend with
+  | Single store -> store
+  | Group g -> Replica_group.store g 0
+
+let shard_id t = t.shard_id
+let group t = match t.backend with Group g -> Some g | Single _ -> None

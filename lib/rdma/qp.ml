@@ -5,6 +5,15 @@ type target = {
   t_write : int64 -> Buf.t -> int -> int -> unit;
 }
 
+(* Raised by a target when no replica of the addressed page is alive
+   (see [Memnode.Replica_group]): the RNIC's RC connection to the
+   remote region is gone and no amount of wire-level retransmission
+   can bring the bytes back. The QP surfaces it through the work
+   request's [on_error] (counted as a permanent failure); a caller
+   that supplied none gets the exception re-raised, which aborts the
+   simulation run — losing a page silently is never an option. *)
+exception Unreachable of int64
+
 let cat_rdma = Trace.category "rdma"
 let op_name = function Nic.Read -> "read" | Nic.Write -> "write"
 
@@ -78,6 +87,7 @@ and comp = {
   mutable c_release_snap : bool;
   mutable c_t0 : Sim.Time.t;
   mutable c_on_complete : unit -> unit;
+  mutable c_on_error : (unit -> unit) option;
   mutable c_fn : unit -> unit;
 }
 
@@ -93,6 +103,7 @@ and extent = {
   mutable e_seq0 : int; (* engine seq reserved for page 0 *)
   mutable e_t0 : Sim.Time.t; (* post instant, for per-page spans *)
   mutable e_on_page : int -> unit;
+  mutable e_on_err : (int -> unit) option;
   mutable e_fn : unit -> unit;
 }
 
@@ -227,21 +238,31 @@ let comp_fire c =
   let t = c.c_qp in
   t.inflight <- t.inflight - 1;
   meter t c.c_op c.c_bytes;
+  let unreachable =
+    try
+      (match c.c_op with
+      | Nic.Read ->
+          List.iter
+            (fun s -> t.target.t_read s.raddr c.c_buf s.loff s.len)
+            c.c_segs
+      | Nic.Write ->
+          let snap = c.c_snap and base = c.c_snap_base in
+          List.iter
+            (fun s -> t.target.t_write s.raddr snap (s.loff - base) s.len)
+            c.c_segs);
+      None
+    with Unreachable _ as exn -> Some exn
+  in
   (match c.c_op with
-  | Nic.Read ->
-      List.iter (fun s -> t.target.t_read s.raddr c.c_buf s.loff s.len) c.c_segs
-  | Nic.Write ->
-      let snap = c.c_snap and base = c.c_snap_base in
-      List.iter
-        (fun s -> t.target.t_write s.raddr snap (s.loff - base) s.len)
-        c.c_segs;
-      if c.c_release_snap then snap_release t snap);
+  | Nic.Write -> if c.c_release_snap then snap_release t c.c_snap
+  | Nic.Read -> ());
   if Trace.enabled cat_rdma then
     Trace.complete cat_rdma ~name:(op_name c.c_op) ~track:t.trk ~t0:c.c_t0
       ~async:true
       ~args:[ ("bytes", Trace.I c.c_bytes); ("segments", Trace.I c.c_segments) ]
       ();
   let k = c.c_on_complete in
+  let kerr = c.c_on_error in
   (* Scrub payload references and recycle before invoking the
      continuation, so a continuation that posts a new WR can reuse
      this very record. *)
@@ -249,6 +270,7 @@ let comp_fire c =
   c.c_buf <- empty_buf;
   c.c_snap <- empty_buf;
   c.c_on_complete <- ignore;
+  c.c_on_error <- None;
   let cap = Array.length t.comp_pool in
   if t.comp_len = cap then begin
     let np = Array.make (if cap = 0 then 8 else cap * 2) c in
@@ -257,7 +279,13 @@ let comp_fire c =
   end;
   t.comp_pool.(t.comp_len) <- c;
   t.comp_len <- t.comp_len + 1;
-  k ()
+  match unreachable with
+  | None -> k ()
+  | Some exn -> (
+      fcount t (fun h -> h.c_perm_failures);
+      if Trace.enabled cat_rdma then
+        Trace.instant cat_rdma ~name:"unreachable" ~track:t.trk ();
+      match kerr with Some fail -> fail () | None -> raise exn)
 
 let comp_take t =
   if t.comp_len = 0 then begin
@@ -274,6 +302,7 @@ let comp_take t =
         c_release_snap = false;
         c_t0 = Sim.Time.zero;
         c_on_complete = ignore;
+        c_on_error = None;
         c_fn = ignore;
       }
     in
@@ -291,7 +320,21 @@ let extent_fire e =
   t.inflight <- t.inflight - 1;
   meter t Nic.Read page_size;
   let raddr = Int64.add e.e_raddr0 (Int64.of_int (i * page_size)) in
-  t.target.t_read raddr e.e_buf e.e_offs.(i) page_size;
+  let unreachable =
+    (* A dead replica set fails only this page; the chained siblings
+       still complete (mirroring [post_read_batch]'s independence). *)
+    try
+      t.target.t_read raddr e.e_buf e.e_offs.(i) page_size;
+      None
+    with Unreachable _ as exn -> (
+      match e.e_on_err with
+      | None -> raise exn
+      | Some _ ->
+          fcount t (fun h -> h.c_perm_failures);
+          if Trace.enabled cat_rdma then
+            Trace.instant cat_rdma ~name:"unreachable" ~track:t.trk ();
+          Some exn)
+  in
   if Trace.enabled cat_rdma then
     Trace.complete cat_rdma ~name:"read" ~track:t.trk ~t0:e.e_t0 ~async:true
       ~args:[ ("bytes", Trace.I page_size); ("segments", Trace.I 1) ]
@@ -304,13 +347,17 @@ let extent_fire e =
        after the first), so the chained hop re-arms arithmetically. *)
     e.e_comp <- Sim.Time.add e.e_comp e.e_occ;
     Sim.Engine.at_reserved t.eng ~seq:(e.e_seq0 + next) e.e_comp e.e_fn;
-    e.e_on_page i
+    match unreachable with
+    | None -> e.e_on_page i
+    | Some _ -> ( match e.e_on_err with Some f -> f i | None -> ())
   end
   else begin
     let k = e.e_on_page in
+    let kerr = e.e_on_err in
     e.e_buf <- empty_buf;
     e.e_offs <- [||];
     e.e_on_page <- ignore_page;
+    e.e_on_err <- None;
     let cap = Array.length t.ext_pool in
     if t.ext_len = cap then begin
       let np = Array.make (if cap = 0 then 4 else cap * 2) e in
@@ -319,7 +366,9 @@ let extent_fire e =
     end;
     t.ext_pool.(t.ext_len) <- e;
     t.ext_len <- t.ext_len + 1;
-    k i
+    match unreachable with
+    | None -> k i
+    | Some _ -> ( match kerr with Some f -> f i | None -> ())
   end
 
 let ext_take t =
@@ -337,6 +386,7 @@ let ext_take t =
         e_seq0 = 0;
         e_t0 = Sim.Time.zero;
         e_on_page = ignore_page;
+        e_on_err = None;
         e_fn = ignore;
       }
     in
@@ -432,24 +482,38 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
         else begin
           t.inflight <- t.inflight - 1;
           meter t op bytes_;
-          transfer ();
-          (match fa with
-          | Some a ->
-              a.Trace.fa_queue_ns <- a.Trace.fa_queue_ns + dns start began;
-              a.Trace.fa_wire_ns <-
-                a.Trace.fa_wire_ns + dns w.Faults.Plan.w_completion start
-          | None -> ());
-          if Trace.enabled cat_rdma then
-            Trace.complete cat_rdma ~name:(op_name op) ~track:t.trk ~t0:began
-              ~async:true
-              ~args:
-                [
-                  ("bytes", Trace.I bytes_);
-                  ("segments", Trace.I segments);
-                  ("try", Trace.I try_no);
-                ]
-              ();
-          on_complete ()
+          match
+            try
+              transfer ();
+              None
+            with Unreachable _ as exn -> Some exn
+          with
+          | Some exn -> (
+              (* The wire delivered, but the replica set is gone:
+                 retrying cannot help, so skip the backoff ladder and
+                 surface a permanent failure immediately. *)
+              fcount t (fun h -> h.c_perm_failures);
+              if Trace.enabled cat_rdma then
+                Trace.instant cat_rdma ~name:"unreachable" ~track:t.trk ();
+              match on_error with Some fail -> fail () | None -> raise exn)
+          | None ->
+              (match fa with
+              | Some a ->
+                  a.Trace.fa_queue_ns <- a.Trace.fa_queue_ns + dns start began;
+                  a.Trace.fa_wire_ns <-
+                    a.Trace.fa_wire_ns + dns w.Faults.Plan.w_completion start
+              | None -> ());
+              if Trace.enabled cat_rdma then
+                Trace.complete cat_rdma ~name:(op_name op) ~track:t.trk
+                  ~t0:began ~async:true
+                  ~args:
+                    [
+                      ("bytes", Trace.I bytes_);
+                      ("segments", Trace.I segments);
+                      ("try", Trace.I try_no);
+                    ]
+                  ();
+              on_complete ()
         end)
   in
   let timeout_at = Sim.Time.add start (Faults.Plan.timeout plan) in
@@ -526,6 +590,7 @@ let post ?on_error ?fa t op ~segs ~buf ~snap ~snap_base ~release_snap
       c.c_release_snap <- release_snap;
       c.c_t0 <- now;
       c.c_on_complete <- on_complete;
+      c.c_on_error <- on_error;
       Sim.Engine.at t.eng completion c.c_fn
 
 let post_read ?on_error ?fa t ~segs ~buf ~on_complete =
@@ -605,6 +670,7 @@ let post_read_batch t wrs =
             c.c_release_snap <- false;
             c.c_t0 <- now;
             c.c_on_complete <- wr.r_on_complete;
+            c.c_on_error <- wr.r_on_error;
             Sim.Engine.at t.eng completion c.c_fn)
           wrs
   end
@@ -708,6 +774,10 @@ let post_read_pages t ~raddr0 ~buf ~offs ~count ~on_page ~on_page_error =
           c.c_release_snap <- false;
           c.c_t0 <- now;
           c.c_on_complete <- (fun () -> on_page i);
+          (c.c_on_error <-
+             (match on_page_error with
+             | None -> None
+             | Some f -> Some (fun () -> f i)));
           Sim.Engine.at t.eng completion c.c_fn
         done
       else begin
@@ -735,6 +805,7 @@ let post_read_pages t ~raddr0 ~buf ~offs ~count ~on_page ~on_page_error =
         e.e_seq0 <- seq0;
         e.e_t0 <- now;
         e.e_on_page <- on_page;
+        e.e_on_err <- on_page_error;
         Sim.Engine.at_reserved t.eng ~seq:seq0 comp0 e.e_fn
       end
 

@@ -30,6 +30,15 @@ type seg = { raddr : int64; loff : int; len : int }
 (** One scatter/gather element: remote address, offset into the local
     buffer, and length. *)
 
+exception Unreachable of int64
+(** Raised by a {!target} when no replica of the addressed page is
+    alive (see [Memnode.Replica_group]). Unlike a wire fault this is
+    not retryable: the QP counts it under [rdma_perm_failures] and
+    fires the work request's [on_error] immediately — on the healthy
+    path too, where wire faults never occur. A WR posted without
+    [on_error] re-raises instead, aborting the simulation run: losing
+    a page silently is never an option. *)
+
 type t
 
 val create :

@@ -109,6 +109,35 @@ let fill t ~off ~len c =
   check t off len;
   if len > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub t off len) c
 
+(* Range equality in 8-byte strides (memcmp stand-in); feeds the
+   replica group's granule diffing, so it must not allocate. *)
+let equal_range a ~a_off b ~b_off ~len =
+  check a a_off len;
+  check b b_off len;
+  let words = len lsr 3 in
+  let eq = ref true in
+  let i = ref 0 in
+  while !eq && !i < words do
+    if
+      not
+        (Int64.equal
+           (unsafe_get64 a (a_off + (!i lsl 3)))
+           (unsafe_get64 b (b_off + (!i lsl 3))))
+    then eq := false;
+    incr i
+  done;
+  let j = ref (words lsl 3) in
+  while !eq && !j < len do
+    if
+      not
+        (Char.equal
+           (Bigarray.Array1.unsafe_get a (a_off + !j))
+           (Bigarray.Array1.unsafe_get b (b_off + !j)))
+    then eq := false;
+    incr j
+  done;
+  !eq
+
 (* Slab-to-slab copy: two O(1) views plus one memcpy. *)
 let blit src ~src_off dst ~dst_off ~len =
   check src src_off len;

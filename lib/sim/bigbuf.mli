@@ -45,6 +45,10 @@ val unsafe_set_u64_le : t -> int -> int64 -> unit
 
 val fill : t -> off:int -> len:int -> char -> unit
 
+val equal_range : t -> a_off:int -> t -> b_off:int -> len:int -> bool
+(** [equal_range a ~a_off b ~b_off ~len]: byte equality of the two
+    ranges, without allocating (8-byte strides + tail). *)
+
 val blit : t -> src_off:int -> t -> dst_off:int -> len:int -> unit
 (** [blit src ~src_off dst ~dst_off ~len] copies slab-to-slab
     (memcpy; ranges must not overlap). *)

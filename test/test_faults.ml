@@ -270,13 +270,27 @@ let campaign system spec seed =
   check_bool "sorted" true r.H.value.Apps.Quicksort.checked;
   (r.H.elapsed, Sim.Stats.counters r.H.run_stats)
 
+(* The flaky campaigns must actually exercise the recovery machinery,
+   not just complete: errors were injected, every errored attempt was
+   retried (each retry sleeps a backoff interval), NACK delays were
+   paid, and none of it ever surfaced to the kernel. *)
+let assert_recovery_exercised name c =
+  let get k = try List.assoc k c with Not_found -> 0 in
+  check_bool (name ^ ": completion errors injected") true
+    (get "rdma_comp_errors" > 0);
+  check_bool (name ^ ": errored attempts retried (with backoff)") true
+    (get "rdma_retries" > 0);
+  check_bool (name ^ ": NACK retransmission delays paid") true
+    (get "rdma_retrans_delays" > 0);
+  check_int (name ^ ": nothing failed permanently") 0
+    (get "rdma_perm_failures")
+
 let run_determinism () =
   let e1, c1 = campaign (H.Dilos Dilos.Kernel.Readahead) Spec.flaky 21 in
   let e2, c2 = campaign (H.Dilos Dilos.Kernel.Readahead) Spec.flaky 21 in
   check_i64 "same elapsed" e1 e2;
   Alcotest.(check (list (pair string int))) "same counters" c1 c2;
-  check_bool "faults actually injected" true
-    (List.assoc "rdma_comp_errors" c1 > 0);
+  assert_recovery_exercised "dilos" c1;
   let e3, _ = campaign (H.Dilos Dilos.Kernel.Readahead) Spec.flaky 22 in
   check_bool "different seed perturbs the run" true (not (Int64.equal e1 e3))
 
@@ -284,7 +298,8 @@ let run_fastswap_determinism () =
   let e1, c1 = campaign H.Fastswap Spec.flaky 21 in
   let e2, c2 = campaign H.Fastswap Spec.flaky 21 in
   check_i64 "same elapsed" e1 e2;
-  Alcotest.(check (list (pair string int))) "same counters" c1 c2
+  Alcotest.(check (list (pair string int))) "same counters" c1 c2;
+  assert_recovery_exercised "fastswap" c1
 
 let zero_spec_is_bit_identical () =
   (* A zero-rate spec must take the passthrough code path: bit-identical

@@ -17,6 +17,8 @@ let () =
       ("units", Test_units.suite);
       ("vmem-model", Test_vmem_model.suite);
       ("faults", Test_faults.suite);
+      ("replication", Test_replication.suite);
+      ("drill", Test_drill.suite);
       ("soak", Test_soak.suite);
       ("trace", Test_trace.suite);
       ("bigbuf-extent", Test_bigbuf_extent.suite);

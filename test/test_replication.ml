@@ -1,0 +1,479 @@
+(* Replication + scripted recovery: Memnode.Replica_group.
+
+   Unit tests pin the contract piece by piece (mirroring, granule
+   diffing, failover routing, resync pacing, drill scheduling); the
+   qcheck test at the bottom drives a replicated group through random
+   interleavings of writes, kills and recoveries and checks it against
+   a plain Bytes model — after any such interleaving, every
+   last-acknowledged byte must still be served as long as each page
+   kept at least one surviving synced replica (which the generator
+   guarantees by never overlapping failures). *)
+
+open Util
+module Rg = Memnode.Replica_group
+module Buf = Sim.Bigbuf
+
+let page = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Harness: a group + private stats sink, inside a sim fiber. *)
+
+let mk ~eng ?(shards = 2) ?(replication = 2) ?(granule = 256)
+    ?(budget = 256 * 1024) ?(interval = Sim.Time.us 100) ?faults
+    ?(pages = 64) () =
+  let cfg =
+    {
+      Rg.shards;
+      replication;
+      granule;
+      resync_budget_bytes = budget;
+      resync_interval = interval;
+    }
+  in
+  let g =
+    Rg.create ~eng ~size:(Int64.of_int (pages * page)) ~config:cfg ?faults ()
+  in
+  let st = Sim.Stats.create () in
+  Rg.attach_stats g st;
+  (g, st)
+
+(* Deterministic byte pattern, keyed by absolute address + seed. *)
+let pat seed addr = (((addr * 131) lxor (seed * 2654435761)) land 0xff : int)
+
+let write_pat g ~seed ~addr ~len =
+  let b = Buf.create len in
+  for i = 0 to len - 1 do
+    Buf.set_u8 b i (pat seed (addr + i))
+  done;
+  (Rg.target g).Rdma.Qp.t_write (Int64.of_int addr) b 0 len
+
+let read_back g ~addr ~len =
+  let b = Buf.create len in
+  (Rg.target g).Rdma.Qp.t_read (Int64.of_int addr) b 0 len;
+  b
+
+let check_pat name g ~seed ~addr ~len =
+  let b = read_back g ~addr ~len in
+  for i = 0 to len - 1 do
+    if not (Int.equal (Buf.get_u8 b i) (pat seed (addr + i))) then
+      Alcotest.failf "%s: byte %d of [%#x,+%d) diverged (%d, want %d)" name i
+        addr len (Buf.get_u8 b i)
+        (pat seed (addr + i))
+  done
+
+let shard_bytes g i ~addr ~len =
+  let b = Bytes.create len in
+  Memnode.Page_store.read_bytes (Rg.store g i) ~addr:(Int64.of_int addr)
+    ~dst:b ~off:0 ~len;
+  b
+
+let stat st name = Sim.Stats.get st name
+
+(* ------------------------------------------------------------------ *)
+(* Spec / plan surface for the drill verbs. *)
+
+let parse_ok s =
+  match Faults.Spec.parse s with
+  | Ok spec -> spec
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let drill_tokens_parse () =
+  let s = parse_ok "kill-shard=1@3ms,recover-shard=0@1ms,kill-shard=0@200us" in
+  check_bool "has_drill" true (Faults.Spec.has_drill s);
+  (* Kill-only specs keep the wire on its healthy passthrough path. *)
+  check_bool "is_zero ignores drills" true (Faults.Spec.is_zero s);
+  check_int "kills parsed" 2 (List.length s.Faults.Spec.kills);
+  check_int "recovers parsed" 1 (List.length s.Faults.Spec.recovers);
+  let p = Faults.Plan.make ~seed:7 s in
+  (match Faults.Plan.kills p with
+  | [ (a, ta); (b, tb) ] ->
+      (* Sorted by instant regardless of token order. *)
+      check_int "first kill shard" 0 a;
+      check_i64 "first kill at" (Sim.Time.us 200) ta;
+      check_int "second kill shard" 1 b;
+      check_i64 "second kill at" (Sim.Time.ms 3) tb
+  | l -> Alcotest.failf "expected 2 kills, got %d" (List.length l));
+  match Faults.Plan.recovers p with
+  | [ (i, t) ] ->
+      check_int "recover shard" 0 i;
+      check_i64 "recover at" (Sim.Time.ms 1) t
+  | l -> Alcotest.failf "expected 1 recover, got %d" (List.length l)
+
+let drill_tokens_reject_garbage () =
+  let bad s =
+    match Faults.Spec.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "kill-shard=0";
+  bad "kill-shard=x@1us";
+  bad "kill-shard=0@";
+  bad "recover-shard=@5us";
+  bad "recover-shard=1@zebra";
+  bad "kill-shard=-1@1us"
+
+(* ------------------------------------------------------------------ *)
+(* Construction-time validation. *)
+
+let create_validates_config () =
+  run_sim (fun eng ->
+      let bad name f =
+        match f () with
+        | exception Invalid_argument _ -> ()
+        | (_ : Rg.t * Sim.Stats.t) ->
+            Alcotest.failf "%s: create unexpectedly succeeded" name
+      in
+      bad "replication > shards" (fun () ->
+          mk ~eng ~shards:2 ~replication:3 ());
+      bad "replication 0" (fun () -> mk ~eng ~replication:0 ());
+      bad "shards 0" (fun () -> mk ~eng ~shards:0 ~replication:1 ());
+      bad "granule not dividing page" (fun () -> mk ~eng ~granule:7 ());
+      bad "granule too small" (fun () -> mk ~eng ~granule:4 ());
+      bad "budget below a page" (fun () -> mk ~eng ~budget:100 ());
+      bad "drill names shard out of range" (fun () ->
+          let faults = Faults.Plan.make ~seed:1 (parse_ok "kill-shard=5@1ms") in
+          mk ~eng ~faults ()))
+
+(* ------------------------------------------------------------------ *)
+(* Write mirroring + granule diffing. *)
+
+let writes_mirror_to_all_replicas () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      (* Two pages => both primaries exercised. *)
+      write_pat g ~seed:3 ~addr:0 ~len:(2 * page);
+      (* RF=2 over 2 shards: every page lives on both stores. *)
+      for shard = 0 to 1 do
+        let b = shard_bytes g shard ~addr:0 ~len:(2 * page) in
+        for i = 0 to (2 * page) - 1 do
+          if not (Int.equal (Char.code (Bytes.get b i)) (pat 3 i)) then
+            Alcotest.failf "shard %d missing mirrored byte %d" shard i
+        done
+      done;
+      check_bool "mirror writes counted" true (stat st "repl_mirror_writes" > 0);
+      check_int "mirror bytes = one backup copy" (2 * page)
+        (stat st "repl_mirror_bytes");
+      check_bool "mirror latency priced" true (stat st "repl_mirror_ns" > 0))
+
+let granule_diff_bounds_mirror_traffic () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:9 ~addr:0 ~len:page;
+      check_int "fresh page: all granules dirty" (page / 256)
+        (stat st "repl_granules_dirty");
+      check_int "fresh page: none clean" 0 (stat st "repl_granules_clean");
+      (* Rewrite the page with exactly one granule changed. *)
+      let b = read_back g ~addr:0 ~len:page in
+      Buf.set_u8 b 512 (1 + Buf.get_u8 b 512);
+      (Rg.target g).Rdma.Qp.t_write 0L b 0 page;
+      check_int "rewrite: one dirty granule" ((page / 256) + 1)
+        (stat st "repl_granules_dirty");
+      check_int "rewrite: rest clean" ((page / 256) - 1)
+        (stat st "repl_granules_clean");
+      check_int "mirror traffic = page + one granule" (page + 256)
+        (stat st "repl_mirror_bytes"))
+
+let read_serves_written_bytes () =
+  run_sim (fun eng ->
+      let g, _ = mk ~eng () in
+      (* Deliberately unaligned, page-crossing range. *)
+      write_pat g ~seed:5 ~addr:(page - 100) ~len:(page + 200);
+      check_pat "cross-page" g ~seed:5 ~addr:(page - 100) ~len:(page + 200))
+
+(* ------------------------------------------------------------------ *)
+(* Kill / failover. *)
+
+let failover_serves_last_acked_bytes () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:11 ~addr:0 ~len:(8 * page);
+      Rg.kill g 0;
+      check_bool "shard 0 dead" false (Rg.alive g 0);
+      check_pat "after kill" g ~seed:11 ~addr:0 ~len:(8 * page);
+      check_int "one kill" 1 (stat st "repl_kills");
+      (* Pages whose primary was shard 0 were redirected. *)
+      check_bool "failover reads counted" true
+        (stat st "repl_failover_reads" > 0))
+
+let failover_latency_recorded_once () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:2 ~addr:0 ~len:page;
+      Rg.kill g 0;
+      Sim.Engine.sleep eng (Sim.Time.us 7);
+      (* Page 0's primary is the dead shard 0: redirected. *)
+      check_pat "first redirected read" g ~seed:2 ~addr:0 ~len:page;
+      check_int "failover latency = detection gap" 7_000
+        (stat st "repl_failover_latency_ns");
+      Sim.Engine.sleep eng (Sim.Time.us 50);
+      check_pat "second read" g ~seed:2 ~addr:0 ~len:page;
+      check_int "latency recorded once" 7_000
+        (stat st "repl_failover_latency_ns"))
+
+let rf1_kill_is_unreachable () =
+  run_sim (fun eng ->
+      let g, _ = mk ~eng ~shards:2 ~replication:1 () in
+      write_pat g ~seed:1 ~addr:0 ~len:page;
+      (* RF=1: page 0 lives only on its primary, shard 0. *)
+      Rg.kill g 0;
+      match read_back g ~addr:0 ~len:page with
+      | exception Rdma.Qp.Unreachable a -> check_i64 "faulting addr" 0L a
+      | _ -> Alcotest.fail "read of a dead RF=1 page served bytes")
+
+let double_kill_is_unreachable () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:1 ~addr:0 ~len:page;
+      Rg.kill g 0;
+      Rg.kill g 0;
+      (* idempotent while dead *)
+      check_int "re-kill not double counted" 1 (stat st "repl_kills");
+      Rg.kill g 1;
+      check_int "two real kills" 2 (stat st "repl_kills");
+      (match read_back g ~addr:0 ~len:page with
+      | exception Rdma.Qp.Unreachable _ -> ()
+      | _ -> Alcotest.fail "read with zero live replicas served bytes");
+      (* Writes with no live replica must refuse the ack too. *)
+      match write_pat g ~seed:4 ~addr:0 ~len:page with
+      | exception Rdma.Qp.Unreachable _ -> ()
+      | () -> Alcotest.fail "write with zero live replicas was acked")
+
+(* ------------------------------------------------------------------ *)
+(* Recovery / resync. *)
+
+let resync_restores_replication_factor () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:8 ~addr:0 ~len:(16 * page);
+      Rg.kill g 0;
+      Rg.recover g 0;
+      check_bool "alive again" true (Rg.alive g 0);
+      check_bool "syncing after recover" true (Rg.syncing g 0);
+      (* Default budget (256 KiB / 100 us) moves 16 pages within a few
+         intervals; drain generously. *)
+      Sim.Engine.sleep eng (Sim.Time.ms 5);
+      check_bool "sync drained" false (Rg.syncing g 0);
+      check_int "one recover" 1 (stat st "repl_recovers");
+      check_int "all touched pages resynced" 16 (stat st "repl_resync_pages");
+      check_int "resync bytes" (16 * page) (stat st "repl_resync_bytes");
+      (* 64 KiB fits one 256 KiB budget interval, so recovery here is
+         legitimately instantaneous; the pacing case is pinned below. *)
+      check_int "sub-budget recovery is instantaneous" 0
+        (stat st "repl_recovery_ns");
+      check_int "nothing lost" 0 (stat st "repl_lost_pages");
+      (* Shard 0's own store holds its pages again... *)
+      let b = shard_bytes g 0 ~addr:0 ~len:(16 * page) in
+      for i = 0 to (16 * page) - 1 do
+        if not (Int.equal (Char.code (Bytes.get b i)) (pat 8 i)) then
+          Alcotest.failf "resynced store lost byte %d" i
+      done;
+      (* ...and survives the OTHER shard dying. *)
+      Rg.kill g 1;
+      check_pat "full RF restored" g ~seed:8 ~addr:0 ~len:(16 * page))
+
+let resync_respects_bandwidth_budget () =
+  run_sim (fun eng ->
+      (* Tight budget: 2 pages per 10 us, 48 pages to move. *)
+      let g, st =
+        mk ~eng ~budget:(2 * page) ~interval:(Sim.Time.us 10) ~pages:64 ()
+      in
+      write_pat g ~seed:6 ~addr:0 ~len:(48 * page);
+      Rg.kill g 0;
+      Rg.recover g 0;
+      Sim.Engine.sleep eng (Sim.Time.ms 5);
+      check_bool "sync drained" false (Rg.syncing g 0);
+      check_int "all pages moved" 48 (stat st "repl_resync_pages");
+      check_bool "budget honored" true
+        (Rg.max_resync_bytes_per_interval g <= 2 * page);
+      (* 48 pages at 2 pages/10us cannot finish faster than ~230 us. *)
+      check_bool "pacing actually stretched recovery" true
+        (stat st "repl_recovery_ns" >= 230_000))
+
+let mid_resync_reads_fail_over_not_stale () =
+  run_sim (fun eng ->
+      let g, st =
+        mk ~eng ~budget:page ~interval:(Sim.Time.us 100) ~pages:64 ()
+      in
+      write_pat g ~seed:12 ~addr:0 ~len:(32 * page);
+      Rg.kill g 0;
+      Rg.recover g 0;
+      (* Immediately after recover, shard 0 is alive but empty: reads
+         of its primaries must keep failing over, never serve zeros. *)
+      check_bool "still syncing" true (Rg.syncing g 0);
+      let before = stat st "repl_failover_reads" in
+      check_pat "mid-resync" g ~seed:12 ~addr:0 ~len:(32 * page);
+      check_bool "mid-resync reads redirected" true
+        (stat st "repl_failover_reads" > before))
+
+let lost_pages_stay_unserved () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng ~shards:2 ~replication:1 () in
+      write_pat g ~seed:14 ~addr:0 ~len:page;
+      (* Pages 0..: RF=1 primaries alternate; page 0 only on shard 0. *)
+      Rg.kill g 0;
+      Rg.recover g 0;
+      Sim.Engine.sleep eng (Sim.Time.ms 2);
+      check_bool "lost pages counted" true (stat st "repl_lost_pages" > 0);
+      (* The group must keep refusing, not resurrect the page as zeros. *)
+      match read_back g ~addr:0 ~len:page with
+      | exception Rdma.Qp.Unreachable _ -> ()
+      | _ -> Alcotest.fail "irrecoverable page served (stale or zero) bytes")
+
+let recover_is_idempotent_while_alive () =
+  run_sim (fun eng ->
+      let g, st = mk ~eng () in
+      write_pat g ~seed:4 ~addr:0 ~len:page;
+      Rg.recover g 0;
+      (* no-op: already alive *)
+      check_int "no spurious recover" 0 (stat st "repl_recovers");
+      check_bool "not syncing" false (Rg.syncing g 0);
+      check_pat "data intact" g ~seed:4 ~addr:0 ~len:page)
+
+(* ------------------------------------------------------------------ *)
+(* Scripted drills (timers from a fault plan). *)
+
+let scripted_drill_fires_on_schedule () =
+  run_sim (fun eng ->
+      let faults =
+        Faults.Plan.make ~seed:3
+          (parse_ok "kill-shard=0@20us,recover-shard=0@60us")
+      in
+      let g, st = mk ~eng ~faults () in
+      write_pat g ~seed:21 ~addr:0 ~len:(4 * page);
+      check_bool "alive before the kill instant" true (Rg.alive g 0);
+      Sim.Engine.sleep eng (Sim.Time.us 30);
+      check_bool "killed at +20us" false (Rg.alive g 0);
+      check_pat "degraded reads" g ~seed:21 ~addr:0 ~len:(4 * page);
+      Sim.Engine.sleep eng (Sim.Time.ms 2);
+      check_bool "recovered at +60us" true (Rg.alive g 0);
+      check_bool "resync drained" false (Rg.syncing g 0);
+      check_int "kills" 1 (stat st "repl_kills");
+      check_int "recovers" 1 (stat st "repl_recovers"))
+
+let cancel_drill_disarms_timers () =
+  run_sim (fun eng ->
+      let faults = Faults.Plan.make ~seed:3 (parse_ok "kill-shard=0@20us") in
+      let g, st = mk ~eng ~faults () in
+      Rg.cancel_drill g;
+      Sim.Engine.sleep eng (Sim.Time.us 100);
+      check_bool "still alive" true (Rg.alive g 0);
+      check_int "no kill fired" 0 (stat st "repl_kills"))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: replicated group vs a plain Bytes model. *)
+
+let q_pages = 16
+let q_size = q_pages * page
+
+type q_op =
+  | Q_write of int * int * int  (** off, len, seed *)
+  | Q_kill of int
+  | Q_recover of int
+  | Q_read of int * int  (** off, len *)
+
+let q_op_print = function
+  | Q_write (o, l, s) -> Printf.sprintf "Write(%#x,+%d,#%d)" o l s
+  | Q_kill i -> Printf.sprintf "Kill(%d)" i
+  | Q_recover i -> Printf.sprintf "Recover(%d)" i
+  | Q_read (o, l) -> Printf.sprintf "Read(%#x,+%d)" o l
+
+let q_op_gen =
+  QCheck.Gen.(
+    let off_len =
+      (* Bias towards page-crossing and granule-unaligned ranges. *)
+      map2
+        (fun o l -> (o mod (q_size - 1), 1 + (l mod (q_size / 2))))
+        (int_bound (q_size - 2))
+        (int_bound (q_size - 2))
+    in
+    frequency
+      [
+        (5, map2 (fun (o, l) s -> Q_write (o, min l (q_size - o), s)) off_len (int_bound 1000));
+        (1, map (fun i -> Q_kill i) (int_bound 1));
+        (1, map (fun i -> Q_recover i) (int_bound 1));
+        (3, map (fun (o, l) -> Q_read (o, min l (q_size - o))) off_len);
+      ])
+
+let replicated_group_agrees_with_bytes_model =
+  QCheck.Test.make ~name:"replica group serves every last-acknowledged byte"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 40) q_op_gen)
+       ~print:(fun l -> String.concat "; " (List.map q_op_print l)))
+    (fun ops ->
+      run_sim (fun eng ->
+          let g, _ = mk ~eng ~pages:q_pages () in
+          let model = Bytes.make q_size '\000' in
+          let alive = [| true; true |] in
+          (* Only fail a shard when the other is alive AND synced, so
+             every acknowledged byte always keeps a live copy. *)
+          let drain () = Sim.Engine.sleep eng (Sim.Time.ms 10) in
+          let check_range off len =
+            let b = read_back g ~addr:off ~len in
+            for i = 0 to len - 1 do
+              if not (Int.equal (Buf.get_u8 b i) (Char.code (Bytes.get model (off + i))))
+              then
+                QCheck.Test.fail_reportf
+                  "byte %#x diverged: group %d, model %d" (off + i)
+                  (Buf.get_u8 b i)
+                  (Char.code (Bytes.get model (off + i)))
+            done
+          in
+          List.iter
+            (fun op ->
+              match op with
+              | Q_write (off, len, seed) ->
+                  let b = Buf.create len in
+                  for i = 0 to len - 1 do
+                    let v = pat seed (off + i) in
+                    Buf.set_u8 b i v;
+                    Bytes.set model (off + i) (Char.chr v)
+                  done;
+                  (Rg.target g).Rdma.Qp.t_write (Int64.of_int off) b 0 len
+              | Q_kill i ->
+                  if alive.(i) && alive.(1 - i) && not (Rg.syncing g (1 - i))
+                  then begin
+                    Rg.kill g i;
+                    alive.(i) <- false
+                  end
+              | Q_recover i ->
+                  if not alive.(i) then begin
+                    Rg.recover g i;
+                    alive.(i) <- true;
+                    drain ()
+                  end
+              | Q_read (off, len) -> check_range off len)
+            ops;
+          (* Final full read-back: everything acked must still serve. *)
+          check_range 0 q_size;
+          true))
+
+let suite =
+  [
+    quick "drill tokens parse and schedule in time order" drill_tokens_parse;
+    quick "malformed drill tokens are rejected" drill_tokens_reject_garbage;
+    quick "create validates config and drill shard ids"
+      create_validates_config;
+    quick "writes mirror to every replica" writes_mirror_to_all_replicas;
+    quick "granule diff bounds mirror traffic"
+      granule_diff_bounds_mirror_traffic;
+    quick "reads serve written bytes across pages" read_serves_written_bytes;
+    quick "failover serves last-acknowledged bytes"
+      failover_serves_last_acked_bytes;
+    quick "failover latency recorded once per kill"
+      failover_latency_recorded_once;
+    quick "RF=1 kill surfaces Unreachable" rf1_kill_is_unreachable;
+    quick "double kill refuses reads and writes" double_kill_is_unreachable;
+    quick "resync restores the replication factor"
+      resync_restores_replication_factor;
+    quick "resync respects the bandwidth budget"
+      resync_respects_bandwidth_budget;
+    quick "mid-resync reads fail over, never serve stale"
+      mid_resync_reads_fail_over_not_stale;
+    quick "irrecoverable pages stay unserved" lost_pages_stay_unserved;
+    quick "recover of a live shard is a no-op"
+      recover_is_idempotent_while_alive;
+    quick "scripted drill fires on schedule" scripted_drill_fires_on_schedule;
+    quick "cancel_drill disarms pending timers" cancel_drill_disarms_timers;
+    QCheck_alcotest.to_alcotest replicated_group_agrees_with_bytes_model;
+  ]

@@ -73,8 +73,18 @@ let soak ~seed ~base ops =
 
 let local_mem = 64 * page (* a third of the region: constant churn *)
 
-let dilos_soak ?fault_spec ?fault_seed ~prefetch ~seed () =
-  with_dilos ~local_mem ~prefetch ?fault_spec ?fault_seed (fun _eng k ->
+(* For the shard-kill rows: prove the drill actually landed mid-run
+   (a kill scripted past the end of the run would make the row
+   vacuous) and that reads really were redirected to the backup. *)
+let assert_drill_landed st =
+  check_bool "shard kill fired mid-run" true (Sim.Stats.get st "repl_kills" > 0);
+  check_bool "reads failed over to the backup" true
+    (Sim.Stats.get st "repl_failover_reads" > 0)
+
+let dilos_soak ?fault_spec ?fault_seed ?shards ?replication
+    ?(expect_failover = false) ~prefetch ~seed () =
+  with_dilos ~local_mem ~prefetch ?fault_spec ?fault_seed ?shards ?replication
+    (fun _eng k ->
       let base = Dilos.Kernel.mmap k ~len:region ~ddc:true () in
       soak ~seed ~base
         {
@@ -83,10 +93,13 @@ let dilos_soak ?fault_spec ?fault_seed ~prefetch ~seed () =
           read_bytes = Dilos.Kernel.read_bytes k ~core:0;
           write_bytes = Dilos.Kernel.write_bytes k ~core:0;
         };
-      Dilos.Kernel.quiesce k)
+      Dilos.Kernel.quiesce k;
+      if expect_failover then assert_drill_landed (Dilos.Kernel.stats k))
 
-let fastswap_soak ?fault_spec ?fault_seed ~seed () =
-  with_fastswap ~local_mem ?fault_spec ?fault_seed (fun _eng k ->
+let fastswap_soak ?fault_spec ?fault_seed ?shards ?replication
+    ?(expect_failover = false) ~seed () =
+  with_fastswap ~local_mem ?fault_spec ?fault_seed ?shards ?replication
+    (fun _eng k ->
       let base = Fastswap.Kernel.mmap k ~len:region () in
       soak ~seed ~base
         {
@@ -95,14 +108,25 @@ let fastswap_soak ?fault_spec ?fault_seed ~seed () =
           read_bytes = Fastswap.Kernel.read_bytes k ~core:0;
           write_bytes = Fastswap.Kernel.write_bytes k ~core:0;
         };
-      Fastswap.Kernel.quiesce k)
+      Fastswap.Kernel.quiesce k;
+      if expect_failover then assert_drill_landed (Fastswap.Kernel.stats k))
+
+(* Shard-kill specs for the drill rows below. *)
+let drill s =
+  match Faults.Spec.parse s with
+  | Ok t -> Some t
+  | Error e -> invalid_arg e
 
 let suite =
-  let d name prefetch fault_spec seed =
-    quick name (fun () -> dilos_soak ~prefetch ?fault_spec ~fault_seed:seed ~seed ())
+  let d name ?shards ?replication ?expect_failover prefetch fault_spec seed =
+    quick name (fun () ->
+        dilos_soak ?shards ?replication ?expect_failover ~prefetch ?fault_spec
+          ~fault_seed:seed ~seed ())
   in
-  let f name fault_spec seed =
-    quick name (fun () -> fastswap_soak ?fault_spec ~fault_seed:seed ~seed ())
+  let f name ?shards ?replication ?expect_failover fault_spec seed =
+    quick name (fun () ->
+        fastswap_soak ?shards ?replication ?expect_failover ?fault_spec
+          ~fault_seed:seed ~seed ())
   in
   [
     d "dilos none, clean" Dilos.Kernel.No_prefetch None 101;
@@ -119,4 +143,21 @@ let suite =
     d "dilos trend, blackout" Dilos.Kernel.Trend_based (Some Faults.Spec.blackout)
       111;
     f "fastswap, blackout" (Some Faults.Spec.blackout) 112;
+    (* Shard-kill drills: same parity contract while the memnode
+       replica group loses a shard mid-run. RF=2 over two shards, so
+       every page keeps a live copy; contents must stay bit-identical
+       to the reference buffer — failover may cost time, never data. *)
+    d "dilos readahead, shard-kill" ~shards:2 ~replication:2
+      ~expect_failover:true Dilos.Kernel.Readahead
+      (drill "kill-shard=0@100us") 113;
+    d "dilos trend, shard-kill + recover" ~shards:2 ~replication:2
+      ~expect_failover:true Dilos.Kernel.Trend_based
+      (drill "kill-shard=1@100us,recover-shard=1@400us") 114;
+    (* Wire faults and a shard death at once: the QP retry path and
+       the replica failover path must compose. *)
+    d "dilos none, flaky + shard-kill" ~shards:2 ~replication:2
+      ~expect_failover:true Dilos.Kernel.No_prefetch
+      (drill "flaky,kill-shard=0@150us") 115;
+    f "fastswap, shard-kill" ~shards:2 ~replication:2 ~expect_failover:true
+      (drill "kill-shard=0@100us") 116;
   ]

@@ -19,14 +19,32 @@ let check_i64 name a b = Alcotest.(check int64) name a b
 let plan_of ?fault_spec ?(fault_seed = 1) () =
   Option.map (fun spec -> Faults.Plan.make ~seed:fault_seed spec) fault_spec
 
+(* Memory node for the [with_*] helpers: single instance by default, a
+   replica group when the test asks for shards/replication (or the
+   fault spec scripts a shard kill). *)
+let make_server ~eng ?faults ?fault_spec ?(shards = 1) ?(replication = 1) () =
+  let size = Int64.shift_left 1L 33 in
+  let has_drill =
+    match fault_spec with Some s -> Faults.Spec.has_drill s | None -> false
+  in
+  if shards > 1 || replication > 1 || has_drill then
+    Memnode.Server.create_replicated ~eng ~size
+      ~config:
+        {
+          Memnode.Replica_group.default_config with
+          shards = Int.max shards replication;
+          replication;
+        }
+      ?faults ()
+  else Memnode.Server.create ~eng ~size ?faults ()
+
 (* Small DiLOS instance for kernel-level tests. *)
 let with_dilos ?(local_mem = 1024 * 1024) ?(prefetch = Dilos.Kernel.No_prefetch)
-    ?(guided = false) ?(cores = 1) ?fault_spec ?fault_seed f =
+    ?(guided = false) ?(cores = 1) ?fault_spec ?fault_seed ?shards ?replication
+    f =
   run_sim (fun eng ->
       let faults = plan_of ?fault_spec ?fault_seed () in
-      let server =
-        Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) ?faults ()
-      in
+      let server = make_server ~eng ?faults ?fault_spec ?shards ?replication () in
       let k =
         Dilos.Kernel.boot ~eng ~server
           {
@@ -42,12 +60,10 @@ let with_dilos ?(local_mem = 1024 * 1024) ?(prefetch = Dilos.Kernel.No_prefetch)
       r)
 
 let with_fastswap ?(local_mem = 1024 * 1024) ?(readahead = true) ?fault_spec
-    ?fault_seed f =
+    ?fault_seed ?shards ?replication f =
   run_sim (fun eng ->
       let faults = plan_of ?fault_spec ?fault_seed () in
-      let server =
-        Memnode.Server.create ~eng ~size:(Int64.shift_left 1L 33) ?faults ()
-      in
+      let server = make_server ~eng ?faults ?fault_spec ?shards ?replication () in
       let k =
         Fastswap.Kernel.boot ~eng ~server
           { Fastswap.Kernel.local_mem_bytes = local_mem; cores = 1; readahead }
