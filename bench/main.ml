@@ -18,7 +18,10 @@ let list_experiments () =
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.targets;
   print_endline "paper-scale perf targets (by explicit name only):";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Perf.paperscale_targets;
-  print_endline "  --alloc-smoke   assert the fault path's allocation budget"
+  print_endline "  --alloc-smoke   assert the fault path's allocation budget";
+  print_endline
+    "  --regress FILE  re-run a committed BENCH_*.json and fail on counter \
+     drift or wall-clock regression"
 
 let run_one key =
   match List.find_opt (fun (k, _, _) -> k = key) Experiments.all with
@@ -39,6 +42,11 @@ let () =
   | _ :: [ "list" ] -> list_experiments ()
   | _ :: [ "bechamel" ] -> Bechamel_suite.run ()
   | _ :: "--json" :: file :: keys -> Perf.run_json ~file keys
+  | _ :: "--regress" :: (_ :: _ as files) ->
+      List.iter (fun file -> Regress.run ~file) files
+  | _ :: [ "--regress" ] ->
+      Printf.eprintf "--regress needs a baseline file (e.g. BENCH_observatory.json)\n";
+      exit 1
   | _ :: [ "--alloc-smoke" ] -> Perf.alloc_smoke ()
   | _ :: [ "--json" ] ->
       Printf.eprintf "--json needs an output file (e.g. BENCH_base.json)\n";

@@ -142,7 +142,7 @@ let print_breakdown stats =
 
 let run_workload workload sys prefetch local_mb scale scale_preset app_aware
     cores seed faults fault_seed trace_file trace_cats trace_validate
-    metrics_file metrics_interval_us breakdown verbose =
+    metrics_file metrics_interval_us obs_out breakdown verbose =
   let system = to_system sys prefetch in
   (* A preset pins both knobs to the canonical table (Apps.Scale);
      explicit --scale/--local-mb are ignored when one is given. *)
@@ -162,6 +162,9 @@ let run_workload workload sys prefetch local_mb scale scale_preset app_aware
   (* Attribution histograms are resolved at boot, so the flag must be
      set before the harness boots the kernel. *)
   if breakdown then Trace.set_attribution true;
+  (* Same boot-time rule for the Observatory: the registry must be
+     ambient before the kernel and QPs resolve their handles. *)
+  let obs_reg = Option.map (fun _ -> Obs.Registry.create ()) obs_out in
   let tracer = ref None in
   let sampler = ref None in
   let observe ctx =
@@ -182,7 +185,8 @@ let run_workload workload sys prefetch local_mb scale scale_preset app_aware
                ())
   in
   let h_run ?cores system ~local_mem f =
-    H.run system ~local_mem ?cores ?fault_spec ~fault_seed ~observe f
+    H.run system ~local_mem ?cores ?fault_spec ~fault_seed ?obs:obs_reg
+      ~observe f
   in
   let with_guide ctx =
     if app_aware then ignore (Apps.Redis_guide.install ctx)
@@ -317,6 +321,11 @@ let run_workload workload sys prefetch local_mb scale scale_preset app_aware
       Printf.printf "metrics:   %s (%d intervals of %d us)\n" file
         (Trace.Sampler.rows s) metrics_interval_us
   | (Some _ | None), _ -> ());
+  (match (obs_out, obs_reg) with
+  | Some file, Some reg ->
+      Obs.Openmetrics.write ~stats:result.H.run_stats reg file;
+      Printf.printf "obs:       %s (OpenMetrics)\n" file
+  | _ -> ());
   if breakdown then print_breakdown result.H.run_stats;
   if verbose then begin
     print_endline "counters:";
@@ -431,6 +440,17 @@ let run_cmd, run_term =
       & info [ "metrics-interval-us" ] ~docv:"N"
           ~doc:"Sampling interval for --metrics, in simulated microseconds.")
   in
+  let obs_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Install an Observatory metric registry for the run and write the \
+             labeled families plus the flat counters as an OpenMetrics \
+             (Prometheus text) exposition. Deterministic: same seed, \
+             byte-identical file.")
+  in
   let breakdown =
     Arg.(
       value & flag
@@ -446,7 +466,7 @@ let run_cmd, run_term =
       const run_workload $ workload $ system $ prefetch $ local_mb $ scale
       $ scale_preset $ app_aware $ cores $ seed $ faults $ fault_seed
       $ trace_file $ trace_cats $ trace_validate $ metrics_file
-      $ metrics_interval_us $ breakdown $ verbose)
+      $ metrics_interval_us $ obs_out $ breakdown $ verbose)
   in
   (Cmd.v (Cmd.info "run" ~doc:"Run one workload on one system") term, term)
 
@@ -906,6 +926,192 @@ let drill_cmd =
           failure-free run, and report failover/recovery metrics")
     term
 
+(* ------------------------------------------------------------------ *)
+(* report: the Observatory scenario matrix (see DESIGN.md §6). One
+   seed through clean / flaky / flaky-kill / overload, each with a
+   fresh labeled registry, health monitor, tracer and attribution;
+   emits a deterministic JSON run-report plus optional OpenMetrics and
+   flamegraph collapsed-stack artifacts. Exit codes: 0 ok, 1 health
+   signature or reconciliation failure, 2 usage. *)
+
+let run_report sys prefetch app_str local_mb scale seed json_file om_file
+    folded_file check verbose =
+  let system = to_system sys prefetch in
+  let app =
+    match Apps.Drill.app_of_string app_str with
+    | Some a -> a
+    | None ->
+        Printf.eprintf
+          "dilos_sim: unknown report app %S (seq|quicksort|kmeans|redis)\n"
+          app_str;
+        exit 2
+  in
+  let outcomes =
+    Apps.Observatory.run_matrix ~system ~app ?scale
+      ~local_mem:(local_mb * 1024 * 1024) ~seed ()
+  in
+  Printf.printf "system:    %s\n" (H.system_name system);
+  Printf.printf "matrix:    app %s, seed %d\n" app_str seed;
+  List.iter
+    (fun (o : Apps.Observatory.outcome) ->
+      Printf.printf
+        "  %-10s %8.3f ms, %2d health ticks, %d events%s, profile %s\n"
+        o.Apps.Observatory.o_name
+        (float_of_int o.Apps.Observatory.o_elapsed_ns /. 1e6)
+        o.Apps.Observatory.o_ticks
+        (List.length o.Apps.Observatory.o_events)
+        (match o.Apps.Observatory.o_digest with
+        | Some _ -> ""
+        | None -> " (serving)")
+        (if Apps.Observatory.reconciles o then "reconciles" else "DOES NOT RECONCILE");
+      List.iter
+        (fun (e : Obs.Health.event) ->
+          Printf.printf "      [%s] %s%s value=%d threshold=%d @ %.3f ms\n"
+            (Obs.Health.severity_name e.Obs.Health.he_severity)
+            e.Obs.Health.he_rule
+            (if e.Obs.Health.he_subject = "" then ""
+             else " {" ^ e.Obs.Health.he_subject ^ "}")
+            e.Obs.Health.he_value e.Obs.Health.he_threshold
+            (Int64.to_float e.Obs.Health.he_t /. 1e6))
+        o.Apps.Observatory.o_events)
+    outcomes;
+  let fired = Apps.Observatory.event_rules outcomes in
+  Printf.printf "rules:     %s\n"
+    (if fired = [] then "(none fired)" else String.concat ", " fired);
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc
+            (Apps.Observatory.report_json ~system ~seed outcomes));
+      Printf.printf "report:    %s\n" file);
+  let kill_outcome =
+    List.find
+      (fun o -> o.Apps.Observatory.o_name = "flaky-kill")
+      outcomes
+  in
+  (match om_file with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Apps.Observatory.openmetrics kill_outcome));
+      Printf.printf "metrics:   %s (OpenMetrics, flaky-kill scenario)\n" file);
+  (match folded_file with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (Apps.Observatory.folded kill_outcome));
+      Printf.printf "profile:   %s (collapsed stacks, flaky-kill scenario; \
+                     feed to flamegraph.pl)\n"
+        file);
+  if verbose then
+    print_string (Apps.Observatory.report_json ~system ~seed outcomes);
+  if check then begin
+    let clean_quiet =
+      List.for_all
+        (fun o ->
+          o.Apps.Observatory.o_name <> "clean"
+          || o.Apps.Observatory.o_events = [])
+        outcomes
+    in
+    let expected = [ "queue-depth-ceiling"; "resync-backlog"; "retry-storm" ] in
+    let missing = List.filter (fun r -> not (List.mem r fired)) expected in
+    let reconciled = List.for_all Apps.Observatory.reconciles outcomes in
+    if not clean_quiet then
+      Printf.eprintf "dilos_sim: clean scenario fired health events\n";
+    if missing <> [] then
+      Printf.eprintf "dilos_sim: expected rules did not fire: %s\n"
+        (String.concat ", " missing);
+    if not reconciled then
+      Printf.eprintf "dilos_sim: a profile does not reconcile with its \
+                      attribution sums\n";
+    if (not clean_quiet) || missing <> [] || not reconciled then exit 1
+  end
+
+let report_cmd =
+  let system =
+    Arg.(value & opt system_conv S_dilos & info [ "s"; "system" ] ~doc:"Memory system.")
+  in
+  let prefetch =
+    Arg.(
+      value
+      & opt prefetch_conv Dilos.Kernel.Readahead
+      & info [ "p"; "prefetch" ] ~doc:"DiLOS prefetcher (none|readahead|trend).")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "seq"
+      & info [ "a"; "app" ] ~docv:"APP"
+          ~doc:"Drill kernel for the fault scenarios (seq|quicksort|kmeans|redis).")
+  in
+  let local_mb =
+    Arg.(value & opt int 1 & info [ "local-mb" ] ~doc:"Local DRAM budget in MiB.")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale" ] ~doc:"Workload size override (per-app default otherwise).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Drives the workloads, the kill instant and the fault RNG.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured run-report (per-scenario labeled metrics, \
+             health events, flame profile). Deterministic: same seed, \
+             byte-identical file (CI cmps a double run).")
+  in
+  let om_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:"Write the flaky-kill scenario's OpenMetrics exposition.")
+  in
+  let folded_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write the flaky-kill scenario's flamegraph collapsed stacks \
+             (sim-time weights; render with flamegraph.pl or speedscope).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Fail (exit 1) unless the health signature holds: clean fires \
+             nothing, retry-storm / resync-backlog / queue-depth-ceiling all \
+             fire somewhere in the matrix, and every scenario's flame profile \
+             reconciles exactly with its fault-attribution sums.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the JSON report.")
+  in
+  let term =
+    Term.(
+      const run_report $ system $ prefetch $ app_arg $ local_mb $ scale $ seed
+      $ json_file $ om_file $ folded_file $ check $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Observatory scenario matrix: run one seed through clean / flaky / \
+          shard-kill / overload scenarios with labeled metrics, deterministic \
+          health monitors and sim-time flame profiles, and emit a \
+          byte-stable structured report")
+    term
+
 let () =
   let doc = "DiLOS memory-disaggregation simulator" in
   (* [run] is also the default command, so
@@ -914,4 +1120,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term (Cmd.info "dilos_sim" ~doc)
-          [ run_cmd; serve_cmd; drill_cmd ]))
+          [ run_cmd; serve_cmd; drill_cmd; report_cmd ]))

@@ -30,4 +30,22 @@ dune exec bin/dilos_sim.exe -- drill --app seq --seed 42 \
 cmp drill_report.json drill_repeat.json
 rm -f drill_repeat.json
 
+echo "== observatory report"
+# Scenario matrix through the CLI, run twice: --check asserts the
+# expected health events (clean run quiet, retry-storm under flaky,
+# resync-backlog after kill-shard, queue ceiling under overload) and
+# profile/attribution reconciliation; the JSON must be byte-identical
+# across runs.
+dune exec bin/dilos_sim.exe -- report --seed 42 --check \
+  --json obs_report.json > /dev/null
+dune exec bin/dilos_sim.exe -- report --seed 42 \
+  --json obs_repeat.json > /dev/null
+cmp obs_report.json obs_repeat.json
+rm -f obs_repeat.json
+
+echo "== bench regress gate"
+# Re-run the committed trajectory; fail on deterministic counter or
+# sim-time drift (exact) or a >3x wall-clock regression.
+dune exec bench/main.exe -- --regress BENCH_observatory.json
+
 echo "== OK"

@@ -36,6 +36,10 @@ type hot_stats = {
   c_prefetch_issued : Sim.Stats.counter;
   c_fetch_waits : Sim.Stats.counter;
   c_object_misses : Sim.Stats.counter;
+  (* Observatory: AIFM's remote-fetch event is the object miss, so it
+     feeds the cross-kernel kernel_major_faults family as the
+     {system="aifm"} slice. *)
+  ob_major_faults : Obs.Registry.counter;
 }
 
 type t = {
@@ -134,6 +138,10 @@ let boot ~eng ~server (cfg : config) =
           c_prefetch_issued = Sim.Stats.counter stats "prefetch_issued";
           c_fetch_waits = Sim.Stats.counter stats "fetch_waits";
           c_object_misses = Sim.Stats.counter stats "object_misses";
+          ob_major_faults =
+            Obs.Registry.counter ~name:"kernel_major_faults"
+              ~labels:[ ("system", "aifm") ]
+              ();
         };
       fabric;
       deref_qp = Rdma.Fabric.qp fabric ~name:"aifm.deref";
@@ -300,6 +308,7 @@ let rec chunk_bytes t o ci ~write =
   | CRemote ->
       flush_pending t;
       Sim.Stats.cincr t.hot.c_object_misses;
+      Obs.Registry.cincr t.hot.ob_major_faults;
       Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.aifm_object_fault_sw_ns);
       let waiters = ref [] in
       c.data <- CFetching waiters;

@@ -192,8 +192,16 @@ let instance_shutdown = function
   | I_aifm k -> Aifm.Runtime.shutdown k
 
 let run system ~local_mem ?(cores = 1) ?remote_size ?bw_bucket:_ ?fault_spec
-    ?(fault_seed = 1) ?(shards = 1) ?(replication = 1) ?observe f =
+    ?(fault_seed = 1) ?(shards = 1) ?(replication = 1) ?obs ?observe f =
   let eng = Sim.Engine.create () in
+  (* The Observatory registry must be ambient BEFORE boot: QPs, shards
+     and kernels resolve their labeled handles in their constructors.
+     Uninstalled again before returning so one run's registry never
+     leaks series into the next run's boot. *)
+  (match obs with None -> () | Some reg -> Obs.Registry.install reg);
+  Fun.protect
+    ~finally:(fun () -> if Option.is_some obs then Obs.Registry.uninstall ())
+  @@ fun () ->
   let size = Option.value ~default:(Int64.shift_left 1L 36) remote_size in
   let faults =
     Option.map (fun spec -> Faults.Plan.make ~seed:fault_seed spec) fault_spec

@@ -46,6 +46,7 @@ val run :
   ?fault_seed:int ->
   ?shards:int ->
   ?replication:int ->
+  ?obs:Obs.Registry.t ->
   ?observe:(ctx -> unit) ->
   (ctx -> 'a) ->
   'a result
@@ -57,9 +58,12 @@ val run :
     {!Memnode.Replica_group} behind the memory node; the group is also
     engaged automatically when [fault_spec] carries a kill/recover
     drill schedule. The plain single-node path is untouched otherwise,
-    keeping golden outputs bit-identical. [observe] runs between boot
-    and workload start, with the run's engine and stats in hand — the
-    attach point for a tracer or an interval metrics sampler. *)
+    keeping golden outputs bit-identical. [obs] installs an Observatory
+    registry for the whole run — BEFORE boot, because QPs, shards and
+    kernels resolve their labeled handles in their constructors — and
+    uninstalls it on return. [observe] runs between boot and workload
+    start, with the run's engine and stats in hand — the attach point
+    for a tracer, metrics sampler or health monitor. *)
 
 val set_redis_guide : ctx -> Dilos.Guide.prefetch_guide -> unit
 (** Install an app-aware prefetch guide if (and only if) the instance

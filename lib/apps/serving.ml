@@ -108,6 +108,22 @@ let run (ctx : Harness.ctx) cfg =
      trajectory (BENCH_*.json) can track them across commits. *)
   let stats_resp = Sim.Stats.histo ctx.Harness.stats "serve_response_ns" in
   let stats_svc = Sim.Stats.histo ctx.Harness.stats "serve_service_ns" in
+  (* Completion progress as a counter: the worker-starvation health
+     rule watches its per-interval delta flatline while the queue-depth
+     gauge below stays positive. *)
+  let stats_completed = Sim.Stats.counter ctx.Harness.stats "serve_completed" in
+  (* Observatory: per-op labeled request counters plus the live queue
+     depth as a probe gauge (sampled at health/export ticks, pull not
+     push — the enqueue path stays untouched). Registered here, which
+     is this app's boot: before the generator and workers spawn. *)
+  let ob_op op =
+    Obs.Registry.counter ~name:"serve_requests" ~labels:[ ("app", "serving"); ("op", op) ] ()
+  in
+  let ob_gets = ob_op "get" and ob_sets = ob_op "set" in
+  Obs.Registry.probe ~name:"serve_queue_depth"
+    ~help:"requests waiting between arrival and dequeue"
+    ~labels:[ ("app", "serving") ]
+    (fun () -> Queue.length q);
   let base = Sim.Engine.now eng in
   let last_done = ref base in
   let phase_of idx = idx * cfg.phases / cfg.requests in
@@ -163,11 +179,13 @@ let run (ctx : Harness.ctx) cfg =
             (match p.op with
             | W.Stream.Get -> (
                 incr gets;
+                Obs.Registry.cincr ob_gets;
                 match Redis.get rds (Redis_bench.key_of p.key) with
                 | Some v -> assert (Redis_bench.verify_value v ~index:p.key)
                 | None -> assert false)
             | W.Stream.Set ->
                 incr sets;
+                Obs.Registry.cincr ob_sets;
                 let v = Bytes.create p.vsize in
                 Redis_bench.fill_value v ~index:p.key;
                 Redis.set rds ~key:(Redis_bench.key_of p.key) ~value:v);
@@ -184,6 +202,7 @@ let run (ctx : Harness.ctx) cfg =
               ~svc_ns:(Int64.to_int (Sim.Time.sub now start))
               ~now;
             incr completed;
+            Sim.Stats.cincr stats_completed;
             if Sim.Time.compare now !last_done > 0 then last_done := now;
             loop ()
           end

@@ -65,6 +65,10 @@ type hot_stats = {
   c_ph_fetch : Sim.Stats.counter;
   h_fault : Sim.Histogram.t;
   h_fetch_wait : Sim.Histogram.t;
+  (* Observatory: the {system="dilos"} slice of the cross-kernel
+     labeled families, resolved at boot like every other cell here. *)
+  ob_major_faults : Obs.Registry.counter;
+  obh_fault : Sim.Histogram.t;
   attr : Trace.Attr.t option; (* Fig. 9 latency attribution, when on *)
 }
 
@@ -172,6 +176,14 @@ let boot ~eng ~server ?nic_config (cfg : config) =
       c_ph_fetch = Sim.Stats.counter stats "ph_fetch_ns";
       h_fault = Sim.Stats.histo stats "fault_ns";
       h_fetch_wait = Sim.Stats.histo stats "fetch_wait_ns";
+      ob_major_faults =
+        Obs.Registry.counter ~name:"kernel_major_faults"
+          ~labels:[ ("system", "dilos") ]
+          ();
+      obh_fault =
+        Obs.Registry.histogram ~name:"kernel_fault_ns"
+          ~labels:[ ("system", "dilos") ]
+          ();
       attr = Trace.Attr.create stats;
     }
   in
@@ -576,8 +588,10 @@ let major_fault t cs vpn pte =
   Sim.Engine.sleep t.eng (Sim.Time.ns Params.dilos_map_ns);
   map_fetched t vpn frame;
   Sim.Stats.cincr t.hot.c_major_faults;
+  Obs.Registry.cincr t.hot.ob_major_faults;
   let total_ns = elapsed_ns t t_start in
   Sim.Histogram.add t.hot.h_fault total_ns;
+  Sim.Histogram.add t.hot.obh_fault total_ns;
   (match (t.hot.attr, fa) with
   | Some attr, Some a -> Trace.Attr.record attr ~total_ns ~fetch:a
   | (Some _ | None), _ -> ());

@@ -49,6 +49,10 @@ type hot_stats = {
   c_ph_reclaim : Sim.Stats.counter;
   h_fault : Sim.Histogram.t;
   h_minor_fault : Sim.Histogram.t;
+  (* Observatory: the {system="fastswap"} slice of the cross-kernel
+     labeled families, resolved at boot like every other cell here. *)
+  ob_major_faults : Obs.Registry.counter;
+  obh_fault : Sim.Histogram.t;
   attr : Trace.Attr.t option; (* Fig. 9 latency attribution, when on *)
 }
 
@@ -256,6 +260,14 @@ let boot ~eng ~server (cfg : config) =
       c_ph_reclaim = Sim.Stats.counter stats "ph_reclaim_ns";
       h_fault = Sim.Stats.histo stats "fault_ns";
       h_minor_fault = Sim.Stats.histo stats "minor_fault_ns";
+      ob_major_faults =
+        Obs.Registry.counter ~name:"kernel_major_faults"
+          ~labels:[ ("system", "fastswap") ]
+          ();
+      obh_fault =
+        Obs.Registry.histogram ~name:"kernel_fault_ns"
+          ~labels:[ ("system", "fastswap") ]
+          ();
       attr = Trace.Attr.create stats;
     }
   in
@@ -459,6 +471,7 @@ let map_from_cache t vpn entry =
 let rec major_fault t cs vpn refetches =
   let t_start = Sim.Engine.now t.eng in
   Sim.Stats.cincr t.hot.c_major_faults;
+  Obs.Registry.cincr t.hot.ob_major_faults;
   (* Swap-cache management: radix tree insertion, swap slot lookup,
      cgroup charging... *)
   Sim.Engine.sleep t.eng (Sim.Time.ns Dilos.Params.fastswap_swapcache_ns);
@@ -542,6 +555,7 @@ let rec major_fault t cs vpn refetches =
   | Some _ | None -> ());
   let total_ns = Int64.to_int (Sim.Time.sub (Sim.Engine.now t.eng) t_start) in
   Sim.Histogram.add t.hot.h_fault total_ns;
+  Sim.Histogram.add t.hot.obh_fault total_ns;
   (match (t.hot.attr, fa) with
   | Some attr, Some a -> Trace.Attr.record attr ~total_ns ~fetch:a
   | (Some _ | None), _ -> ());

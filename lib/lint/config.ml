@@ -75,7 +75,7 @@ let rule_enabled ctx rule_id =
   match rule_id with
   | "no-wallclock" | "nondet-taint" -> wallclock_checked ctx
   | "effect-hygiene" -> not (effect_allowed ctx)
-  | "stats-handle" | "hot-alloc" -> is_hot ctx
+  | "stats-handle" | "hot-alloc" | "obs-boot-only" -> is_hot ctx
   | _ -> true
 
 (* R9: functions whose transitive callees must not allocate, beyond

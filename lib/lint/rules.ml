@@ -11,6 +11,7 @@ let all : Rule.t list =
     { Rule.id = Rule_effect.id; doc = Rule_effect.doc };
     { Rule.id = Rule_trace_span.id; doc = Rule_trace_span.doc };
     { Rule.id = Rule_hot_alloc.id; doc = Rule_hot_alloc.doc };
+    { Rule.id = Rule_obs_boot.id; doc = Rule_obs_boot.doc };
     { Rule.id = Rule_nondet_taint.id; doc = Rule_nondet_taint.doc };
     { Rule.id = Rule_hot_alloc_path.id; doc = Rule_hot_alloc_path.doc };
     { Rule.id = Rule_fiber_atomic.id; doc = Rule_fiber_atomic.doc };
@@ -29,6 +30,7 @@ let check_expression ~ctx ~sort_in_scope ~span_end_in_scope ~cold_in_scope e :
       Rule_stats_handle.check ~ctx e;
       Rule_trace_span.check ~ctx ~span_end_in_scope e;
       Rule_hot_alloc.check ~ctx ~cold_in_scope e;
+      Rule_obs_boot.check ~ctx ~cold_in_scope e;
     ]
 
 (* Longident-position checks (R5): catches module opens and type

@@ -72,6 +72,13 @@ type shard = {
   idx : int;
   store : Page_store.t;
   trk : int;
+  (* Observatory: per-shard labeled series ({shard="N"}), resolved at
+     [create] (boot) against the installed registry — the per-shard
+     slice of the flat repl_* counters that Stats cannot express. *)
+  ob_reads : Obs.Registry.counter;
+  ob_writes : Obs.Registry.counter;
+  ob_failover_reads : Obs.Registry.counter;
+  ob_resync_pages : Obs.Registry.counter;
   mutable alive : bool;
   mutable syncing : bool;
   mutable epoch : int;  (* bumped on kill AND recover; fences stale fibers *)
@@ -155,7 +162,10 @@ let serving_replica t vpn addr ~is_read =
     else begin
       let s = replica t vpn i in
       if serves s vpn then begin
-        if i > 0 && is_read then scount t (fun h -> h.c_failover_reads);
+        if i > 0 && is_read then begin
+          scount t (fun h -> h.c_failover_reads);
+          Obs.Registry.cincr s.ob_failover_reads
+        end;
         s
       end
       else begin
@@ -234,6 +244,7 @@ let resync_fiber t s epoch () =
       if resync_page t s vpn then begin
         Hashtbl.remove s.missed vpn;
         scount t (fun h -> h.c_resync_pages);
+        Obs.Registry.cincr s.ob_resync_pages;
         sadd t (fun h -> h.c_resync_bytes) page_size;
         t.interval_resync <- t.interval_resync + page_size;
         if t.interval_resync > t.max_interval_resync then
@@ -337,6 +348,7 @@ let read t addr dst off len =
   check t addr len;
   iter_chunks addr len off (fun addr off len ->
       let s = serving_replica t (vpn_of addr) addr ~is_read:true in
+      Obs.Registry.cincr s.ob_reads;
       if Trace.enabled cat_memnode then
         Trace.instant cat_memnode ~name:"page_read" ~track:s.trk
           ~args:[ ("len", Trace.I len) ]
@@ -349,6 +361,7 @@ let read t addr dst off len =
 let write_chunk t addr src off len =
   let vpn = vpn_of addr in
   let auth = serving_replica t vpn addr ~is_read:false in
+  Obs.Registry.cincr auth.ob_writes;
   if Trace.enabled cat_memnode then
     Trace.instant cat_memnode ~name:"page_write" ~track:auth.trk
       ~args:[ ("len", Trace.I len) ]
@@ -450,10 +463,19 @@ let create ~eng ~size ?(config = default_config) ?faults () =
     invalid_arg "Replica_group: resync budget below one page";
   let shards =
     Array.init cfg.shards (fun idx ->
+        let ob metric =
+          Obs.Registry.counter ~name:metric
+            ~labels:[ ("shard", string_of_int idx) ]
+            ()
+        in
         {
           idx;
           store = Page_store.create ~size;
           trk = Trace.track (Printf.sprintf "memnode/shard%d" idx);
+          ob_reads = ob "repl_shard_reads";
+          ob_writes = ob "repl_shard_writes";
+          ob_failover_reads = ob "repl_shard_failover_reads";
+          ob_resync_pages = ob "repl_shard_resync_pages";
           alive = true;
           syncing = false;
           epoch = 0;
@@ -479,6 +501,22 @@ let create ~eng ~size ?(config = default_config) ?faults () =
       max_interval_resync = 0;
     }
   in
+  (* Redundancy-deficit gauge, one series per shard: pages whose
+     replica count is below target because this shard is dead (its
+     tombstones) or still resyncing (its missed set). The health rule
+     [resync-backlog] watches it go positive. Probes are sampled at
+     export / health ticks only — List.length on the tombstones is
+     cold-path. *)
+  Array.iter
+    (fun s ->
+      Obs.Registry.probe ~name:"repl_resync_backlog_pages"
+        ~help:"pages below replication target on this shard"
+        ~labels:[ ("shard", string_of_int s.idx) ]
+        (fun () ->
+          if not s.alive then List.length s.tombstones
+          else if s.syncing then Hashtbl.length s.missed
+          else 0))
+    shards;
   (* Scripted drill schedule: the spec's instants are plain data
      (seeded by whoever built the spec), armed as cancellable engine
      timers here. *)

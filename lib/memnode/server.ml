@@ -47,11 +47,21 @@ let create_replicated ~eng ~size ?(huge_pages = true)
    RNIC serves them against registered memory (§5). The instants below
    are the observability stand-in for a bus analyzer on that node:
    they mark the store-side copy at completion time. *)
-let traced_target trk store =
+let traced_target trk shard_id store =
   let base = Page_store.target store in
+  (* Observatory: the single-instance server exports the same labeled
+     family as the replica group, with its one shard id — reports keep
+     a uniform per-shard schema whether or not replication is on. *)
+  let ob metric =
+    Obs.Registry.counter ~name:metric
+      ~labels:[ ("shard", string_of_int shard_id) ]
+      ()
+  in
+  let ob_reads = ob "repl_shard_reads" and ob_writes = ob "repl_shard_writes" in
   {
     Rdma.Qp.t_read =
       (fun raddr buf off len ->
+        Obs.Registry.cincr ob_reads;
         if Trace.enabled cat_memnode then
           Trace.instant cat_memnode ~name:"page_read" ~track:trk
             ~args:[ ("len", Trace.I len) ]
@@ -59,6 +69,7 @@ let traced_target trk store =
         base.Rdma.Qp.t_read raddr buf off len);
     t_write =
       (fun raddr buf off len ->
+        Obs.Registry.cincr ob_writes;
         if Trace.enabled cat_memnode then
           Trace.instant cat_memnode ~name:"page_write" ~track:trk
             ~args:[ ("len", Trace.I len) ]
@@ -68,7 +79,7 @@ let traced_target trk store =
 
 let target t =
   match t.backend with
-  | Single store -> traced_target t.trk store
+  | Single store -> traced_target t.trk t.shard_id store
   | Group g -> Replica_group.target g (* per-shard instants inside *)
 
 let size t =

@@ -1,0 +1,115 @@
+(* OpenMetrics text exposition. See openmetrics.mli. *)
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_labels b ls =
+  match ls with
+  | [] -> ()
+  | ls ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label_value v);
+          Buffer.add_char b '"')
+        ls;
+      Buffer.add_char b '}'
+
+(* Quantiles exported for every histogram-as-summary. *)
+let quantiles = [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99); ("0.999", 0.999) ]
+
+let add_summary b name ls (h : Sim.Histogram.t) =
+  List.iter
+    (fun (qs, q) ->
+      Buffer.add_string b name;
+      add_labels b (ls @ [ ("quantile", qs) ]);
+      Buffer.add_string b (Printf.sprintf " %d\n" (Sim.Histogram.quantile h q)))
+    quantiles;
+  Buffer.add_string b name;
+  Buffer.add_string b "_count";
+  add_labels b ls;
+  Buffer.add_string b (Printf.sprintf " %d\n" (Sim.Histogram.count h));
+  Buffer.add_string b name;
+  Buffer.add_string b "_sum";
+  add_labels b ls;
+  Buffer.add_string b (Printf.sprintf " %d\n" (Sim.Histogram.sum h))
+
+let add_meta b name typ help =
+  if not (String.equal help "") then
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+let add_family b (f : Registry.family) =
+  match f.Registry.f_type with
+  | Registry.Counter ->
+      add_meta b f.Registry.f_name "counter" f.Registry.f_help;
+      List.iter
+        (fun (s : Registry.series) ->
+          let v =
+            match s.Registry.s_value () with Registry.V v -> v | Registry.H _ -> 0
+          in
+          Buffer.add_string b f.Registry.f_name;
+          Buffer.add_string b "_total";
+          add_labels b s.Registry.s_labels;
+          Buffer.add_string b (Printf.sprintf " %d\n" v))
+        f.Registry.f_series
+  | Registry.Gauge ->
+      add_meta b f.Registry.f_name "gauge" f.Registry.f_help;
+      List.iter
+        (fun (s : Registry.series) ->
+          let v =
+            match s.Registry.s_value () with Registry.V v -> v | Registry.H _ -> 0
+          in
+          Buffer.add_string b f.Registry.f_name;
+          add_labels b s.Registry.s_labels;
+          Buffer.add_string b (Printf.sprintf " %d\n" v))
+        f.Registry.f_series
+  | Registry.Histogram ->
+      add_meta b f.Registry.f_name "summary" f.Registry.f_help;
+      List.iter
+        (fun (s : Registry.series) ->
+          match s.Registry.s_value () with
+          | Registry.H h -> add_summary b f.Registry.f_name s.Registry.s_labels h
+          | Registry.V _ -> ())
+        f.Registry.f_series
+
+let render ?stats reg =
+  let b = Buffer.create 4096 in
+  List.iter (add_family b) (Registry.families reg);
+  (match stats with
+  | None -> ()
+  | Some st ->
+      (* The flat Stats table: monotonic during a run but reset between
+         runs, so exported as gauges (no _total rename — these names
+         are the repo's established vocabulary). *)
+      List.iter
+        (fun (name, v) ->
+          add_meta b name "gauge" "";
+          Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+        (Sim.Stats.counters st);
+      List.iter
+        (fun (name, h) ->
+          if Sim.Histogram.count h > 0 then begin
+            add_meta b name "summary" "";
+            add_summary b name [] h
+          end)
+        (Sim.Stats.histograms st));
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write ?stats reg file =
+  let oc = open_out file in
+  output_string oc (render ?stats reg);
+  close_out oc

@@ -1,0 +1,18 @@
+(** OpenMetrics / Prometheus text exposition of a run's telemetry.
+
+    One deterministic document: the registry's labeled families first
+    (counters get the mandated [_total] sample suffix, histograms are
+    rendered as summaries with [quantile] labels), then the flat
+    [Sim.Stats] table (counters as gauges under their existing names,
+    histograms as summaries). Families sorted by name, series by label
+    set, label values escaped per the OpenMetrics ABNF (backslash,
+    double quote, newline) — same run, same bytes. Ends with [# EOF]. *)
+
+val escape_label_value : string -> string
+(** Exposed for tests: backslash, double-quote and newline escaping of
+    a label value. *)
+
+val render : ?stats:Sim.Stats.t -> Registry.t -> string
+
+val write : ?stats:Sim.Stats.t -> Registry.t -> string -> unit
+(** [write ?stats reg file] — {!render} to [file]. *)

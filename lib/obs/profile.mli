@@ -1,0 +1,53 @@
+(** Sim-time profiler: trace spans → flamegraph collapsed stacks.
+
+    Folds the tracer's event ring into the classic
+    [frame;frame;frame value] collapsed-stack format consumed by
+    flamegraph.pl and speedscope, with sim-time nanoseconds as the
+    sample weight — "where did simulated time go", per track (one
+    root frame per track: [cpu0], [nic], [memnode], ...).
+
+    Folding rules:
+    - {b Sync spans} nest by interval containment per track; each
+      frame's value is its {e self} time (own duration minus enclosed
+      children), so the per-track totals tile exactly.
+    - {b Async spans} (RDMA ops in flight) overlap freely, so they are
+      accounted flat — one [track;name] frame each, full duration.
+      Their sum can exceed the track's wall time; that is the point
+      (it measures outstanding-op pressure, not occupancy).
+    - {b Instants} carry no duration and are skipped.
+
+    {!add_attribution} appends one synthetic stack per fault-latency
+    component ([fault;kernel], [fault;queueing], [fault;wire],
+    [fault;backoff]) whose values are the {e exact integer sums} of the
+    attribution histograms — the components of one fault tile its
+    end-to-end latency, so the [fault] root total reconciles to the
+    [fault_ns] histogram sum with [=], not approximately.
+
+    Output lines are sorted by stack string: byte-stable per seed. *)
+
+type t
+
+val create : unit -> t
+
+val add_trace : t -> Dilos_trace.t -> unit
+(** Fold every event currently in the tracer's ring. *)
+
+val add_attribution : t -> Sim.Stats.t -> unit
+(** Append the synthetic [fault;*] component stacks (no-op when the
+    attribution histograms are absent or empty). *)
+
+val add : t -> stack:string -> int -> unit
+(** Add weight to an explicit stack (tests, custom frames). *)
+
+val lines : t -> (string * int) list
+(** The non-zero [(stack, value)] pairs, sorted by stack string. *)
+
+val folded : t -> string
+(** The collapsed-stack document: one [stack value] line per non-zero
+    stack, sorted. *)
+
+val totals : t -> (string * int) list
+(** Per-root-frame totals (sorted) — [("fault", …)] reconciles against
+    the attribution sums. *)
+
+val write : t -> string -> unit

@@ -1,0 +1,182 @@
+(* Labeled metric registry. See registry.mli for the model.
+
+   Storage is plain assoc lists: registration happens at boot (a few
+   dozen families, a few series each), reporting happens once at the
+   end of a run, and the hot path never touches the table — it holds a
+   resolved cell. Lists keep the implementation free of Hashtbl
+   iteration-order hazards by construction; every reporting view sorts
+   explicitly anyway. *)
+
+type mtype = Counter | Gauge | Histogram
+
+type cell =
+  | Cint of int ref
+  | Cprobe of (unit -> int)
+  | Chist of Sim.Histogram.t
+
+type fam = {
+  fam_name : string;
+  fam_help : string;
+  fam_type : mtype;
+  mutable fam_series : ((string * string) list * cell) list;
+}
+
+type t = { mutable fams : fam list }
+
+let create () = { fams = [] }
+let current : t option ref = ref None
+let install t = current := Some t
+let uninstall () = current := None
+let installed () = !current
+
+(* ------------------------------------------------------------------ *)
+(* Label plumbing *)
+
+let sort_labels ls =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) ls
+
+let compare_labels a b =
+  List.compare
+    (fun (ka, va) (kb, vb) ->
+      match String.compare ka kb with 0 -> String.compare va vb | c -> c)
+    a b
+
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
+
+let type_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let find_fam t name = List.find_opt (fun f -> String.equal f.fam_name name) t.fams
+
+let resolve t ~name ~help ~labels ~mtype ~(make : unit -> cell) : cell =
+  let labels = sort_labels labels in
+  let f =
+    match find_fam t name with
+    | Some f ->
+        if f.fam_type <> mtype then
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %s registered as %s, used as %s"
+               name (type_name f.fam_type) (type_name mtype));
+        f
+    | None ->
+        let f =
+          { fam_name = name; fam_help = help; fam_type = mtype; fam_series = [] }
+        in
+        t.fams <- f :: t.fams;
+        f
+  in
+  match List.find_opt (fun (ls, _) -> compare_labels ls labels = 0) f.fam_series with
+  | Some (_, c) -> c
+  | None ->
+      let c = make () in
+      f.fam_series <- (labels, c) :: f.fam_series;
+      c
+
+(* Shared sinks for the not-installed case: handles resolved with no
+   registry installed update these and the hot path stays branch-free.
+   One sink per shape is enough — nobody ever reads them. *)
+let sink_int = ref 0
+let sink_hist = Sim.Histogram.create ()
+
+type counter = int ref
+type gauge = int ref
+
+let int_cell = function
+  | Cint r -> r
+  | Cprobe _ | Chist _ -> invalid_arg "Obs.Registry: series backed by probe"
+
+let counter ~name ?(help = "") ?(labels = []) () : counter =
+  match !current with
+  | None -> sink_int
+  | Some t ->
+      int_cell
+        (resolve t ~name ~help ~labels ~mtype:Counter ~make:(fun () ->
+             Cint (ref 0)))
+
+let cincr (c : counter) = incr c
+let cadd (c : counter) n = c := !c + n
+let cget (c : counter) = !c
+
+let gauge ~name ?(help = "") ?(labels = []) () : gauge =
+  match !current with
+  | None -> sink_int
+  | Some t ->
+      int_cell
+        (resolve t ~name ~help ~labels ~mtype:Gauge ~make:(fun () ->
+             Cint (ref 0)))
+
+let gset (g : gauge) v = g := v
+let gget (g : gauge) = !g
+
+let probe ~name ?(help = "") ?(labels = []) f =
+  match !current with
+  | None -> ()
+  | Some t ->
+      ignore
+        (resolve t ~name ~help ~labels ~mtype:Gauge ~make:(fun () -> Cprobe f))
+
+let histogram ~name ?(help = "") ?(labels = []) () =
+  match !current with
+  | None -> sink_hist
+  | Some t -> (
+      match
+        resolve t ~name ~help ~labels ~mtype:Histogram ~make:(fun () ->
+            Chist (Sim.Histogram.create ()))
+      with
+      | Chist h -> h
+      | Cint _ | Cprobe _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting views *)
+
+type value = V of int | H of Sim.Histogram.t
+
+type series = { s_labels : (string * string) list; s_value : unit -> value }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_type : mtype;
+  f_series : series list;
+}
+
+let families t =
+  List.filter_map
+    (fun f ->
+      let series =
+        List.sort (fun (a, _) (b, _) -> compare_labels a b) f.fam_series
+        |> List.map (fun (ls, c) ->
+               {
+                 s_labels = ls;
+                 s_value =
+                   (fun () ->
+                     match c with
+                     | Cint r -> V !r
+                     | Cprobe p -> V (p ())
+                     | Chist h -> H h);
+               })
+      in
+      if series = [] then None
+      else Some { f_name = f.fam_name; f_help = f.fam_help; f_type = f.fam_type; f_series = series })
+    (List.sort (fun a b -> String.compare a.fam_name b.fam_name) t.fams)
+
+let label_string ls =
+  String.concat ","
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+
+let gauge_values t =
+  List.filter_map
+    (fun f ->
+      if f.f_type <> Gauge then None
+      else
+        Some
+          ( f.f_name,
+            List.map
+              (fun s ->
+                let v = match s.s_value () with V v -> v | H _ -> 0 in
+                (label_string s.s_labels, v))
+              f.f_series ))
+    (families t)

@@ -58,6 +58,14 @@ type t = {
   rkey : int;
   bw : Bandwidth.t option;
   hstats : hstats option;
+  (* Observatory: per-QP labeled series, resolved at [create] against
+     whatever registry is installed (shared sink cells otherwise) —
+     same zero-alloc increment either way. *)
+  ob_read_ops : Obs.Registry.counter;
+  ob_read_bytes : Obs.Registry.counter;
+  ob_write_ops : Obs.Registry.counter;
+  ob_write_bytes : Obs.Registry.counter;
+  ob_retries : Obs.Registry.counter;
   huge_pages : bool;
   extra_completion_delay : Sim.Time.t;
   faults : Faults.Plan.t option;
@@ -139,6 +147,11 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     | Some p when not (Faults.Plan.passthrough p) -> Some p
     | Some _ | None -> None
   in
+  let ob_counter metric op =
+    Obs.Registry.counter ~name:metric
+      ~labels:(("qp", name) :: (match op with None -> [] | Some o -> [ ("op", o) ]))
+      ()
+  in
   {
     eng;
     nic;
@@ -147,6 +160,11 @@ let create ~eng ~nic ~target ~region ~rkey ?bw ?stats ?(huge_pages = true)
     rkey;
     bw;
     hstats;
+    ob_read_ops = ob_counter "rdma_qp_ops" (Some "read");
+    ob_read_bytes = ob_counter "rdma_qp_bytes" (Some "read");
+    ob_write_ops = ob_counter "rdma_qp_ops" (Some "write");
+    ob_write_bytes = ob_counter "rdma_qp_bytes" (Some "write");
+    ob_retries = ob_counter "rdma_qp_retries" None;
     huge_pages;
     extra_completion_delay;
     faults;
@@ -191,6 +209,13 @@ let validate t segs buf =
     segs
 
 let count t op bytes_ =
+  (match op with
+  | Nic.Read ->
+      Obs.Registry.cincr t.ob_read_ops;
+      Obs.Registry.cadd t.ob_read_bytes bytes_
+  | Nic.Write ->
+      Obs.Registry.cincr t.ob_write_ops;
+      Obs.Registry.cadd t.ob_write_bytes bytes_);
   match t.hstats with
   | None -> ()
   | Some h -> (
@@ -442,6 +467,7 @@ let rec attempt t plan op ~bytes_ ~segments ~transfer ~on_complete ~on_error
         fail ()
     | Some _ | None ->
         fcount t (fun h -> h.c_retries);
+        Obs.Registry.cincr t.ob_retries;
         let delay = Faults.Plan.backoff plan ~attempt:try_no in
         (match fa with
         | Some a ->

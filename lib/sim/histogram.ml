@@ -6,10 +6,18 @@ type t = {
   mutable minv : int;
   mutable maxv : int;
   mutable sum : float;
+  mutable isum : int;
 }
 
 let create () =
-  { buckets = Array.make n_buckets 0; total = 0; minv = max_int; maxv = 0; sum = 0. }
+  {
+    buckets = Array.make n_buckets 0;
+    total = 0;
+    minv = max_int;
+    maxv = 0;
+    sum = 0.;
+    isum = 0;
+  }
 
 let floor_log2 v =
   (* v >= 1 *)
@@ -38,12 +46,14 @@ let add t v =
   t.total <- t.total + 1;
   if v < t.minv then t.minv <- v;
   if v > t.maxv then t.maxv <- v;
-  t.sum <- t.sum +. float_of_int v
+  t.sum <- t.sum +. float_of_int v;
+  t.isum <- t.isum + v
 
 let count t = t.total
 let min_value t = if t.total = 0 then 0 else t.minv
 let max_value t = t.maxv
 let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+let sum t = t.isum
 
 let quantile t q =
   if t.total = 0 then 0
@@ -74,7 +84,8 @@ let merge_into ~dst src =
   if src.total > 0 then begin
     if src.minv < dst.minv then dst.minv <- src.minv;
     if src.maxv > dst.maxv then dst.maxv <- src.maxv;
-    dst.sum <- dst.sum +. src.sum
+    dst.sum <- dst.sum +. src.sum;
+    dst.isum <- dst.isum + src.isum
   end
 
 let reset t =
@@ -82,4 +93,5 @@ let reset t =
   t.total <- 0;
   t.minv <- max_int;
   t.maxv <- 0;
-  t.sum <- 0.
+  t.sum <- 0.;
+  t.isum <- 0

@@ -14,6 +14,11 @@ val min_value : t -> int
 val max_value : t -> int
 val mean : t -> float
 
+val sum : t -> int
+(** Exact integer sum of all recorded samples. The Observatory profile
+    reconciles folded-stack totals against attribution histograms with
+    [=], so this must not go through float rounding. *)
+
 val quantile : t -> float -> int
 (** [quantile t q] with [q] in \[0, 1\]; e.g. [quantile t 0.99] is the
     p99. Returns 0 on an empty histogram. *)

@@ -51,21 +51,30 @@ val record : t -> string -> int -> unit
 (** [record t name v] adds a sample to histogram [name]. *)
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name with [String.compare] — a pure byte
+    comparison, so the order is identical on every OCaml version and
+    platform. The OpenMetrics exporter and the health monitors consume
+    this view and rely on it being byte-stable: two runs with the same
+    seed must serialize their counters in the same order. *)
 
 val histograms : t -> (string * Histogram.t) list
 (** All histograms, sorted by name — like {!counters}, the reporting
     view is deterministically ordered. *)
 
 type snapshot = (string * int) list
-(** An immutable, name-sorted copy of the counter table at one instant. *)
+(** An immutable, name-sorted copy of the counter table at one instant.
+    Same ordering guarantee as {!counters}: [String.compare] on names,
+    byte-stable across OCaml versions (never [Hashtbl] iteration
+    order). *)
 
 val snapshot : t -> snapshot
 
 val diff : base:snapshot -> snapshot -> (string * int) list
 (** [diff ~base cur] is the per-counter delta [cur - base], one entry
     per counter of [cur] (counters absent from [base] read as 0
-    there). Feed consecutive snapshots to get per-interval rates. *)
+    there), in [cur]'s (sorted) order. Feed consecutive snapshots to
+    get per-interval rates. Counters are monotonic during a run, so
+    with [base] taken before [cur] every delta is [>= 0]. *)
 
 val histogram_opt : t -> string -> Histogram.t option
 (** Like {!histogram} but without creating the histogram when absent —

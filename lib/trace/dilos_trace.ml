@@ -170,6 +170,33 @@ let events t =
 let recorded t = t.total
 let dropped t = t.total - t.len
 
+(* Read-only event view for consumers outside this module (the
+   Observatory profiler folds spans into collapsed stacks). Track ids
+   are resolved to names here so the consumer never sees the interning
+   tables. *)
+type event_view = {
+  vw_kind : kind;
+  vw_cat : string;
+  vw_name : string;
+  vw_track : string;
+  vw_t0 : Sim.Time.t;
+  vw_t1 : Sim.Time.t;
+}
+
+let iter_events t f =
+  for i = 0 to t.len - 1 do
+    let ev = t.buf.((t.head + i) mod t.cap) in
+    f
+      {
+        vw_kind = ev.ev_kind;
+        vw_cat = ev.ev_cat;
+        vw_name = ev.ev_name;
+        vw_track = track_name ev.ev_track;
+        vw_t0 = ev.ev_t0;
+        vw_t1 = ev.ev_t1;
+      }
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Span / instant API *)
 

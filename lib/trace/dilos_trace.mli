@@ -65,6 +65,25 @@ val recorded : t -> int
 val dropped : t -> int
 (** Events overwritten by ring wrap-around. *)
 
+(** {1 Event views}
+
+    A read-only projection of the ring for post-run consumers (the
+    Observatory's sim-time profiler). Track ids come back resolved to
+    names; events are visited oldest-first in ring order. *)
+
+type kind = Sync | Async | Instant
+
+type event_view = {
+  vw_kind : kind;
+  vw_cat : string;
+  vw_name : string;
+  vw_track : string;
+  vw_t0 : Sim.Time.t;
+  vw_t1 : Sim.Time.t;
+}
+
+val iter_events : t -> (event_view -> unit) -> unit
+
 (** {1 Spans, instants, flows} *)
 
 type arg = I of int | S of string

@@ -1,0 +1,12 @@
+(* Lint fixture (never compiled): R11 — Obs handle registration on a
+   hot module's steady-state path. test_lint.ml lints this as if it
+   were lib/core/kernel.ml. Expected findings pinned there. *)
+
+let fault reg shard =
+  let c = Obs.Registry.counter reg "faults_total" [ ("shard", shard) ] in
+  Obs.Registry.add c 1;
+  let h = Registry.histogram reg "fault_ns" [] in
+  Obs.Registry.observe h 100
+
+let depth reg =
+  Obs.Registry.gauge reg "queue_depth" []

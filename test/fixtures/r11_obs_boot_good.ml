@@ -1,0 +1,16 @@
+(* R11 fixed: handles resolved once in cold constructors; the fault
+   path only touches the pre-resolved handles. *)
+
+type handles = { faults : Obs.Registry.counter_h; lat : Obs.Registry.histogram_h }
+
+let create reg shard =
+  {
+    faults = Obs.Registry.counter reg "faults_total" [ ("shard", shard) ];
+    lat = Obs.Registry.histogram reg "fault_ns" [];
+  }
+
+let make_depth reg = Obs.Registry.gauge reg "queue_depth" []
+
+let fault h =
+  Obs.Registry.add h.faults 1;
+  Obs.Registry.observe h.lat 100

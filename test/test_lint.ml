@@ -33,6 +33,7 @@ let r5 = "effect-hygiene"
 let r6 = "trace-span-hygiene"
 let r7 = "hot-alloc"
 let r8 = "nondet-taint"
+let r11 = "obs-boot-only"
 let r9 = "hot-alloc-path"
 let r10 = "fiber-atomic"
 
@@ -157,6 +158,32 @@ let r7_cold_module_exempt () =
     (Lint.Driver.lint_file
        ~ctx:(lib_ctx "core/guide.ml")
        (fx "r7_hot_alloc_bad.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* R11 obs-boot-only *)
+
+let r11_fires_in_hot_module () =
+  check_sites "Obs handle registration on a steady-state hot path"
+    [ (6, r11); (8, r11); (12, r11) ]
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r11_obs_boot_bad.ml"))
+
+let r11_fixed_quiet () =
+  (* Same registrations confined to cold constructors (create and the
+     make_ prefix); the fault path only touches pre-resolved handles. *)
+  check_sites "registration at boot, handles on the hot path" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/kernel.ml")
+       (fx "r11_obs_boot_good.ml"))
+
+let r11_cold_module_exempt () =
+  (* Reporting/exporter code registers and resolves freely — the
+     discipline only binds on the hot-module list. *)
+  check_sites "registration in a cold module" []
+    (Lint.Driver.lint_file
+       ~ctx:(lib_ctx "core/guide.ml")
+       (fx "r11_obs_boot_bad.ml"))
 
 (* ------------------------------------------------------------------ *)
 (* R8/R9/R10: whole-program analyses over the fixture mini-project.
@@ -339,6 +366,10 @@ let suite =
       r7_fires_in_hot_module;
     quick "R7 quiet on the pooled version" r7_fixed_quiet;
     quick "R7 exempts cold modules" r7_cold_module_exempt;
+    quick "R11 fires on Obs registration on steady-state hot paths"
+      r11_fires_in_hot_module;
+    quick "R11 quiet when registration is confined to boot" r11_fixed_quiet;
+    quick "R11 exempts cold modules" r11_cold_module_exempt;
     quick "R8 fires on wrapper-laundered wall-clock (xproj)"
       xproj_program_findings;
     quick "R1-R7 miss everything R8/R9/R10 catch in xproj"

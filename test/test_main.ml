@@ -22,6 +22,7 @@ let () =
       ("soak", Test_soak.suite);
       ("trace", Test_trace.suite);
       ("bigbuf-extent", Test_bigbuf_extent.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("determinism", Test_determinism.suite);
     ]

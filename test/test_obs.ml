@@ -1,0 +1,394 @@
+(* Observatory: labeled registry, OpenMetrics export, health
+   monitors, flame profiles, and the dilos_sim report scenario
+   matrix. *)
+
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let with_registry f =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.install reg;
+  Fun.protect ~finally:Obs.Registry.uninstall (fun () -> f reg)
+
+let test_registry_basics () =
+  with_registry @@ fun reg ->
+  let c =
+    Obs.Registry.counter ~name:"reads" ~labels:[ ("shard", "0") ] ()
+  in
+  Obs.Registry.cincr c;
+  Obs.Registry.cadd c 4;
+  check_int "counter counts" 5 (Obs.Registry.cget c);
+  (* Resolution is idempotent: same name+labels is the same cell,
+     whatever order the labels come in. *)
+  let c' =
+    Obs.Registry.counter ~name:"reads" ~labels:[ ("shard", "0") ] ()
+  in
+  Obs.Registry.cincr c';
+  check_int "same cell" 6 (Obs.Registry.cget c);
+  let g = Obs.Registry.gauge ~name:"depth" () in
+  Obs.Registry.gset g 7;
+  check_int "gauge" 7 (Obs.Registry.gget g);
+  match Obs.Registry.families reg with
+  | [ depth; reads ] ->
+      check_bool "families name-sorted"
+        (depth.Obs.Registry.f_name = "depth"
+        && reads.Obs.Registry.f_name = "reads")
+        true
+  | fams -> Alcotest.failf "expected 2 families, got %d" (List.length fams)
+
+let test_registry_label_order () =
+  with_registry @@ fun _reg ->
+  let a =
+    Obs.Registry.counter ~name:"ops"
+      ~labels:[ ("op", "read"); ("qp", "q1") ]
+      ()
+  in
+  let b =
+    Obs.Registry.counter ~name:"ops"
+      ~labels:[ ("qp", "q1"); ("op", "read") ]
+      ()
+  in
+  Obs.Registry.cincr a;
+  check_int "label order canonical" 1 (Obs.Registry.cget b)
+
+let test_registry_type_conflict () =
+  with_registry @@ fun _reg ->
+  ignore (Obs.Registry.counter ~name:"m" ());
+  Alcotest.check_raises "type conflict"
+    (Invalid_argument "Obs.Registry: m registered as counter, used as gauge")
+    (fun () -> ignore (Obs.Registry.gauge ~name:"m" ()))
+
+let test_registry_sink_when_uninstalled () =
+  (* No registry installed: handles resolve to shared sinks and the
+     hot path still works — updates just go nowhere. *)
+  Alcotest.(check (option reject)) "none installed" None
+    (Option.map ignore (Obs.Registry.installed ()));
+  let c = Obs.Registry.counter ~name:"orphan" () in
+  Obs.Registry.cincr c;
+  let reg = Obs.Registry.create () in
+  Obs.Registry.install reg;
+  Fun.protect ~finally:Obs.Registry.uninstall @@ fun () ->
+  check_int "sink left no family" 0 (List.length (Obs.Registry.families reg))
+
+let test_registry_probe () =
+  with_registry @@ fun reg ->
+  let depth = ref 3 in
+  Obs.Registry.probe ~name:"queue" (fun () -> !depth);
+  (match Obs.Registry.gauge_values reg with
+  | [ ("queue", [ ("", 3) ]) ] -> ()
+  | _ -> Alcotest.fail "probe not visible");
+  depth := 9;
+  match Obs.Registry.gauge_values reg with
+  | [ ("queue", [ ("", 9) ]) ] -> ()
+  | _ -> Alcotest.fail "probe not re-evaluated"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exporter *)
+
+let test_escape_label_value () =
+  Alcotest.(check string)
+    "escapes" "a\\\\b\\\"c\\nd"
+    (Obs.Openmetrics.escape_label_value "a\\b\"c\nd")
+
+let test_openmetrics_render () =
+  with_registry @@ fun reg ->
+  let c =
+    Obs.Registry.counter ~name:"reads" ~help:"total reads"
+      ~labels:[ ("shard", "0") ]
+      ()
+  in
+  Obs.Registry.cadd c 11;
+  let doc = Obs.Openmetrics.render reg in
+  let has needle =
+    let nl = String.length needle and dl = String.length doc in
+    let rec go i = i + nl <= dl && (String.sub doc i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "HELP line" true (has "# HELP reads total reads");
+  check_bool "TYPE line" true (has "# TYPE reads counter");
+  check_bool "_total sample" true (has "reads_total{shard=\"0\"} 11");
+  check_bool "EOF terminator" true
+    (String.length doc >= 6 && String.sub doc (String.length doc - 6) 6 = "# EOF\n");
+  Alcotest.(check string) "render is pure" doc (Obs.Openmetrics.render reg)
+
+(* ------------------------------------------------------------------ *)
+(* Health monitor *)
+
+let test_health_rising_edge () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let retries = Sim.Stats.counter stats "rdma_retries" in
+  let m =
+    Obs.Health.start ~eng ~stats ~interval:(Sim.Time.us 10)
+      ~rules:[ Obs.Health.retry_storm ~threshold:5 () ]
+      ()
+  in
+  (* Storm for 3 intervals, then calm, then storm again: rising-edge
+     semantics must yield exactly two events. *)
+  Sim.Engine.spawn eng (fun () ->
+      for i = 1 to 8 do
+        let bumps = if i <= 3 || i = 7 then 6 else 0 in
+        for _ = 1 to bumps do
+          Sim.Stats.cincr retries
+        done;
+        Sim.Engine.sleep eng (Sim.Time.us 10)
+      done);
+  Sim.Engine.run eng;
+  let evs = Obs.Health.events m in
+  check_int "two rising edges" 2 (List.length evs);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "rule id" "retry-storm" e.Obs.Health.he_rule;
+      check_bool "value >= threshold" true
+        (e.Obs.Health.he_value >= e.Obs.Health.he_threshold))
+    evs;
+  check_bool "chronological" true
+    (match evs with
+    | [ a; b ] -> Sim.Time.compare a.Obs.Health.he_t b.Obs.Health.he_t < 0
+    | _ -> false)
+
+let test_health_gauge_rule () =
+  let eng = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let reg = Obs.Registry.create () in
+  Obs.Registry.install reg;
+  Fun.protect ~finally:Obs.Registry.uninstall @@ fun () ->
+  let backlog = ref 0 in
+  Obs.Registry.probe ~name:"repl_resync_backlog_pages"
+    ~labels:[ ("shard", "1") ]
+    (fun () -> !backlog);
+  let m =
+    Obs.Health.start ~eng ~stats ~registry:reg ~interval:(Sim.Time.us 10)
+      ~rules:[ Obs.Health.resync_backlog () ]
+      ()
+  in
+  Sim.Engine.spawn eng (fun () ->
+      Sim.Engine.sleep eng (Sim.Time.us 15);
+      backlog := 42;
+      Sim.Engine.sleep eng (Sim.Time.us 20);
+      backlog := 0;
+      Sim.Engine.sleep eng (Sim.Time.us 20));
+  Sim.Engine.run eng;
+  match Obs.Health.events m with
+  | [ e ] ->
+      Alcotest.(check string) "rule" "resync-backlog" e.Obs.Health.he_rule;
+      Alcotest.(check string) "subject" "shard=\"1\"" e.Obs.Health.he_subject;
+      check_int "value" 42 e.Obs.Health.he_value
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler *)
+
+let test_profile_fold () =
+  let eng = Sim.Engine.create () in
+  let tr = Dilos_trace.create ~eng () in
+  Dilos_trace.install tr;
+  Fun.protect ~finally:Dilos_trace.uninstall @@ fun () ->
+  let cat = Dilos_trace.category "test" in
+  let cpu = Dilos_trace.track "cpu0" in
+  Sim.Engine.spawn eng (fun () ->
+      Dilos_trace.with_span cat ~name:"outer" ~track:cpu (fun () ->
+          Sim.Engine.sleep eng (Sim.Time.us 30);
+          Dilos_trace.with_span cat ~name:"inner" ~track:cpu (fun () ->
+              Sim.Engine.sleep eng (Sim.Time.us 30));
+          Sim.Engine.sleep eng (Sim.Time.us 40)));
+  Sim.Engine.run eng;
+  let p = Obs.Profile.create () in
+  Obs.Profile.add_trace p tr;
+  let lookup stack =
+    match List.assoc_opt stack (Obs.Profile.lines p) with
+    | Some v -> v
+    | None -> 0
+  in
+  (* Self time: outer owns 100us minus the 30us inside inner. *)
+  check_int "outer self" 70_000 (lookup "cpu0;outer");
+  check_int "inner self" 30_000 (lookup "cpu0;outer;inner");
+  match Obs.Profile.totals p with
+  | [ ("cpu0", total) ] -> check_int "track total tiles" 100_000 total
+  | _ -> Alcotest.fail "expected one cpu0 root"
+
+let test_profile_folded_sorted () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.add p ~stack:"b;y" 2;
+  Obs.Profile.add p ~stack:"a;x" 1;
+  Obs.Profile.add p ~stack:"a;x" 3;
+  Alcotest.(check string) "sorted, merged" "a;x 4\nb;y 2\n" (Obs.Profile.folded p)
+
+(* ------------------------------------------------------------------ *)
+(* Stats ordering (satellite: documented determinism) *)
+
+let test_stats_snapshot_sorted () =
+  let stats = Sim.Stats.create () in
+  List.iter
+    (fun n -> Sim.Stats.cincr (Sim.Stats.counter stats n))
+    [ "zeta"; "alpha"; "mu"; "beta" ];
+  let names = List.map fst (Sim.Stats.counters stats) in
+  Alcotest.(check (list string))
+    "counters byte-sorted"
+    [ "alpha"; "beta"; "mu"; "zeta" ]
+    names;
+  let snap = Sim.Stats.snapshot stats in
+  Alcotest.(check (list string))
+    "snapshot same order" names (List.map fst snap)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler composed with a drill (satellite: no negative deltas) *)
+
+let test_sampler_with_drill () =
+  let sampler = ref None in
+  let spec =
+    match
+      Faults.Spec.parse "kill-shard=0@200us,recover-shard=0@500us"
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let _result =
+    Apps.Harness.run
+      (Apps.Harness.Dilos Dilos.Kernel.Readahead)
+      ~local_mem:(256 * 1024) ~fault_spec:spec ~fault_seed:7 ~shards:2
+      ~replication:2
+      ~observe:(fun ctx ->
+        sampler :=
+          Some
+            (Dilos_trace.Sampler.start ~eng:ctx.Apps.Harness.eng
+               ~stats:ctx.Apps.Harness.stats ~interval:(Sim.Time.us 50) ()))
+      (fun ctx ->
+        Apps.Drill.kernel Apps.Drill.Seq
+          (ctx.Apps.Harness.mem ~core:0)
+          ~scale:256 ~seed:7)
+  in
+  let s = Option.get !sampler in
+  check_bool "sampler ticked" true (Dilos_trace.Sampler.rows s > 0);
+  let csv = Dilos_trace.Sampler.csv s in
+  (* Monotonic counters snapshot-diffed across a kill/recover drill:
+     no delta may come out negative, nothing may render as NaN. *)
+  String.split_on_char '\n' csv
+  |> List.iteri (fun i line ->
+         if i > 0 && line <> "" then
+           String.split_on_char ',' line
+           |> List.iter (fun cell ->
+                  check_bool
+                    (Printf.sprintf "cell %S non-negative" cell)
+                    false
+                    (String.length cell > 0 && cell.[0] = '-');
+                  check_bool
+                    (Printf.sprintf "cell %S not NaN" cell)
+                    false
+                    (String.lowercase_ascii cell = "nan")))
+
+(* ------------------------------------------------------------------ *)
+(* The scenario matrix *)
+
+let matrix =
+  lazy
+    (Apps.Observatory.run_matrix ~app:Apps.Drill.Seq ~scale:256
+       ~local_mem:(256 * 1024) ~seed:42 ())
+
+let find name =
+  List.find (fun o -> o.Apps.Observatory.o_name = name) (Lazy.force matrix)
+
+let rules o =
+  List.map (fun e -> e.Obs.Health.he_rule) o.Apps.Observatory.o_events
+  |> List.sort_uniq String.compare
+
+let test_matrix_clean_quiet () =
+  let o = find "clean" in
+  Alcotest.(check (list string)) "clean fires nothing" [] (rules o);
+  check_bool "clean ticked" true (o.Apps.Observatory.o_ticks > 0)
+
+let test_matrix_flaky_storm () =
+  let o = find "flaky" in
+  check_bool "flaky fires retry-storm" true
+    (List.mem "retry-storm" (rules o))
+
+let test_matrix_kill_backlog () =
+  let o = find "flaky-kill" in
+  let rs = rules o in
+  check_bool "kill fires retry-storm" true (List.mem "retry-storm" rs);
+  check_bool "kill fires resync-backlog" true (List.mem "resync-backlog" rs);
+  (* RF=2, one kill, scripted recovery: nothing may be lost. *)
+  check_bool "no tombstones" false (List.mem "tombstone-serving" rs)
+
+let test_matrix_overload_ceiling () =
+  let o = find "overload" in
+  check_bool "overload fires queue-depth-ceiling" true
+    (List.mem "queue-depth-ceiling" (rules o))
+
+let test_matrix_digests_match () =
+  let clean = find "clean" in
+  List.iter
+    (fun name ->
+      let o = find name in
+      check_i64 (name ^ " digest matches clean")
+        (Option.get clean.Apps.Observatory.o_digest)
+        (Option.get o.Apps.Observatory.o_digest))
+    [ "flaky"; "flaky-kill" ]
+
+let test_matrix_three_rules () =
+  check_bool "matrix fires >= 3 distinct rules" true
+    (List.length (Apps.Observatory.event_rules (Lazy.force matrix)) >= 3)
+
+let test_matrix_reconciles () =
+  List.iter
+    (fun o ->
+      check_bool
+        (o.Apps.Observatory.o_name ^ " profile reconciles")
+        true
+        (Apps.Observatory.reconciles o))
+    (Lazy.force matrix)
+
+let test_matrix_shard_labels () =
+  (* Per-shard labeled series must survive into the registry view. *)
+  let o = find "flaky-kill" in
+  let fams = Obs.Registry.families o.Apps.Observatory.o_registry in
+  let reads =
+    List.find (fun f -> f.Obs.Registry.f_name = "repl_shard_reads") fams
+  in
+  let shards =
+    List.map
+      (fun s ->
+        match List.assoc_opt "shard" s.Obs.Registry.s_labels with
+        | Some v -> v
+        | None -> "?")
+      reads.Obs.Registry.f_series
+  in
+  Alcotest.(check (list string)) "one series per shard" [ "0"; "1" ] shards
+
+let test_report_byte_identity () =
+  let system = Apps.Harness.Dilos Dilos.Kernel.Readahead in
+  let render () =
+    Apps.Observatory.report_json ~system ~seed:42
+      (Apps.Observatory.run_matrix ~app:Apps.Drill.Seq ~scale:256
+         ~local_mem:(256 * 1024) ~seed:42 ())
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "same seed, same bytes" a b
+
+let suite =
+  [
+    quick "registry-basics" test_registry_basics;
+    quick "registry-label-order" test_registry_label_order;
+    quick "registry-type-conflict" test_registry_type_conflict;
+    quick "registry-sink-uninstalled" test_registry_sink_when_uninstalled;
+    quick "registry-probe" test_registry_probe;
+    quick "openmetrics-escape" test_escape_label_value;
+    quick "openmetrics-render" test_openmetrics_render;
+    quick "health-rising-edge" test_health_rising_edge;
+    quick "health-gauge-rule" test_health_gauge_rule;
+    quick "profile-fold" test_profile_fold;
+    quick "profile-folded-sorted" test_profile_folded_sorted;
+    quick "stats-snapshot-sorted" test_stats_snapshot_sorted;
+    quick "sampler-with-drill" test_sampler_with_drill;
+    quick "matrix-clean-quiet" test_matrix_clean_quiet;
+    quick "matrix-flaky-retry-storm" test_matrix_flaky_storm;
+    quick "matrix-kill-resync-backlog" test_matrix_kill_backlog;
+    quick "matrix-overload-queue-ceiling" test_matrix_overload_ceiling;
+    quick "matrix-digests-match" test_matrix_digests_match;
+    quick "matrix-three-distinct-rules" test_matrix_three_rules;
+    quick "matrix-profile-reconciles" test_matrix_reconciles;
+    quick "matrix-shard-labels" test_matrix_shard_labels;
+    quick "report-byte-identity" test_report_byte_identity;
+  ]
